@@ -1,0 +1,130 @@
+//! Baseline CGRA mappers: the paper's "BHC" comparison point.
+//!
+//! The paper evaluates HiMap against the best of two state-of-the-art
+//! compilers (§VI): the HyCUBE compiler — "a heuristic-based mapping
+//! algorithm, an augmented version of SPR" — and CGRA-ME's simulated
+//! annealing. Neither is open in a form portable here, so both are
+//! reimplemented from their published descriptions:
+//!
+//! * [`SprMapper`] — iterative modulo scheduling, placement and routing of
+//!   the *whole* unrolled DFG on the full-CGRA MRRG with PathFinder
+//!   congestion negotiation (SPR's scheme);
+//! * [`SaMapper`] — simulated-annealing placement with a wire-length/
+//!   latency cost, followed by detailed routing validation (CGRA-ME's
+//!   heuristic mode).
+//!
+//! Both treat the DFG as an opaque graph — no iteration-level abstraction —
+//! so they exhibit the scalability cliff the paper reports: compile time
+//! explodes with DFG size, and mappings fail beyond a few hundred nodes.
+//! [`bhc`] runs both under a node-count limit and wall-clock budget and
+//! keeps the better mapping, mirroring "Best of HyCUBE & CGRA-ME".
+//!
+//! # Example
+//!
+//! ```
+//! use himap_baseline::{bhc, BaselineOptions};
+//! use himap_cgra::CgraSpec;
+//! use himap_dfg::Dfg;
+//! use himap_kernels::suite;
+//!
+//! let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2])?;
+//! let result = bhc(&dfg, &CgraSpec::square(2), &BaselineOptions::default());
+//! let mapping = result.best().expect("small GEMM block maps");
+//! assert!(mapping.utilization > 0.0);
+//! # Ok::<(), himap_dfg::DfgError>(())
+//! ```
+
+mod bhc;
+mod sa;
+mod spr;
+
+pub use bhc::{baseline_block, bhc, BhcResult};
+pub use sa::SaMapper;
+pub use spr::SprMapper;
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use himap_cgra::PeId;
+use himap_graph::NodeId;
+
+/// Options shared by the baseline mappers.
+#[derive(Clone, Debug)]
+pub struct BaselineOptions {
+    /// DFG node limit — the paper observes BHC "fails to find a solution
+    /// when the number of DFG nodes is higher than 400".
+    pub max_dfg_nodes: usize,
+    /// Wall-clock budget per mapper (the paper's three-day timeout, scaled).
+    pub timeout: Duration,
+    /// Initiation intervals tried above the resource minimum.
+    pub max_ii_slack: usize,
+    /// PathFinder rounds per II attempt.
+    pub pathfinder_rounds: usize,
+    /// Simulated-annealing steps per temperature.
+    pub sa_steps: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for BaselineOptions {
+    fn default() -> Self {
+        BaselineOptions {
+            max_dfg_nodes: 400,
+            timeout: Duration::from_secs(60),
+            max_ii_slack: 4,
+            pathfinder_rounds: 12,
+            sa_steps: 400,
+            seed: 0xC6_5A_17,
+        }
+    }
+}
+
+/// A successful baseline mapping.
+#[derive(Clone, Debug)]
+pub struct BaselineMapping {
+    /// Initiation interval of the modulo schedule.
+    pub ii: usize,
+    /// Per-op slot: PE and absolute schedule cycle.
+    pub op_slots: HashMap<NodeId, (PeId, i64)>,
+    /// CGRA utilization `|V_D| / (#PEs · II)`.
+    pub utilization: f64,
+    /// Which mapper produced it.
+    pub algorithm: Algorithm,
+}
+
+/// Which baseline algorithm produced a mapping.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// SPR/HyCUBE-style iterative modulo place-and-route.
+    Spr,
+    /// CGRA-ME-style simulated annealing.
+    SimulatedAnnealing,
+}
+
+/// Why a baseline mapper produced no mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BaselineFailure {
+    /// DFG exceeds the node limit (the paper's scalability cliff).
+    TooManyNodes {
+        /// Nodes in the DFG.
+        nodes: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// The wall-clock budget was exhausted.
+    Timeout,
+    /// No initiation interval in range produced a valid mapping.
+    NoValidMapping,
+}
+
+impl std::fmt::Display for BaselineFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineFailure::TooManyNodes { nodes, limit } => {
+                write!(f, "DFG has {nodes} nodes, above the {limit}-node scalability limit")
+            }
+            BaselineFailure::Timeout => write!(f, "wall-clock budget exhausted"),
+            BaselineFailure::NoValidMapping => write!(f, "no II in range produced a mapping"),
+        }
+    }
+}

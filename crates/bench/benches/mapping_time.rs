@@ -1,0 +1,101 @@
+//! Criterion micro/meso benchmarks of the mapping pipeline.
+//!
+//! These complement the figure generators: `fig7`/`fig8` regenerate the
+//! paper's evaluation, while these benches track the cost of the pipeline
+//! stages (DFG construction, systolic search, full HiMap runs, the SPR
+//! baseline) for regression purposes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use himap_baseline::{BaselineOptions, SprMapper};
+use himap_cgra::CgraSpec;
+use himap_core::{HiMap, HiMapOptions};
+use himap_dfg::Dfg;
+use himap_kernels::suite;
+use himap_systolic::{search, SearchConfig};
+
+fn bench_dfg_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dfg_build");
+    for (kernel, block) in [
+        (suite::gemm(), vec![8usize, 8, 8]),
+        (suite::bicg(), vec![16, 16]),
+        (suite::ttm(), vec![4, 4, 4, 4]),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name().to_string()),
+            &(kernel, block),
+            |b, (kernel, block)| {
+                b.iter(|| Dfg::build(kernel, block).expect("builds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_systolic_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("systolic_search");
+    for (kernel, block, rows, cols) in [
+        (suite::gemm(), vec![4usize, 4, 4], 4usize, 4usize),
+        (suite::ttm(), vec![4, 4, 4, 4], 4, 4),
+    ] {
+        let dfg = Dfg::build(&kernel, &block).expect("builds");
+        let isdg = dfg.isdg();
+        let config = SearchConfig {
+            dims: kernel.dims(),
+            block,
+            vsa_rows: rows,
+            vsa_cols: cols,
+            mesh_deps: isdg.distances().to_vec(),
+            mem_deps: dfg.mem_dep_distances(),
+        anti_deps: dfg.anti_dep_distances(),
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(kernel.name().to_string()),
+            &config,
+            |b, config| {
+                b.iter(|| search(config));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_himap_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("himap_map");
+    group.sample_size(10);
+    for (name, cgra) in [("gemm", 8usize), ("bicg", 4), ("floyd-warshall", 4)] {
+        let kernel = suite::by_name(name).expect("kernel exists");
+        let spec = CgraSpec::square(cgra);
+        group.bench_with_input(
+            BenchmarkId::new(name, format!("{cgra}x{cgra}")),
+            &(kernel, spec),
+            |b, (kernel, spec)| {
+                b.iter(|| {
+                    HiMap::new(HiMapOptions::default())
+                        .map(kernel, spec)
+                        .expect("maps")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spr_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spr_baseline");
+    group.sample_size(10);
+    let dfg = Dfg::build(&suite::gemm(), &[3, 3, 3]).expect("builds");
+    let spec = CgraSpec::square(4);
+    group.bench_function("gemm_3x3x3_on_4x4", |b| {
+        b.iter(|| SprMapper::run(&dfg, &spec, &BaselineOptions::default()).expect("maps"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dfg_build,
+    bench_systolic_search,
+    bench_himap_end_to_end,
+    bench_spr_baseline
+);
+criterion_main!(benches);

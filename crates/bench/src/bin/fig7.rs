@@ -1,0 +1,91 @@
+//! Regenerates Fig. 7: utilization, performance (MOPS) and power efficiency
+//! (MOPS/mW) of BHC vs HiMap across CGRA sizes.
+//!
+//! Run with `cargo run -p himap-bench --release --bin fig7`. Pass
+//! `--sizes 4,8` to restrict the sweep (a full run covers 4–32 and takes
+//! minutes because the baselines are slow by design).
+
+use himap_bench::{compare, figure_baseline_options, markdown_table, ComparisonPoint, FIG7_SIZES};
+use himap_core::HiMapOptions;
+use himap_kernels::suite;
+
+fn main() {
+    let sizes = parse_sizes().unwrap_or_else(|| FIG7_SIZES.to_vec());
+    let himap_options = HiMapOptions::default();
+    let baseline_options = figure_baseline_options();
+    let mut rows = Vec::new();
+    let mut util_ratios = Vec::new();
+    let mut perf_ratios = Vec::new();
+    let mut eff_ratios = Vec::new();
+    for kernel in suite::all() {
+        for &c in &sizes {
+            let p = compare(&kernel, c, &himap_options, &baseline_options);
+            let himap_mops = ComparisonPoint::mops(c, p.himap_util);
+            let bhc_mops = ComparisonPoint::mops(c, p.bhc_util);
+            let himap_eff = ComparisonPoint::mops_per_mw(c, p.himap_util);
+            let bhc_eff = ComparisonPoint::mops_per_mw(c, p.bhc_util);
+            if p.bhc_util > 0.0 {
+                util_ratios.push(p.himap_util / p.bhc_util);
+                perf_ratios.push(himap_mops / bhc_mops);
+                eff_ratios.push(himap_eff / bhc_eff);
+            }
+            rows.push(vec![
+                p.kernel.clone(),
+                format!("{c}x{c}"),
+                format!("{:.0}%", p.bhc_util * 100.0),
+                format!("{:.0}%", p.himap_util * 100.0),
+                format!("{bhc_mops:.0}"),
+                format!("{himap_mops:.0}"),
+                format!("{bhc_eff:.1}"),
+                format!("{himap_eff:.1}"),
+            ]);
+            eprintln!(
+                "measured {} {c}x{c}: himap {:.2} ({:?}), bhc {:.2} ({:?})",
+                p.kernel, p.himap_util, p.himap_time, p.bhc_util, p.bhc_time
+            );
+        }
+    }
+    println!("# Fig. 7 — BHC vs HiMap across CGRA sizes\n");
+    print!(
+        "{}",
+        markdown_table(
+            &[
+                "kernel",
+                "CGRA",
+                "BHC util",
+                "HiMap util",
+                "BHC MOPS",
+                "HiMap MOPS",
+                "BHC MOPS/mW",
+                "HiMap MOPS/mW",
+            ],
+            &rows
+        )
+    );
+    println!();
+    let gm = |v: &[f64]| -> f64 {
+        if v.is_empty() {
+            return f64::NAN;
+        }
+        (v.iter().map(|x| x.ln()).sum::<f64>() / v.len() as f64).exp()
+    };
+    println!(
+        "Geometric-mean HiMap/BHC ratios over points where BHC succeeded: \
+         utilization {:.1}x, performance {:.1}x, power efficiency {:.1}x.",
+        gm(&util_ratios),
+        gm(&perf_ratios),
+        gm(&eff_ratios)
+    );
+    println!(
+        "(Paper: 2.8x average utilization, 17.3x performance, 5x power \
+         efficiency — performance/efficiency ratios grow with CGRA size; \
+         include 64x64 points for larger ratios.)"
+    );
+}
+
+fn parse_sizes() -> Option<Vec<usize>> {
+    let args: Vec<String> = std::env::args().collect();
+    let idx = args.iter().position(|a| a == "--sizes")?;
+    let spec = args.get(idx + 1)?;
+    Some(spec.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+}

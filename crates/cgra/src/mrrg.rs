@@ -1,0 +1,498 @@
+//! The time-extended Modulo Routing Resource Graph (MRRG).
+//!
+//! `H_II = (V_H, E_H)` models every schedulable resource of the CGRA over one
+//! initiation interval: for each PE and each cycle `t ∈ [0, II)` there is one
+//! ALU slot ([`RKind::Fu`]), an output register ([`RKind::Out`]), four mesh
+//! link slots ([`RKind::Wire`]), the register-file slots ([`RKind::Reg`]) and
+//! a local-data-memory read port ([`RKind::Mem`]). Because a modulo schedule
+//! repeats every `II` cycles, all time arithmetic wraps mod `II` (the paper:
+//! "the resources at cycle `II−1` have connectivity with the resources at
+//! cycle 0").
+//!
+//! Large CGRAs produce MRRGs with millions of nodes, so the graph is
+//! *implicit*: [`Mrrg::successors`] and [`Mrrg::predecessors`] enumerate
+//! adjacent resources on demand.
+//!
+//! ## Timing model (1 cycle per hop)
+//!
+//! * An operation executing on `Fu(pe, t)` consumes operands that are
+//!   *available at* cycle `t` and produces its result at `t + 1` — in its
+//!   output register (`Out(pe, t+1)`), on an outgoing mesh link
+//!   (`Wire(pe, d, t+1)`, consumable by the neighbour at `t + 1`), or written
+//!   to the RF (`Reg(pe, r, t+1)`).
+//! * `Wire(pe, d, t)` denotes the value on the link from `pe` toward its
+//!   neighbour `n` in direction `d`, available *at `n`* at cycle `t`; `n`'s
+//!   crossbar can feed it to `n`'s FU the same cycle or forward it (one more
+//!   hop, one more cycle).
+//! * Registers hold values across cycles (`Reg(t) → Reg(t+1)`).
+//! * `Mem(pe, t)` is a load port of `pe`'s local data memory: a pure source
+//!   producing a live-in value at cycle `t`. Stores are not routed: a
+//!   live-out value terminates at its producing FU and is retired to that
+//!   PE's local memory (see `DESIGN.md`).
+
+use std::fmt;
+
+use crate::arch::{CgraSpec, Dir, PeId, ALL_DIRS};
+
+/// The resource kind of an MRRG node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RKind {
+    /// The PE's ALU slot — executes one operation per cycle.
+    Fu,
+    /// The PE's output register (feedback path to its own FU).
+    Out,
+    /// A mesh link toward the given direction.
+    Wire(Dir),
+    /// One register of the PE's register file.
+    Reg(u8),
+    /// The register file's write ports (§VI: "two r/w ports"): every value
+    /// entering the RF passes through here.
+    RegWr,
+    /// The register file's read ports: every value leaving the RF (other
+    /// than holding in place) passes through here.
+    RegRd,
+    /// A read port of the PE's local data memory (value source).
+    Mem,
+}
+
+impl RKind {
+    /// How many *distinct signals* may occupy this resource in one cycle,
+    /// under the paper's default PE (two RF ports, dual-ported data
+    /// memory). Port counts are architecture parameters; prefer
+    /// [`CgraSpec::capacity`] when a spec is at hand.
+    pub fn capacity(self) -> usize {
+        match self {
+            RKind::Mem | RKind::RegWr | RKind::RegRd => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl CgraSpec {
+    /// How many *distinct signals* may occupy a resource of this
+    /// architecture in one cycle. A resource may always carry the same
+    /// signal to several consumers (fan-out); capacities bound different
+    /// signals.
+    pub fn capacity(&self, kind: RKind) -> usize {
+        match kind {
+            RKind::Mem => self.mem_ports,
+            RKind::RegWr | RKind::RegRd => self.rf_ports,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for RKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RKind::Fu => write!(f, "fu"),
+            RKind::Out => write!(f, "out"),
+            RKind::Wire(d) => write!(f, "wire{d}"),
+            RKind::Reg(r) => write!(f, "reg{r}"),
+            RKind::RegWr => write!(f, "regwr"),
+            RKind::RegRd => write!(f, "regrd"),
+            RKind::Mem => write!(f, "mem"),
+        }
+    }
+}
+
+/// One node of the MRRG: a resource of a PE at a cycle `t ∈ [0, II)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RNode {
+    /// Owning PE.
+    pub pe: PeId,
+    /// Cycle within the initiation interval.
+    pub t: u32,
+    /// Resource kind.
+    pub kind: RKind,
+}
+
+impl RNode {
+    /// Creates an MRRG node.
+    pub fn new(pe: PeId, t: u32, kind: RKind) -> Self {
+        RNode { pe, t, kind }
+    }
+}
+
+impl fmt::Debug for RNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}t{}", self.kind, self.pe, self.t)
+    }
+}
+
+impl fmt::Display for RNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}t{}", self.kind, self.pe, self.t)
+    }
+}
+
+/// The implicit time-extended MRRG of a CGRA.
+///
+/// # Example
+///
+/// ```
+/// use himap_cgra::{CgraSpec, Mrrg, PeId, RKind, RNode};
+///
+/// let mrrg = Mrrg::new(CgraSpec::square(2), 2);
+/// let fu = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
+/// // The FU's result lands in its output register next cycle …
+/// let succs = mrrg.successors(fu);
+/// assert!(succs.contains(&RNode::new(PeId::new(0, 0), 1, RKind::Out)));
+/// // … and wraps mod II.
+/// let fu1 = RNode::new(PeId::new(0, 0), 1, RKind::Fu);
+/// assert!(mrrg.successors(fu1).contains(&RNode::new(PeId::new(0, 0), 0, RKind::Out)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mrrg {
+    spec: CgraSpec,
+    ii: u32,
+}
+
+impl Mrrg {
+    /// Creates the MRRG of `spec` time-extended to `ii` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`.
+    pub fn new(spec: CgraSpec, ii: usize) -> Self {
+        assert!(ii > 0, "initiation interval must be at least 1");
+        Mrrg { spec, ii: ii as u32 }
+    }
+
+    /// The architecture this MRRG is built over.
+    pub fn spec(&self) -> &CgraSpec {
+        &self.spec
+    }
+
+    /// The initiation interval (time extent).
+    pub fn ii(&self) -> usize {
+        self.ii as usize
+    }
+
+    /// Total number of FU slots `|V_F_H|` (denominator of the paper's
+    /// utilization metric `U`).
+    pub fn fu_slots(&self) -> usize {
+        self.spec.pe_count() * self.ii()
+    }
+
+    /// Total number of resource nodes.
+    pub fn node_count(&self) -> usize {
+        // fu + out + regwr + regrd + mem + 4 wires + rf_size regs, per PE per
+        // cycle; border wires toward the array edge are not counted.
+        let per_pe = 5 + self.spec.rf_size;
+        let mut wires = 0usize;
+        for pe in self.spec.pes() {
+            wires += ALL_DIRS.iter().filter(|&&d| self.spec.neighbor(pe, d).is_some()).count();
+        }
+        (self.spec.pe_count() * per_pe + wires) * self.ii()
+    }
+
+    #[inline]
+    fn t_next(&self, t: u32) -> u32 {
+        (t + 1) % self.ii
+    }
+
+    #[inline]
+    fn t_prev(&self, t: u32) -> u32 {
+        (t + self.ii - 1) % self.ii
+    }
+
+    /// `true` if `node` is a valid resource of this MRRG.
+    pub fn contains(&self, node: RNode) -> bool {
+        if !self.spec.contains(node.pe) || node.t >= self.ii {
+            return false;
+        }
+        match node.kind {
+            RKind::Wire(d) => self.spec.neighbor(node.pe, d).is_some(),
+            RKind::Reg(r) => (r as usize) < self.spec.rf_size,
+            _ => true,
+        }
+    }
+
+    /// Enumerates all resource nodes (for tests and small explicit uses).
+    pub fn nodes(&self) -> Vec<RNode> {
+        let mut out = Vec::with_capacity(self.node_count());
+        for pe in self.spec.pes() {
+            for t in 0..self.ii {
+                out.push(RNode::new(pe, t, RKind::Fu));
+                out.push(RNode::new(pe, t, RKind::Out));
+                for d in ALL_DIRS {
+                    if self.spec.neighbor(pe, d).is_some() {
+                        out.push(RNode::new(pe, t, RKind::Wire(d)));
+                    }
+                }
+                for r in 0..self.spec.rf_size {
+                    out.push(RNode::new(pe, t, RKind::Reg(r as u8)));
+                }
+                out.push(RNode::new(pe, t, RKind::RegWr));
+                out.push(RNode::new(pe, t, RKind::RegRd));
+                out.push(RNode::new(pe, t, RKind::Mem));
+            }
+        }
+        out
+    }
+
+    /// The resources a value sitting on `node` can move to next.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` is not part of this MRRG.
+    pub fn successors(&self, node: RNode) -> Vec<RNode> {
+        debug_assert!(self.contains(node), "{node:?} outside MRRG");
+        let pe = node.pe;
+        let t1 = self.t_next(node.t);
+        let mut out = Vec::with_capacity(8);
+        match node.kind {
+            RKind::Fu => {
+                // Result produced at the end of cycle t: output register,
+                // outgoing links, RF write port — all available at t+1.
+                out.push(RNode::new(pe, t1, RKind::Out));
+                self.push_wires(pe, t1, &mut out);
+                out.push(RNode::new(pe, t1, RKind::RegWr));
+            }
+            RKind::Out => {
+                // Feedback to own FU this cycle; re-drive links/RF next cycle;
+                // hold in the output register.
+                out.push(RNode::new(pe, node.t, RKind::Fu));
+                out.push(RNode::new(pe, t1, RKind::Out));
+                self.push_wires(pe, t1, &mut out);
+                out.push(RNode::new(pe, t1, RKind::RegWr));
+            }
+            RKind::Wire(d) => {
+                // Value is at the neighbour `n` this cycle: feed n's FU now,
+                // or pass through n's crossbar (one more hop / RF write).
+                let n = self.spec.neighbor(pe, d).expect("wire implies neighbor");
+                out.push(RNode::new(n, node.t, RKind::Fu));
+                self.push_wires(n, t1, &mut out);
+                out.push(RNode::new(n, t1, RKind::RegWr));
+            }
+            RKind::RegWr => {
+                // The write completes within the cycle: any register of this
+                // PE becomes readable now.
+                self.push_regs(pe, node.t, &mut out);
+            }
+            RKind::Reg(r) => {
+                // Hold in place, or leave through a read port.
+                out.push(RNode::new(pe, t1, RKind::Reg(r)));
+                out.push(RNode::new(pe, node.t, RKind::RegRd));
+            }
+            RKind::RegRd => {
+                // Read into own FU this cycle, or drive out next cycle.
+                out.push(RNode::new(pe, node.t, RKind::Fu));
+                self.push_wires(pe, t1, &mut out);
+            }
+            RKind::Mem => {
+                // Loaded value: feed own FU this cycle, or move it out.
+                out.push(RNode::new(pe, node.t, RKind::Fu));
+                self.push_wires(pe, t1, &mut out);
+                out.push(RNode::new(pe, t1, RKind::RegWr));
+            }
+        }
+        out
+    }
+
+    /// The resources a value could have come from to reach `node` — the
+    /// exact inverse of [`Mrrg::successors`].
+    pub fn predecessors(&self, node: RNode) -> Vec<RNode> {
+        debug_assert!(self.contains(node), "{node:?} outside MRRG");
+        let pe = node.pe;
+        let t0 = self.t_prev(node.t);
+        let mut out = Vec::with_capacity(10);
+        match node.kind {
+            RKind::Fu => {
+                // Operands arrive from own Out/RegRd/Mem this cycle, or from
+                // incoming wires this cycle.
+                out.push(RNode::new(pe, node.t, RKind::Out));
+                out.push(RNode::new(pe, node.t, RKind::RegRd));
+                out.push(RNode::new(pe, node.t, RKind::Mem));
+                self.push_incoming_wires(pe, node.t, &mut out);
+            }
+            RKind::Out => {
+                out.push(RNode::new(pe, t0, RKind::Fu));
+                out.push(RNode::new(pe, t0, RKind::Out));
+            }
+            RKind::Wire(_) => {
+                // Driven by this PE at t-1: FU result, Out re-drive, RF read,
+                // Mem load, or a pass-through of a value that arrived at t-1.
+                out.push(RNode::new(pe, t0, RKind::Fu));
+                out.push(RNode::new(pe, t0, RKind::Out));
+                out.push(RNode::new(pe, t0, RKind::RegRd));
+                out.push(RNode::new(pe, t0, RKind::Mem));
+                self.push_incoming_wires(pe, t0, &mut out);
+            }
+            RKind::RegWr => {
+                out.push(RNode::new(pe, t0, RKind::Fu));
+                out.push(RNode::new(pe, t0, RKind::Out));
+                out.push(RNode::new(pe, t0, RKind::Mem));
+                self.push_incoming_wires(pe, t0, &mut out);
+            }
+            RKind::Reg(r) => {
+                out.push(RNode::new(pe, node.t, RKind::RegWr));
+                out.push(RNode::new(pe, t0, RKind::Reg(r)));
+            }
+            RKind::RegRd => {
+                self.push_regs(pe, node.t, &mut out);
+            }
+            RKind::Mem => {}
+        }
+        out
+    }
+
+    fn push_wires(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
+        for d in ALL_DIRS {
+            if self.spec.neighbor(pe, d).is_some() {
+                out.push(RNode::new(pe, t, RKind::Wire(d)));
+            }
+        }
+    }
+
+    fn push_regs(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
+        for r in 0..self.spec.rf_size {
+            out.push(RNode::new(pe, t, RKind::Reg(r as u8)));
+        }
+    }
+
+    /// Wires whose value is present *at* `pe` at cycle `t` (links from
+    /// neighbours toward `pe`).
+    fn push_incoming_wires(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
+        for d in ALL_DIRS {
+            if let Some(n) = self.spec.neighbor(pe, d) {
+                out.push(RNode::new(n, t, RKind::Wire(d.opposite())));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn mrrg(c: usize, ii: usize) -> Mrrg {
+        Mrrg::new(CgraSpec::square(c), ii)
+    }
+
+    #[test]
+    fn fu_slots_counts() {
+        let m = mrrg(4, 3);
+        assert_eq!(m.fu_slots(), 48);
+    }
+
+    #[test]
+    fn node_count_matches_enumeration() {
+        for (c, ii) in [(1, 1), (2, 2), (3, 2)] {
+            let m = mrrg(c, ii);
+            assert_eq!(m.nodes().len(), m.node_count(), "c={c} ii={ii}");
+        }
+    }
+
+    #[test]
+    fn all_nodes_contained() {
+        let m = mrrg(2, 3);
+        for n in m.nodes() {
+            assert!(m.contains(n), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn successors_stay_in_graph() {
+        let m = mrrg(3, 2);
+        for n in m.nodes() {
+            for s in m.successors(n) {
+                assert!(m.contains(s), "{n:?} -> {s:?}");
+            }
+            for p in m.predecessors(n) {
+                assert!(m.contains(p), "{p:?} -> {n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn successors_predecessors_are_inverse() {
+        // Build the explicit edge set both ways and compare.
+        let m = mrrg(2, 3);
+        let mut fwd: HashSet<(RNode, RNode)> = HashSet::new();
+        let mut bwd: HashSet<(RNode, RNode)> = HashSet::new();
+        for n in m.nodes() {
+            for s in m.successors(n) {
+                fwd.insert((n, s));
+            }
+            for p in m.predecessors(n) {
+                bwd.insert((p, n));
+            }
+        }
+        let missing_bwd: Vec<_> = fwd.difference(&bwd).take(5).collect();
+        let missing_fwd: Vec<_> = bwd.difference(&fwd).take(5).collect();
+        assert!(missing_bwd.is_empty(), "in successors but not predecessors: {missing_bwd:?}");
+        assert!(missing_fwd.is_empty(), "in predecessors but not successors: {missing_fwd:?}");
+    }
+
+    #[test]
+    fn modulo_wraparound() {
+        let m = mrrg(2, 2);
+        let fu = RNode::new(PeId::new(0, 0), 1, RKind::Fu);
+        let succs = m.successors(fu);
+        // t = 1 wraps to t = 0.
+        assert!(succs.contains(&RNode::new(PeId::new(0, 0), 0, RKind::Out)));
+        assert!(succs.iter().all(|s| s.t < 2));
+    }
+
+    #[test]
+    fn single_pe_has_no_wires() {
+        let m = mrrg(1, 2);
+        for n in m.nodes() {
+            assert!(!matches!(n.kind, RKind::Wire(_)));
+            for s in m.successors(n) {
+                assert!(!matches!(s.kind, RKind::Wire(_)));
+            }
+        }
+        // Same-PE dependent ops are still routable: Fu(0) -> Out(1) -> Fu(1).
+        let fu0 = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
+        let out1 = RNode::new(PeId::new(0, 0), 1, RKind::Out);
+        let fu1 = RNode::new(PeId::new(0, 0), 1, RKind::Fu);
+        assert!(m.successors(fu0).contains(&out1));
+        assert!(m.successors(out1).contains(&fu1));
+    }
+
+    #[test]
+    fn wire_reaches_neighbor_fu_same_cycle() {
+        let m = mrrg(2, 2);
+        let w = RNode::new(PeId::new(0, 0), 1, RKind::Wire(Dir::South));
+        let succs = m.successors(w);
+        assert!(succs.contains(&RNode::new(PeId::new(1, 0), 1, RKind::Fu)));
+        // Pass-through continues from the neighbor one cycle later.
+        assert!(succs.contains(&RNode::new(PeId::new(1, 0), 0, RKind::Wire(Dir::East))));
+    }
+
+    #[test]
+    fn one_cycle_per_hop() {
+        // Fu(0,0)@t0 -> Wire(S)@t1 -> Fu(1,0)@t1: neighbor consumes at t+1.
+        let m = mrrg(2, 4);
+        let fu = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
+        let wire = RNode::new(PeId::new(0, 0), 1, RKind::Wire(Dir::South));
+        assert!(m.successors(fu).contains(&wire));
+        assert!(m.successors(wire).contains(&RNode::new(PeId::new(1, 0), 1, RKind::Fu)));
+    }
+
+    #[test]
+    fn mem_is_pure_source() {
+        let m = mrrg(2, 2);
+        let mem = RNode::new(PeId::new(0, 0), 0, RKind::Mem);
+        assert!(m.predecessors(mem).is_empty());
+        assert!(m.successors(mem).contains(&RNode::new(PeId::new(0, 0), 0, RKind::Fu)));
+    }
+
+    #[test]
+    fn capacities() {
+        assert_eq!(RKind::Fu.capacity(), 1);
+        assert_eq!(RKind::Wire(Dir::North).capacity(), 1);
+        assert_eq!(RKind::Reg(0).capacity(), 1);
+        assert_eq!(RKind::Mem.capacity(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "initiation interval")]
+    fn zero_ii_panics() {
+        let _ = Mrrg::new(CgraSpec::square(2), 0);
+    }
+}

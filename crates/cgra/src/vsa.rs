@@ -1,0 +1,252 @@
+//! Virtual Systolic Array clustering (`G → G'` of §IV).
+//!
+//! A [`Vsa`] partitions the CGRA PE array into a grid of `s1 × s2`
+//! sub-CGRAs; each partition is one *systolic PE* (SPE). HiMap places loop
+//! iterations on SPEs and replicates the detailed sub-CGRA mapping inside
+//! each one.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::arch::{CgraSpec, PeId};
+
+/// Coordinates of a systolic PE in the VSA grid.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpeId {
+    /// Row in the VSA grid.
+    pub x: u16,
+    /// Column in the VSA grid.
+    pub y: u16,
+}
+
+impl SpeId {
+    /// Creates an SPE coordinate.
+    pub fn new(x: usize, y: usize) -> Self {
+        SpeId { x: x as u16, y: y as u16 }
+    }
+}
+
+impl fmt::Debug for SpeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spe({},{})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for SpeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{},{}]", self.x, self.y)
+    }
+}
+
+/// Error constructing a [`Vsa`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VsaError {
+    /// Sub-CGRA dimensions must be non-zero.
+    EmptySubCgra,
+    /// The sub-CGRA does not tile the array evenly.
+    NotDivisible {
+        /// CGRA rows.
+        rows: usize,
+        /// CGRA columns.
+        cols: usize,
+        /// Sub-CGRA rows `s1`.
+        s1: usize,
+        /// Sub-CGRA columns `s2`.
+        s2: usize,
+    },
+}
+
+impl fmt::Display for VsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VsaError::EmptySubCgra => write!(f, "sub-CGRA dimensions must be non-zero"),
+            VsaError::NotDivisible { rows, cols, s1, s2 } => {
+                write!(f, "{s1}x{s2} sub-CGRA does not tile a {rows}x{cols} CGRA")
+            }
+        }
+    }
+}
+
+impl Error for VsaError {}
+
+/// The CGRA clustered into a grid of `s1 × s2` sub-CGRAs.
+///
+/// # Example
+///
+/// ```
+/// use himap_cgra::{CgraSpec, PeId, SpeId, Vsa};
+///
+/// # fn main() -> Result<(), himap_cgra::VsaError> {
+/// // The paper's motivating example: an 8x1 CGRA clustered into a 4x1 VSA
+/// // of 2x1 sub-CGRAs.
+/// let vsa = Vsa::new(CgraSpec::mesh(8, 1).unwrap(), 2, 1)?;
+/// assert_eq!((vsa.rows(), vsa.cols()), (4, 1));
+/// assert_eq!(vsa.spe_of(PeId::new(5, 0)), SpeId::new(2, 0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct Vsa {
+    spec: CgraSpec,
+    s1: usize,
+    s2: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl Vsa {
+    /// Clusters `spec` into `s1 × s2` sub-CGRAs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VsaError`] if `s1`/`s2` are zero or do not divide the array
+    /// dimensions.
+    pub fn new(spec: CgraSpec, s1: usize, s2: usize) -> Result<Self, VsaError> {
+        if s1 == 0 || s2 == 0 {
+            return Err(VsaError::EmptySubCgra);
+        }
+        if !spec.rows.is_multiple_of(s1) || !spec.cols.is_multiple_of(s2) {
+            return Err(VsaError::NotDivisible { rows: spec.rows, cols: spec.cols, s1, s2 });
+        }
+        let rows = spec.rows / s1;
+        let cols = spec.cols / s2;
+        Ok(Vsa { spec, s1, s2, rows, cols })
+    }
+
+    /// The underlying CGRA.
+    pub fn spec(&self) -> &CgraSpec {
+        &self.spec
+    }
+
+    /// Sub-CGRA rows `s1`.
+    pub fn sub_rows(&self) -> usize {
+        self.s1
+    }
+
+    /// Sub-CGRA columns `s2`.
+    pub fn sub_cols(&self) -> usize {
+        self.s2
+    }
+
+    /// A standalone spec describing one sub-CGRA `G''` (used by `MAP()`).
+    pub fn sub_spec(&self) -> CgraSpec {
+        CgraSpec { rows: self.s1, cols: self.s2, ..self.spec.clone() }
+    }
+
+    /// VSA grid rows (`c / s1`).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// VSA grid columns (`c / s2`).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of SPEs.
+    pub fn spe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The SPE containing a physical PE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is outside the array.
+    pub fn spe_of(&self, pe: PeId) -> SpeId {
+        assert!(self.spec.contains(pe), "{pe:?} outside CGRA");
+        SpeId { x: pe.x / self.s1 as u16, y: pe.y / self.s2 as u16 }
+    }
+
+    /// `true` if `spe` lies inside the VSA grid.
+    pub fn contains_spe(&self, spe: SpeId) -> bool {
+        (spe.x as usize) < self.rows && (spe.y as usize) < self.cols
+    }
+
+    /// The physical PE at local coordinates `local` inside `spe`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spe` is outside the VSA or `local` outside the sub-CGRA.
+    pub fn pe_at(&self, spe: SpeId, local: PeId) -> PeId {
+        assert!(self.contains_spe(spe), "{spe:?} outside VSA");
+        assert!(
+            (local.x as usize) < self.s1 && (local.y as usize) < self.s2,
+            "{local:?} outside {}x{} sub-CGRA",
+            self.s1,
+            self.s2
+        );
+        PeId { x: spe.x * self.s1 as u16 + local.x, y: spe.y * self.s2 as u16 + local.y }
+    }
+
+    /// The local coordinates of a physical PE within its SPE.
+    pub fn local_of(&self, pe: PeId) -> PeId {
+        assert!(self.spec.contains(pe), "{pe:?} outside CGRA");
+        PeId { x: pe.x % self.s1 as u16, y: pe.y % self.s2 as u16 }
+    }
+
+    /// Iterates over all SPE coordinates in row-major order.
+    pub fn spes(&self) -> impl Iterator<Item = SpeId> + '_ {
+        (0..self.rows).flat_map(move |x| (0..self.cols).map(move |y| SpeId::new(x, y)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiles_evenly() {
+        let vsa = Vsa::new(CgraSpec::square(8), 2, 4).unwrap();
+        assert_eq!(vsa.rows(), 4);
+        assert_eq!(vsa.cols(), 2);
+        assert_eq!(vsa.spe_count(), 8);
+        assert_eq!(vsa.sub_spec().pe_count(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_tilings() {
+        assert_eq!(
+            Vsa::new(CgraSpec::square(8), 3, 1).unwrap_err(),
+            VsaError::NotDivisible { rows: 8, cols: 8, s1: 3, s2: 1 }
+        );
+        assert_eq!(Vsa::new(CgraSpec::square(8), 0, 1).unwrap_err(), VsaError::EmptySubCgra);
+    }
+
+    #[test]
+    fn coordinate_roundtrip() {
+        let vsa = Vsa::new(CgraSpec::square(6), 2, 3).unwrap();
+        for pe in vsa.spec().pes().collect::<Vec<_>>() {
+            let spe = vsa.spe_of(pe);
+            let local = vsa.local_of(pe);
+            assert_eq!(vsa.pe_at(spe, local), pe);
+        }
+    }
+
+    #[test]
+    fn paper_linear_example() {
+        // §II: 8x1 CGRA, 2x1 sub-CGRAs, 4x1 VSA.
+        let vsa = Vsa::new(CgraSpec::mesh(8, 1).unwrap(), 2, 1).unwrap();
+        assert_eq!((vsa.rows(), vsa.cols()), (4, 1));
+        assert_eq!(vsa.spe_of(PeId::new(0, 0)), SpeId::new(0, 0));
+        assert_eq!(vsa.spe_of(PeId::new(7, 0)), SpeId::new(3, 0));
+        assert_eq!(vsa.pe_at(SpeId::new(3, 0), PeId::new(1, 0)), PeId::new(7, 0));
+    }
+
+    #[test]
+    fn paper_gemm_example() {
+        // §V Fig. 5: 2x2 CGRA, 1x1 sub-CGRA, 2x2 VSA.
+        let vsa = Vsa::new(CgraSpec::square(2), 1, 1).unwrap();
+        assert_eq!(vsa.spe_count(), 4);
+        for pe in vsa.spec().pes().collect::<Vec<_>>() {
+            assert_eq!(vsa.spe_of(pe), SpeId { x: pe.x, y: pe.y });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn pe_at_validates_local() {
+        let vsa = Vsa::new(CgraSpec::square(4), 2, 2).unwrap();
+        let _ = vsa.pe_at(SpeId::new(0, 0), PeId::new(2, 0));
+    }
+}

@@ -1,0 +1,348 @@
+//! The HiMap orchestrator (Algorithm 1 top level).
+
+use std::collections::HashMap;
+
+use himap_cgra::{CgraSpec, Vsa};
+use himap_dfg::{Dfg, NodeKind};
+use himap_kernels::Kernel;
+use himap_systolic::{search, SearchConfig};
+
+use crate::layout::Layout;
+use crate::mapping::{Mapping, MappingStats};
+use crate::options::{HiMapError, HiMapOptions};
+use crate::route::{replicate_and_verify, route_representatives};
+use crate::submap::map_idfg;
+use crate::unique::classify;
+
+/// The HiMap mapper.
+///
+/// See the crate docs for the pipeline; construct with options and call
+/// [`HiMap::map`].
+#[derive(Clone, Debug, Default)]
+pub struct HiMap {
+    options: HiMapOptions,
+}
+
+impl HiMap {
+    /// Creates a mapper with the given options.
+    pub fn new(options: HiMapOptions) -> Self {
+        HiMap { options }
+    }
+
+    /// The options in use.
+    pub fn options(&self) -> &HiMapOptions {
+        &self.options
+    }
+
+    /// Maps `kernel` onto `cgra`, maximizing utilization.
+    ///
+    /// Walks the `MAP()` candidates best-utilization-first; for each, builds
+    /// the VSA, chooses block sizes to fit it, searches systolic mappings,
+    /// routes the unique iterations and replicates. The first fully verified
+    /// combination wins — exactly the iterate-until-valid structure of
+    /// Algorithm 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`HiMapError`] describing the furthest stage reached when
+    /// every candidate fails.
+    pub fn map(&self, kernel: &Kernel, cgra: &CgraSpec) -> Result<Mapping, HiMapError> {
+        if kernel.dims() < 2 {
+            return Err(HiMapError::UnsupportedKernel(format!(
+                "kernel `{}` is {}-dimensional; HiMap targets multi-dimensional kernels",
+                kernel.name(),
+                kernel.dims()
+            )));
+        }
+        let subs = map_idfg(kernel, cgra, &self.options);
+        if subs.is_empty() {
+            return Err(HiMapError::NoSubMapping);
+        }
+        let mut furthest = HiMapError::NoSystolicMapping;
+        // Dependence distances are block-size independent; probe them once
+        // per probe-block shape to pre-filter space-dimension assignments
+        // without unrolling full blocks.
+        type Deps = (Vec<himap_dfg::Iter4>, Vec<himap_dfg::Iter4>, Vec<himap_dfg::Iter4>);
+        let mut probe_cache: HashMap<Vec<usize>, Deps> = HashMap::new();
+        for sub in subs.iter().take(self.options.max_sub_candidates).cloned() {
+            let vsa = match Vsa::new(cgra.clone(), sub.s1, sub.s2) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            // Different (free extent, space assignment) pairs often produce
+            // the same block; each distinct block is tried once.
+            let mut tried_blocks: std::collections::HashSet<Vec<usize>> =
+                std::collections::HashSet::new();
+        for free_extent in self.options.free_extents.iter().copied() {
+        for (p, q) in space_assignments(kernel.dims(), vsa.rows(), vsa.cols()) {
+            let block = block_for_assignment(kernel.dims(), &vsa, free_extent, p, q);
+            if !tried_blocks.insert(block.clone()) {
+                continue;
+            }
+            // Probe the dependence structure on a small same-shape block.
+            let probe_block: Vec<usize> = block.iter().map(|&b| b.min(4)).collect();
+            let (mesh_deps, mem_deps, anti_deps) = match probe_cache.get(&probe_block) {
+                Some(d) => d.clone(),
+                None => {
+                    let Ok(probe) = Dfg::build(kernel, &probe_block) else { continue };
+                    let d = (
+                        probe.isdg().distances().to_vec(),
+                        probe.mem_dep_distances(),
+                        probe.anti_dep_distances(),
+                    );
+                    probe_cache.insert(probe_block.clone(), d.clone());
+                    d
+                }
+            };
+            let ranked = search(&SearchConfig {
+                dims: kernel.dims(),
+                block: block.clone(),
+                vsa_rows: vsa.rows(),
+                vsa_cols: vsa.cols(),
+                mesh_deps,
+                mem_deps,
+                anti_deps,
+            });
+            if ranked.is_empty() {
+                continue;
+            }
+            // Unroll the real block and re-validate the search against its
+            // exact dependence distances (probe ranges are subsets).
+            let dfg = match Dfg::build(kernel, &block) {
+                Ok(d) => d,
+                Err(e) => return Err(HiMapError::Dfg(e.to_string())),
+            };
+            let isdg = dfg.isdg();
+            let ranked = search(&SearchConfig {
+                dims: kernel.dims(),
+                block: block.clone(),
+                vsa_rows: vsa.rows(),
+                vsa_cols: vsa.cols(),
+                mesh_deps: isdg.distances().to_vec(),
+                mem_deps: dfg.mem_dep_distances(),
+        anti_deps: dfg.anti_dep_distances(),
+            });
+            if ranked.is_empty() {
+                continue;
+            }
+            for st in ranked.iter().take(self.options.max_systolic_candidates) {
+                let layout = Layout::new(&dfg, vsa.clone(), sub.clone(), st);
+                let classes = classify(&dfg, &layout);
+                // Replication-aware negotiation: replica conflicts feed back
+                // into representative routing as pre-seeded history costs.
+                let mut seed_history: Vec<himap_cgra::RNode> = Vec::new();
+                let mut routed = None;
+                for _attempt in 0..self.options.replication_feedback_rounds {
+                    let design = match route_representatives(
+                        &dfg,
+                        &layout,
+                        &classes,
+                        &self.options,
+                        &seed_history,
+                    ) {
+                        Ok(d) => d,
+                        Err(_) => break,
+                    };
+                    match replicate_and_verify(&dfg, &layout, &classes, &design) {
+                        Ok(r) => {
+                            routed = Some(r);
+                            break;
+                        }
+                        Err(crate::route::RouteError::ReplicaConflicts {
+                            rep_frame, ..
+                        }) => {
+                            seed_history.extend(rep_frame);
+                            continue;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let Some(routes) = routed else {
+                    furthest = HiMapError::RoutingFailed;
+                    continue;
+                };
+                // Success: materialize the mapping artifact.
+                let mut op_slots = HashMap::new();
+                for (node, w) in dfg.graph().nodes() {
+                    if let NodeKind::Op { stmt, op, .. } = w.kind {
+                        op_slots.insert(node, layout.op_slot(&dfg, w.iter, stmt, op));
+                    }
+                }
+                let iib = layout.iib();
+                let stats = MappingStats {
+                    sub_shape: (sub.s1, sub.s2, sub.t),
+                    unique_iterations: classes.count(),
+                    iterations_per_spe: layout.iterations_per_spe(),
+                    iib,
+                    max_config_slots: 0, // filled from the config image below
+                    block,
+                };
+                let mut mapping = Mapping::new(cgra.clone(), dfg, op_slots, routes, stats);
+                let image = crate::config::ConfigImage::from_mapping(&mapping);
+                mapping.set_max_config_slots(image.max_unique_instrs());
+                return Ok(mapping);
+            }
+        }
+        }
+        }
+        Err(furthest)
+    }
+
+}
+
+/// Candidate assignments of loop dims to the VSA's space axes: `p` feeds the
+/// VSA rows, `q` the columns (`None` when that axis has extent 1). Which
+/// dims *can* be space depends on the kernel's dependence structure —
+/// Floyd–Warshall's pivot step must advance time, so its `k` cannot be a
+/// space dim — and is settled by the systolic search; this just enumerates
+/// the options deterministically.
+fn space_assignments(
+    dims: usize,
+    rows: usize,
+    cols: usize,
+) -> Vec<(Option<usize>, Option<usize>)> {
+    let mut out = Vec::new();
+    let ps: Vec<Option<usize>> =
+        if rows > 1 { (0..dims).map(Some).collect() } else { vec![None] };
+    for &p in &ps {
+        let qs: Vec<Option<usize>> = if cols > 1 {
+            (0..dims).filter(|&d| Some(d) != p).map(Some).collect()
+        } else {
+            vec![None]
+        };
+        for q in qs {
+            out.push((p, q));
+        }
+    }
+    out
+}
+
+/// The block for a space assignment: space dims get the VSA extents
+/// (Algorithm 1 line 6: `b1 = c/s1, b2 = c/s2`), all other dims the free
+/// extent (the paper's user-supplied `b3, …, bl`).
+fn block_for_assignment(
+    dims: usize,
+    vsa: &Vsa,
+    free_extent: usize,
+    p: Option<usize>,
+    q: Option<usize>,
+) -> Vec<usize> {
+    (0..dims)
+        .map(|dim| {
+            if Some(dim) == p {
+                vsa.rows()
+            } else if Some(dim) == q {
+                vsa.cols()
+            } else {
+                free_extent
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use himap_kernels::suite;
+
+    fn map(kernel: &Kernel, c: usize) -> Result<Mapping, HiMapError> {
+        HiMap::new(HiMapOptions::default()).map(kernel, &CgraSpec::square(c))
+    }
+
+    #[test]
+    fn gemm_reaches_full_utilization() {
+        // Fig. 7: GEMM hits the performance envelope.
+        let m = map(&suite::gemm(), 4).expect("gemm maps");
+        assert!((m.utilization() - 1.0).abs() < 1e-9, "U = {}", m.utilization());
+        assert_eq!(m.stats().sub_shape, (1, 1, 2));
+    }
+
+    #[test]
+    fn bicg_utilization_matches_paper() {
+        // §VI: BiCG settles at 66 % with sub-CGRA (2,1,3) — the 100 %
+        // candidates fail routing.
+        let m = map(&suite::bicg(), 4).expect("bicg maps");
+        let u = m.utilization();
+        assert!(u >= 4.0 / 6.0 - 1e-9, "U = {u}");
+        assert!(u <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn all_kernels_map_on_4x4() {
+        for kernel in suite::all() {
+            let m = map(&kernel, 4);
+            assert!(m.is_ok(), "{} failed: {:?}", kernel.name(), m.err());
+        }
+    }
+
+    #[test]
+    fn one_dimensional_kernel_rejected() {
+        let mut b = himap_kernels::KernelBuilder::new("rec", 1);
+        let a = b.array("a", 1);
+        b.stmt(
+            himap_kernels::ArrayRef::new(a, vec![himap_kernels::AffineExpr::var(0, 1)]),
+            himap_kernels::Expr::binary(
+                himap_kernels::OpKind::Add,
+                himap_kernels::Expr::Read(himap_kernels::ArrayRef::new(
+                    a,
+                    vec![himap_kernels::AffineExpr::new(vec![1], -1)],
+                )),
+                himap_kernels::Expr::Const(1),
+            ),
+        );
+        let kernel = b.build().unwrap();
+        assert!(matches!(
+            map(&kernel, 4),
+            Err(HiMapError::UnsupportedKernel(_))
+        ));
+    }
+
+    #[test]
+    fn unique_iterations_bounded_by_table2() {
+        let bounds = [
+            ("adi", 3usize),
+            ("atax", 9),
+            ("bicg", 9),
+            ("mvt", 9),
+            ("gemm", 27),
+            ("syrk", 27),
+            ("floyd-warshall", 34),
+            ("ttm", 45),
+        ];
+        for (name, bound) in bounds {
+            let kernel = suite::by_name(name).unwrap();
+            let m = map(&kernel, 4).unwrap_or_else(|e| panic!("{name} failed: {e}"));
+            assert!(
+                m.stats().unique_iterations <= bound,
+                "{name}: {} unique iterations > Table II bound {bound}",
+                m.stats().unique_iterations
+            );
+        }
+    }
+
+    #[test]
+    fn every_op_has_a_slot_and_every_edge_a_route() {
+        let m = map(&suite::atax(), 4).expect("atax maps");
+        for (node, w) in m.dfg().graph().nodes() {
+            if matches!(w.kind, NodeKind::Op { .. }) {
+                assert!(m.op_slot(node).is_some(), "unplaced op {node:?}");
+            }
+        }
+        assert_eq!(m.routes().len(), m.dfg().graph().edge_count());
+    }
+
+    #[test]
+    fn routes_have_consistent_absolute_times() {
+        let m = map(&suite::gemm(), 2).expect("gemm maps on 2x2");
+        for route in m.routes() {
+            let (_, dst) = m.dfg().graph().edge_endpoints(route.edge);
+            let dst_slot = m.op_slot(dst).expect("consumer placed");
+            let last = route.steps.last().expect("non-empty route");
+            assert_eq!(last.1, dst_slot.abs, "route must end at the consumer's cycle");
+            for w in route.steps.windows(2) {
+                let dt = w[1].1 - w[0].1;
+                assert!((0..=1).contains(&dt), "steps advance 0 or 1 cycles");
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Textual visualization of mapping schedules (the paper's Fig. 2/5-style
+//! schedule diagrams, rendered as text).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use himap_cgra::PeId;
+use himap_dfg::NodeKind;
+
+use crate::mapping::Mapping;
+
+/// Renders the repeating `IIB`-cycle schedule as a cycle × PE grid: each
+/// cell shows the ALU op and the owning iteration, mirroring the schedule
+/// diagrams of the paper's Fig. 2.
+///
+/// Intended for small arrays (the column count is the PE count).
+pub fn render_schedule(mapping: &Mapping) -> String {
+    let spec = mapping.spec();
+    let iib = mapping.stats().iib;
+    let dfg = mapping.dfg();
+    // (pe, cycle) -> cell text.
+    let mut cells: HashMap<(PeId, u32), String> = HashMap::new();
+    for (node, w) in dfg.graph().nodes() {
+        if let NodeKind::Op { kind, .. } = w.kind {
+            let slot = mapping.op_slot(node).expect("ops are placed");
+            let iter: Vec<i16> = w.iter[..dfg.dims()].to_vec();
+            let text = format!("{kind}{iter:?}");
+            cells
+                .entry((slot.pe, slot.cycle_mod))
+                .and_modify(|t| {
+                    t.push('|');
+                    t.push_str(&text);
+                })
+                .or_insert(text);
+        }
+    }
+    let pes: Vec<PeId> = spec.pes().collect();
+    let width = cells
+        .values()
+        .map(String::len)
+        .max()
+        .unwrap_or(4)
+        .max(format!("PE{}", pes[pes.len() - 1]).len())
+        + 1;
+    let mut out = String::new();
+    let _ = write!(out, "{:>6} ", "cycle");
+    for pe in &pes {
+        let _ = write!(out, "{:>width$}", format!("PE{pe}"));
+    }
+    out.push('\n');
+    for cycle in 0..iib as u32 {
+        let _ = write!(out, "{cycle:>6} ");
+        for pe in &pes {
+            let cell = cells.get(&(*pe, cycle)).map(String::as_str).unwrap_or("-");
+            let _ = write!(out, "{cell:>width$}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a per-PE utilization heat map: each PE shown as the number of
+/// busy FU slots (0-9, capped) in its `IIB` window.
+pub fn render_utilization_map(mapping: &Mapping) -> String {
+    let spec = mapping.spec();
+    let dfg = mapping.dfg();
+    let mut busy: HashMap<PeId, usize> = HashMap::new();
+    for (node, w) in dfg.graph().nodes() {
+        if w.kind.is_op() {
+            let slot = mapping.op_slot(node).expect("ops are placed");
+            *busy.entry(slot.pe).or_insert(0) += 1;
+        }
+    }
+    // Ops per PE counts the whole block; normalize to slots per window.
+    let windows = (dfg.iteration_count() / mapping.stats().iterations_per_spe.max(1))
+        / (spec.pe_count() / (mapping.stats().sub_shape.0 * mapping.stats().sub_shape.1)).max(1);
+    let mut out = String::new();
+    for x in 0..spec.rows {
+        for y in 0..spec.cols {
+            let count = busy.get(&PeId::new(x, y)).copied().unwrap_or(0);
+            let per_window = count / windows.max(1);
+            let digit = per_window.min(9);
+            let _ = write!(out, "{digit}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HiMap, HiMapOptions};
+    use himap_cgra::CgraSpec;
+    use himap_kernels::suite;
+
+    #[test]
+    fn schedule_contains_every_cycle_and_pe() {
+        let mapping = HiMap::new(HiMapOptions::default())
+            .map(&suite::gemm(), &CgraSpec::square(2))
+            .expect("maps");
+        let s = render_schedule(&mapping);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), mapping.stats().iib + 1);
+        assert!(lines[0].contains("PE(0,0)"));
+        assert!(lines[0].contains("PE(1,1)"));
+        // A 100 %-utilization mapping has no idle cells.
+        assert!(!s.contains(" - "), "no idle cells expected:\n{s}");
+        assert!(s.contains("mul"));
+        assert!(s.contains("add"));
+    }
+
+    #[test]
+    fn utilization_map_shape() {
+        let mapping = HiMap::new(HiMapOptions::default())
+            .map(&suite::mvt(), &CgraSpec::square(4))
+            .expect("maps");
+        let m = render_utilization_map(&mapping);
+        let lines: Vec<&str> = m.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn partial_utilization_shows_idle_cells() {
+        let mapping = HiMap::new(HiMapOptions::default())
+            .map(&suite::floyd_warshall(), &CgraSpec::square(2))
+            .expect("maps");
+        // FW at 67 % leaves a third of the slots idle.
+        let s = render_schedule(&mapping);
+        assert!(s.contains('-'), "expected idle cells:\n{s}");
+    }
+}

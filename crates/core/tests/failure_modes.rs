@@ -1,0 +1,100 @@
+//! Failure-injection tests: HiMap must fail loudly and precisely, never
+//! produce an invalid mapping.
+
+use himap_cgra::CgraSpec;
+use himap_core::{HiMap, HiMapError, HiMapOptions};
+use himap_kernels::{AffineExpr, ArrayRef, Expr, KernelBuilder, OpKind};
+
+/// A Jacobi-style kernel: `a[i][j] = a[i][j-1] + a[i][j+1]` reads its east
+/// neighbour *before* that element is overwritten — an anti-dependence the
+/// mapper must honour (the overwrite may not become visible before the
+/// pending load issues).
+fn jacobi_kernel() -> himap_kernels::Kernel {
+    let d = 2;
+    let mut b = KernelBuilder::new("contradictory", d);
+    let a = b.array("a", 2);
+    let (i, j) = (AffineExpr::var(0, d), AffineExpr::var(1, d));
+    let jm1 = AffineExpr::new(vec![0, 1], -1);
+    let jp1 = AffineExpr::new(vec![0, 1], 1);
+    b.stmt(
+        ArrayRef::new(a, vec![i.clone(), j]),
+        Expr::binary(
+            OpKind::Add,
+            Expr::Read(ArrayRef::new(a, vec![i.clone(), jm1])),
+            Expr::Read(ArrayRef::new(a, vec![i, jp1])),
+        ),
+    );
+    b.build().expect("well-formed")
+}
+
+#[test]
+fn anti_dependences_are_honoured() {
+    // The kernel maps (the systolic schedule orders each load before the
+    // overwriting store) and, crucially, validates cycle-accurately: the
+    // simulator's memory model would expose any overwrite-before-load.
+    let kernel = jacobi_kernel();
+    let dfg = himap_dfg::Dfg::build(&kernel, &[3, 3]).expect("builds");
+    assert!(!dfg.anti_deps().is_empty(), "the east read is an anti-dependence");
+    assert!(dfg.anti_dep_distances().contains(&[0, 1, 0, 0]));
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&kernel, &CgraSpec::square(4))
+        .expect("jacobi-style kernels are systolizable");
+    assert!(mapping.utilization() > 0.0);
+    // Cycle-accurate validation of this kernel lives in the workspace-level
+    // integration tests (the simulator crate depends on this one).
+}
+
+#[test]
+fn one_by_one_cgra_fails_gracefully() {
+    // A 1x1 array has no mesh at all; multi-dimensional systolic mapping
+    // degenerates. Whatever happens, it must be an error, not a panic.
+    let result = HiMap::new(HiMapOptions::default())
+        .map(&himap_kernels::suite::bicg(), &CgraSpec::square(1));
+    // BiCG needs neighbours for its chains unless everything serializes
+    // onto one PE; either outcome is allowed, panics are not.
+    if let Ok(m) = result {
+        assert!(m.utilization() > 0.0);
+    }
+}
+
+#[test]
+fn zero_feedback_rounds_disable_replication_retry() {
+    let options = HiMapOptions { replication_feedback_rounds: 0, ..HiMapOptions::default() };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(4))
+        .expect_err("zero rounds means no routing attempt at all");
+    assert_eq!(err, HiMapError::RoutingFailed);
+}
+
+#[test]
+fn tiny_candidate_budget_still_works_or_fails_cleanly() {
+    let options = HiMapOptions {
+        max_sub_candidates: 1,
+        max_systolic_candidates: 1,
+        ..HiMapOptions::default()
+    };
+    // GEMM's best candidate is also the winning one, so a budget of one
+    // suffices.
+    let m = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(4))
+        .expect("best-first ordering wins with budget 1");
+    assert!((m.utilization() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn error_display_is_informative() {
+    let errors = [
+        HiMapError::NoSubMapping,
+        HiMapError::NoSystolicMapping,
+        HiMapError::RoutingFailed,
+        HiMapError::Dfg("boom".into()),
+        HiMapError::UnsupportedKernel("why".into()),
+    ];
+    for e in errors {
+        let msg = e.to_string();
+        assert!(!msg.is_empty());
+        // Lowercase, no trailing punctuation (C-GOOD-ERR).
+        assert!(msg.chars().next().is_some_and(|c| c.is_lowercase()), "{msg}");
+        assert!(!msg.ends_with('.'), "{msg}");
+    }
+}

@@ -1,0 +1,542 @@
+//! DFG construction: block unrolling, exact dataflow resolution and systolic
+//! consumer chaining.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use himap_graph::{has_cycle, DiGraph, NodeId};
+use himap_kernels::{ArrayId, Kernel};
+
+use crate::dfg::{to_iter4, Dfg, DfgEdge, DfgNode, EdgeKind, Iter4, NodeKind, MAX_DIMS};
+use crate::schema::{stmt_schemas, OperandSrc};
+
+/// Error produced by [`Dfg::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfgError {
+    /// Block arity does not match the kernel's loop depth.
+    BlockArity {
+        /// Loop depth of the kernel.
+        expected: usize,
+        /// Arity supplied.
+        found: usize,
+    },
+    /// A block extent is zero or exceeds the compact-iteration range.
+    BadExtent(usize),
+    /// The kernel has more loop levels than [`MAX_DIMS`].
+    TooManyDims(usize),
+    /// The constructed graph contains a dependence cycle (the kernel's
+    /// dataflow is not systolizable by the chaining rules).
+    Cyclic,
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::BlockArity { expected, found } => {
+                write!(f, "block has {found} extents but kernel has {expected} loops")
+            }
+            DfgError::BadExtent(b) => write!(f, "block extent {b} is out of range"),
+            DfgError::TooManyDims(d) => {
+                write!(f, "kernel has {d} loop levels, at most {MAX_DIMS} supported")
+            }
+            DfgError::Cyclic => write!(f, "unrolled dataflow graph contains a cycle"),
+        }
+    }
+}
+
+impl Error for DfgError {}
+
+impl Dfg {
+    /// Unrolls `kernel` over the block `(b1, …, bl)` and builds the DFG.
+    ///
+    /// See the crate-level docs for the construction rules (exact per-element
+    /// dataflow, per-access live-ins, proximity consumer chaining).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DfgError`] if the block is malformed or the resulting
+    /// graph is cyclic.
+    pub fn build(kernel: &Kernel, block: &[usize]) -> Result<Dfg, DfgError> {
+        if kernel.dims() > MAX_DIMS {
+            return Err(DfgError::TooManyDims(kernel.dims()));
+        }
+        if block.len() != kernel.dims() {
+            return Err(DfgError::BlockArity { expected: kernel.dims(), found: block.len() });
+        }
+        for &b in block {
+            if b == 0 || b > i16::MAX as usize {
+                return Err(DfgError::BadExtent(b));
+            }
+        }
+        let schemas = stmt_schemas(kernel);
+        let iteration_count: usize = block.iter().product();
+        let ops_per_iter: usize = schemas.iter().map(|s| s.ops.len()).sum();
+        let mut graph: DiGraph<DfgNode, DfgEdge> =
+            DiGraph::with_capacity(iteration_count * (ops_per_iter + 2), iteration_count * 8);
+
+        // Exact last-writer map: (array, element) -> producing op node.
+        let mut last_writer: HashMap<(ArrayId, Vec<i64>), NodeId> = HashMap::new();
+        // Live-in registry: (stmt, read, element) -> Input node.
+        let mut live_ins: HashMap<(u8, u8, Vec<i64>), NodeId> = HashMap::new();
+        // Per-iteration loads of memory-routed reads: (stmt, read, iter).
+        let mut mem_live_ins: HashMap<(u8, u8, crate::dfg::Iter4), NodeId> = HashMap::new();
+        // Store -> load dependences of memory-routed reads.
+        let mut mem_deps: Vec<(NodeId, NodeId)> = Vec::new();
+        // Live-in readers per element, for anti-dependence (write-after-
+        // read) tracking.
+        let mut element_readers: HashMap<(ArrayId, Vec<i64>), Vec<NodeId>> = HashMap::new();
+        // Anti-dependences: (live-in Input node, later writer op).
+        let mut anti_deps: Vec<(NodeId, NodeId)> = Vec::new();
+        // Signal nets, in root-creation order for determinism.
+        let mut net_index: HashMap<NodeId, usize> = HashMap::new();
+        let mut nets: Vec<(NodeId, Vec<(NodeId, u8)>)> = Vec::new();
+        let mut cluster_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); iteration_count];
+
+        let record_consumer =
+            |nets: &mut Vec<(NodeId, Vec<(NodeId, u8)>)>,
+             net_index: &mut HashMap<NodeId, usize>,
+             root: NodeId,
+             consumer: NodeId,
+             slot: u8| {
+                let idx = *net_index.entry(root).or_insert_with(|| {
+                    nets.push((root, Vec::new()));
+                    nets.len() - 1
+                });
+                nets[idx].1.push((consumer, slot));
+            };
+
+        for (linear, iter) in kernel.iteration_space(block).enumerate() {
+            let iter4 = to_iter4(&iter);
+            for (sid, schema) in schemas.iter().enumerate() {
+                let stmt = kernel.stmt(schema.stmt);
+                let reads = stmt.value.reads();
+                // Create this statement instance's op nodes.
+                let op_ids: Vec<NodeId> = schema
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        
+                        graph.add_node(DfgNode {
+                            kind: NodeKind::Op {
+                                stmt: sid as u8,
+                                op: 0, // fixed below
+                                kind: op.kind,
+                            },
+                            iter: iter4,
+                        })
+                    })
+                    .collect();
+                for (oi, &id) in op_ids.iter().enumerate() {
+                    if let NodeKind::Op { op, .. } = &mut graph[id].kind {
+                        *op = oi as u8;
+                    }
+                    cluster_nodes[linear].push(id);
+                }
+                // Wire operands.
+                for (oi, op) in schema.ops.iter().enumerate() {
+                    for (slot, operand) in [(0u8, op.lhs), (1u8, op.rhs)] {
+                        match operand {
+                            OperandSrc::Const(_) => {}
+                            OperandSrc::Op(child) => {
+                                graph.add_edge(
+                                    op_ids[child as usize],
+                                    op_ids[oi],
+                                    DfgEdge { kind: EdgeKind::Flow, slot },
+                                );
+                            }
+                            OperandSrc::Read(ridx) => {
+                                let access = reads[ridx as usize];
+                                let elem = access.element_at(&iter);
+                                let producer = last_writer.get(&(access.array, elem.clone()));
+                                let root = if kernel.is_mem_routed(schema.stmt, ridx) {
+                                    // Memory-routed: a fresh per-iteration
+                                    // load; the store->load dependence is
+                                    // tracked out of band.
+                                    let key = (sid as u8, ridx, iter4);
+                                    match mem_live_ins.get(&key) {
+                                        Some(&id) => id,
+                                        None => {
+                                            let id = graph.add_node(DfgNode {
+                                                kind: NodeKind::Input {
+                                                    stmt: sid as u8,
+                                                    read: ridx,
+                                                },
+                                                iter: iter4,
+                                            });
+                                            cluster_nodes[linear].push(id);
+                                            mem_live_ins.insert(key, id);
+                                            if let Some(&w) = producer {
+                                                mem_deps.push((w, id));
+                                            } else {
+                                                element_readers
+                                                    .entry((access.array, elem.clone()))
+                                                    .or_default()
+                                                    .push(id);
+                                            }
+                                            id
+                                        }
+                                    }
+                                } else if let Some(&w) = producer {
+                                    w
+                                } else {
+                                    *live_ins
+                                        .entry((sid as u8, ridx, elem.clone()))
+                                        .or_insert_with(|| {
+                                            let id = graph.add_node(DfgNode {
+                                                kind: NodeKind::Input {
+                                                    stmt: sid as u8,
+                                                    read: ridx,
+                                                },
+                                                iter: iter4,
+                                            });
+                                            cluster_nodes[linear].push(id);
+                                            element_readers
+                                                .entry((access.array, elem))
+                                                .or_default()
+                                                .push(id);
+                                            id
+                                        })
+                                };
+                                record_consumer(
+                                    &mut nets,
+                                    &mut net_index,
+                                    root,
+                                    op_ids[oi],
+                                    slot,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Record the write of this statement instance; earlier
+                // live-in readers of the same element become
+                // anti-dependences (the write must not become visible
+                // before their loads issue).
+                let elem = stmt.target.element_at(&iter);
+                let writer = op_ids[schema.root_op() as usize];
+                if let Some(readers) =
+                    element_readers.remove(&(stmt.target.array, elem.clone()))
+                {
+                    for reader in readers {
+                        anti_deps.push((reader, writer));
+                    }
+                }
+                last_writer.insert((stmt.target.array, elem), writer);
+            }
+        }
+
+        // Build the chained edges of every signal net.
+        for (root, consumers) in &nets {
+            chain_net(&mut graph, *root, consumers);
+        }
+
+        if has_cycle(&graph) {
+            return Err(DfgError::Cyclic);
+        }
+
+        let op_count = iteration_count * ops_per_iter;
+        Ok(Dfg {
+            graph,
+            kernel: kernel.clone(),
+            schemas,
+            block: block.to_vec(),
+            op_count,
+            cluster_nodes,
+            mem_deps,
+            anti_deps,
+        })
+    }
+}
+
+fn l1(a: Iter4, b: Iter4) -> u32 {
+    a.iter().zip(&b).map(|(x, y)| (x - y).unsigned_abs() as u32).sum()
+}
+
+/// Links all consumers of one signal into a nearest-neighbour forwarding
+/// tree rooted at the producer.
+fn chain_net(
+    graph: &mut DiGraph<DfgNode, DfgEdge>,
+    root: NodeId,
+    consumers: &[(NodeId, u8)],
+) {
+    let root_iter = graph[root].iter;
+    // Group consumers by iteration, preserving first-seen order.
+    let mut groups: Vec<(Iter4, Vec<(NodeId, u8)>)> = Vec::new();
+    for &(node, slot) in consumers {
+        let iter = graph[node].iter;
+        match groups.iter_mut().find(|(g, _)| *g == iter) {
+            Some((_, v)) => v.push((node, slot)),
+            None => groups.push((iter, vec![(node, slot)])),
+        }
+    }
+    // The producer's own iteration consumes directly from the producer.
+    let mut external: Vec<(Iter4, Vec<(NodeId, u8)>)> = Vec::new();
+    let mut own_rep: Option<NodeId> = None;
+    for (iter, members) in groups {
+        if iter == root_iter {
+            own_rep = own_rep.or(Some(members[0].0));
+            for (node, slot) in members {
+                graph.add_edge(root, node, DfgEdge { kind: EdgeKind::Flow, slot });
+            }
+        } else {
+            external.push((iter, members));
+        }
+    }
+    // Attach external iterations nearest-first, each to the closest node
+    // already in the tree. Steps come out as unit distance vectors for the
+    // uniform dependence patterns of affine kernels.
+    external.sort_by_key(|(iter, _)| (l1(*iter, root_iter), *iter));
+    // (iteration, representative node, is_root)
+    //
+    // Live-in chains anchor at the head iteration's consuming op rather than
+    // the Input node itself, so every chain link is a uniform
+    // consumer-to-consumer Forward — interior iterations of a reuse chain
+    // then share one equivalence class, which is what bounds the unique
+    // iteration counts of Table II.
+    let anchor = match (graph[root].kind, own_rep) {
+        (crate::dfg::NodeKind::Input { .. }, Some(rep)) => (root_iter, rep, false),
+        _ => (root_iter, root, true),
+    };
+    let mut attached: Vec<(Iter4, NodeId, bool)> = vec![anchor];
+    for (iter, members) in external {
+        // Only lexicographically earlier tree members may feed this group:
+        // every cross-iteration edge then points lex-forward, which keeps
+        // the global graph acyclic even for dense halo-reuse patterns
+        // (e.g. convolution windows shared in both mesh directions).
+        let (&(_, src, from_root), _) = attached
+            .iter()
+            .filter(|(a, _, _)| *a < iter)
+            .zip(0usize..)
+            .min_by_key(|((a, _, _), order)| (l1(*a, iter), *order))
+            .expect("the root is lexicographically first, so a feeder exists");
+        let (rep, rep_slot) = members[0];
+        let kind = if from_root { EdgeKind::Flow } else { EdgeKind::Forward { root } };
+        graph.add_edge(src, rep, DfgEdge { kind, slot: rep_slot });
+        for &(node, slot) in &members[1..] {
+            if node == rep {
+                // The representative consumes the signal in both operand
+                // slots: a parallel edge from the chain source keeps the
+                // graph acyclic (no self-loops).
+                graph.add_edge(src, node, DfgEdge { kind, slot });
+            } else {
+                graph.add_edge(rep, node, DfgEdge { kind: EdgeKind::Forward { root }, slot });
+            }
+        }
+        attached.push((iter, rep, false));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfg::from_iter4;
+    use himap_kernels::suite;
+
+    #[test]
+    fn gemm_counts() {
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        assert_eq!(dfg.op_count(), 16);
+        assert_eq!(dfg.iteration_count(), 8);
+        // Inputs: per-access live-ins. C read at k=0 only (later ks read the
+        // accumulator): 4. A[i][k] chain heads at j=0: 4. B[k][j] chain heads
+        // at i=0: 4.
+        let inputs = dfg
+            .graph()
+            .nodes()
+            .filter(|(_, w)| w.kind.is_input())
+            .count();
+        assert_eq!(inputs, 12);
+    }
+
+    #[test]
+    fn gemm_dependence_distances_are_unit_vectors() {
+        let dfg = Dfg::build(&suite::gemm(), &[3, 3, 3]).unwrap();
+        for e in dfg.graph().edge_ids() {
+            let d = dfg.edge_distance(e);
+            let l1: i32 = d.iter().map(|&x| x.abs() as i32).sum();
+            assert!(l1 <= 1, "edge {e:?} has distance {d:?}");
+        }
+    }
+
+    #[test]
+    fn bicg_distances_match_paper() {
+        // Fig. 3b: ISDG edges along (1,0) and (0,1).
+        let dfg = Dfg::build(&suite::bicg(), &[4, 4]).unwrap();
+        let mut dists: Vec<Iter4> = dfg
+            .graph()
+            .edge_ids()
+            .map(|e| dfg.edge_distance(e))
+            .filter(|d| d.iter().any(|&x| x != 0))
+            .collect();
+        dists.sort();
+        dists.dedup();
+        assert_eq!(dists, vec![[0, 1, 0, 0], [1, 0, 0, 0]]);
+    }
+
+    #[test]
+    fn floyd_warshall_mesh_edges_are_accumulator_only() {
+        // Pivot reads are memory-routed, so the only cross-iteration mesh
+        // dependence is the accumulator along k: (1, 0, 0).
+        let dfg = Dfg::build(&suite::floyd_warshall(), &[4, 4, 4]).unwrap();
+        for e in dfg.graph().edge_ids() {
+            let d = dfg.edge_distance(e);
+            assert!(
+                d == [0, 0, 0, 0] || d == [1, 0, 0, 0],
+                "unexpected mesh dependence {d:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn floyd_warshall_mem_deps_cross_macro_steps() {
+        let dfg = Dfg::build(&suite::floyd_warshall(), &[4, 4, 4]).unwrap();
+        assert!(!dfg.mem_deps().is_empty());
+        for d in dfg.mem_dep_distances() {
+            // Every store -> load dependence advances k by exactly one
+            // pivot step (and moves freely within the plane).
+            assert!(d[0] >= 0, "memory dependence goes backward in k: {d:?}");
+        }
+        // The pivot spread reaches both directions in i and j.
+        let dists = dfg.mem_dep_distances();
+        assert!(dists.iter().any(|d| d[2] < 0));
+        assert!(dists.iter().any(|d| d[2] > 0));
+    }
+
+    #[test]
+    fn mem_routed_loads_are_per_iteration() {
+        // Each FW iteration loads its two pivot operands itself — no
+        // cross-iteration sharing of the Input nodes.
+        let dfg = Dfg::build(&suite::floyd_warshall(), &[3, 3, 3]).unwrap();
+        for idx in 0..dfg.iteration_count() {
+            let iter = dfg.iteration_at(idx);
+            let inputs = dfg
+                .cluster(iter)
+                .iter()
+                .filter(|&&n| dfg.graph()[n].kind.is_input())
+                .count();
+            assert!(inputs >= 2, "iteration {iter:?} has {inputs} inputs");
+        }
+    }
+
+    #[test]
+    fn adi_recurrence_only_along_j() {
+        let dfg = Dfg::build(&suite::adi(), &[3, 4]).unwrap();
+        for e in dfg.graph().edge_ids() {
+            let d = dfg.edge_distance(e);
+            assert_eq!(d[0], 0, "ADI must not carry dependences along i: {d:?}");
+            assert!(d[1] == 0 || d[1] == 1);
+        }
+    }
+
+    #[test]
+    fn operand_slots_fully_covered() {
+        for kernel in suite::all() {
+            let block: Vec<usize> = vec![3; kernel.dims()];
+            let dfg = Dfg::build(&kernel, &block).unwrap();
+            for (id, w) in dfg.graph().nodes() {
+                let NodeKind::Op { stmt, op, .. } = w.kind else { continue };
+                let schema = &dfg.schemas()[stmt as usize].ops[op as usize];
+                for slot in 0..2u8 {
+                    let is_const =
+                        matches!(schema.operand(slot), OperandSrc::Const(_));
+                    let covered = dfg
+                        .graph()
+                        .in_edges(id)
+                        .filter(|e| dfg.graph()[e.id].slot == slot)
+                        .count();
+                    let expected = usize::from(!is_const);
+                    assert_eq!(
+                        covered, expected,
+                        "kernel {} node {id:?} slot {slot}",
+                        kernel.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_kernels_build_acyclic() {
+        for kernel in suite::all() {
+            let block: Vec<usize> = vec![3; kernel.dims()];
+            let dfg = Dfg::build(&kernel, &block);
+            assert!(dfg.is_ok(), "kernel {} failed: {:?}", kernel.name(), dfg.err());
+        }
+    }
+
+    #[test]
+    fn accumulator_chain_structure() {
+        // GEMM's C accumulates along k: op(k) -> op(k+1) Flow edges.
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 3]).unwrap();
+        let add0 = dfg.op_node([0, 0, 0, 0], 0, 1);
+        let add1 = dfg.op_node([0, 0, 1, 0], 0, 1);
+        let add2 = dfg.op_node([0, 0, 2, 0], 0, 1);
+        assert!(dfg.graph().contains_edge(add0, add1));
+        assert!(dfg.graph().contains_edge(add1, add2));
+        assert!(!dfg.graph().contains_edge(add0, add2), "chaining, not fanout");
+    }
+
+    #[test]
+    fn reuse_chain_uses_forward_edges() {
+        // BiCG r[i] is reused along j: the chain after the first consumer
+        // must be Forward edges carrying the Input root.
+        let dfg = Dfg::build(&suite::bicg(), &[2, 3]).unwrap();
+        let mut forward_roots = Vec::new();
+        for e in dfg.graph().edge_refs() {
+            if let EdgeKind::Forward { root } = e.weight.kind {
+                forward_roots.push(root);
+            }
+        }
+        assert!(!forward_roots.is_empty());
+        for root in forward_roots {
+            // Forward roots must be real signal producers.
+            let w = &dfg.graph()[root];
+            assert!(w.kind.is_input() || w.kind.is_op());
+        }
+    }
+
+    #[test]
+    fn input_elements_resolve() {
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        let mut seen_a = false;
+        for (id, w) in dfg.graph().nodes() {
+            if w.kind.is_input() {
+                let (array, elem) = dfg.input_element(id).expect("input has element");
+                assert_eq!(elem.len(), dfg.kernel().arrays()[array.index()].rank);
+                if dfg.kernel().arrays()[array.index()].name == "A" {
+                    seen_a = true;
+                    // A[i][k]: element equals (iter.i, iter.k) of the owning iteration.
+                    let iter = from_iter4(w.iter, 3);
+                    assert_eq!(elem, vec![iter[0], iter[2]]);
+                }
+            }
+        }
+        assert!(seen_a);
+    }
+
+    #[test]
+    fn linear_index_roundtrip() {
+        let dfg = Dfg::build(&suite::gemm(), &[2, 3, 4]).unwrap();
+        for idx in 0..dfg.iteration_count() {
+            let iter = dfg.iteration_at(idx);
+            assert_eq!(dfg.linear_index(iter), idx);
+        }
+    }
+
+    #[test]
+    fn build_rejects_bad_blocks() {
+        let gemm = suite::gemm();
+        assert_eq!(
+            Dfg::build(&gemm, &[2, 2]).unwrap_err(),
+            DfgError::BlockArity { expected: 3, found: 2 }
+        );
+        assert_eq!(Dfg::build(&gemm, &[2, 0, 2]).unwrap_err(), DfgError::BadExtent(0));
+    }
+
+    #[test]
+    fn interior_iteration_is_center() {
+        let dfg = Dfg::build(&suite::gemm(), &[4, 4, 4]).unwrap();
+        assert_eq!(dfg.interior_iteration(), [2, 2, 2, 0]);
+    }
+}

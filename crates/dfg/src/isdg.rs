@@ -1,0 +1,149 @@
+//! The Iteration Space Dependency Graph (ISDG, §IV Fig. 3b).
+//!
+//! Vertices are iteration clusters; an edge `Ci → Cj` exists iff some DFG
+//! node in `Ci` feeds a node in `Cj`.
+
+use std::collections::HashSet;
+
+use himap_graph::{DiGraph, NodeId};
+
+use crate::dfg::{Dfg, Iter4, MAX_DIMS};
+
+/// A dependence distance vector between iterations.
+pub type DepVec = Iter4;
+
+/// The iteration-space dependency graph of a [`Dfg`].
+#[derive(Clone, Debug)]
+pub struct Isdg {
+    graph: DiGraph<Iter4, DepVec>,
+    dims: usize,
+    distances: Vec<DepVec>,
+}
+
+impl Isdg {
+    /// Builds the ISDG by clustering the DFG's cross-iteration edges.
+    ///
+    /// Node ids follow the DFG's linear iteration order, so
+    /// `NodeId::from_index(dfg.linear_index(iter))` addresses cluster `iter`.
+    pub fn new(dfg: &Dfg) -> Isdg {
+        let mut graph: DiGraph<Iter4, DepVec> =
+            DiGraph::with_capacity(dfg.iteration_count(), dfg.iteration_count() * 3);
+        for idx in 0..dfg.iteration_count() {
+            graph.add_node(dfg.iteration_at(idx));
+        }
+        let mut seen: HashSet<(usize, usize)> = HashSet::new();
+        let mut distances: HashSet<DepVec> = HashSet::new();
+        for e in dfg.graph().edge_ids() {
+            let (src, dst) = dfg.graph().edge_endpoints(e);
+            let (a, b) = (dfg.graph()[src].iter, dfg.graph()[dst].iter);
+            if a == b {
+                continue;
+            }
+            let (ia, ib) = (dfg.linear_index(a), dfg.linear_index(b));
+            let mut dist = [0i16; MAX_DIMS];
+            for (lvl, d) in dist.iter_mut().enumerate() {
+                *d = b[lvl] - a[lvl];
+            }
+            distances.insert(dist);
+            if seen.insert((ia, ib)) {
+                graph.add_edge(NodeId::from_index(ia), NodeId::from_index(ib), dist);
+            }
+        }
+        let mut distances: Vec<DepVec> = distances.into_iter().collect();
+        distances.sort();
+        Isdg { graph, dims: dfg.dims(), distances }
+    }
+
+    /// The underlying cluster graph.
+    pub fn graph(&self) -> &DiGraph<Iter4, DepVec> {
+        &self.graph
+    }
+
+    /// Loop-nest depth.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of iteration clusters.
+    pub fn iteration_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// Number of distinct cluster-to-cluster dependence edges.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// The distinct dependence distance vectors, sorted.
+    ///
+    /// These are the vectors the systolic mapping search must honour.
+    pub fn distances(&self) -> &[DepVec] {
+        &self.distances
+    }
+}
+
+impl Dfg {
+    /// Builds this DFG's iteration-space dependency graph.
+    pub fn isdg(&self) -> Isdg {
+        Isdg::new(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use himap_kernels::suite;
+
+    #[test]
+    fn bicg_isdg_matches_fig3() {
+        let dfg = Dfg::build(&suite::bicg(), &[4, 4]).unwrap();
+        let isdg = dfg.isdg();
+        assert_eq!(isdg.iteration_count(), 16);
+        assert_eq!(isdg.distances(), &[[0, 1, 0, 0], [1, 0, 0, 0]]);
+        // Interior cluster has in-degree 2 (north and west producers) and
+        // out-degree 2.
+        let center = NodeId::from_index(dfg.linear_index([1, 1, 0, 0]));
+        assert_eq!(isdg.graph().in_degree(center), 2);
+        assert_eq!(isdg.graph().out_degree(center), 2);
+        // Corner (0,0) has no incoming deps.
+        let corner = NodeId::from_index(dfg.linear_index([0, 0, 0, 0]));
+        assert_eq!(isdg.graph().in_degree(corner), 0);
+    }
+
+    #[test]
+    fn gemm_isdg_distances() {
+        let dfg = Dfg::build(&suite::gemm(), &[3, 3, 3]).unwrap();
+        let isdg = dfg.isdg();
+        assert_eq!(
+            isdg.distances(),
+            &[[0, 0, 1, 0], [0, 1, 0, 0], [1, 0, 0, 0]]
+        );
+    }
+
+    #[test]
+    fn edges_deduplicated() {
+        // ATAX has two chains along each dimension between neighbouring
+        // iterations, but the ISDG keeps one edge per cluster pair.
+        let dfg = Dfg::build(&suite::atax(), &[3, 3]).unwrap();
+        let isdg = dfg.isdg();
+        let mut pairs = std::collections::HashSet::new();
+        for e in isdg.graph().edge_ids() {
+            let pair = isdg.graph().edge_endpoints(e);
+            assert!(pairs.insert(pair), "duplicate ISDG edge {pair:?}");
+        }
+    }
+
+    #[test]
+    fn isdg_is_acyclic_for_suite() {
+        for kernel in suite::all() {
+            let block: Vec<usize> = vec![3; kernel.dims()];
+            let dfg = Dfg::build(&kernel, &block).unwrap();
+            let isdg = dfg.isdg();
+            assert!(
+                !himap_graph::has_cycle(isdg.graph()),
+                "ISDG of {} has a cycle",
+                kernel.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Data-flow graph construction for HiMap: unrolled DFG, iteration-space
+//! dependency graph (ISDG) and per-iteration data-flow graphs (IDFG).
+//!
+//! Given an affine [`Kernel`](himap_kernels::Kernel) and a block size
+//! `(b1, …, bl)`, [`Dfg::build`] fully unrolls the block and performs exact
+//! per-element dataflow analysis to recover every dependence — the graphs the
+//! paper obtains from LLVM bitcode (§IV, Fig. 3).
+//!
+//! Two construction rules make the result *systolizable*:
+//!
+//! * **per-access live-in nodes** — each static read access gets its own
+//!   [`NodeKind::Input`] per element, so transposed accesses of the same
+//!   array (e.g. MVT's `A[i][j]` and `A[j][i]`) never entangle;
+//! * **proximity consumer chaining** — when one value (an op result or a
+//!   live-in) is consumed by several iterations, consumers are linked into a
+//!   nearest-neighbour forwarding tree ([`EdgeKind::Forward`]) instead of
+//!   fanning out from the producer. Consecutive tree steps are unit distance
+//!   vectors, which is exactly the "dependent iterations nearby in space or
+//!   time" property HiMap's virtual systolic array needs — including for
+//!   Floyd–Warshall's pivot row/column broadcasts.
+//!
+//! # Example
+//!
+//! ```
+//! use himap_dfg::Dfg;
+//! use himap_kernels::suite;
+//!
+//! let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2])?;
+//! // 8 iterations x 2 compute ops.
+//! assert_eq!(dfg.op_count(), 16);
+//! let isdg = dfg.isdg();
+//! assert_eq!(isdg.iteration_count(), 8);
+//! # Ok::<(), himap_dfg::DfgError>(())
+//! ```
+
+mod build;
+mod dfg;
+mod idfg;
+mod isdg;
+mod schema;
+
+pub use build::DfgError;
+pub use dfg::{from_iter4, to_iter4, Dfg, DfgEdge, DfgNode, EdgeKind, Iter4, NodeKind, MAX_DIMS};
+pub use idfg::{BoundaryEdge, Idfg};
+pub use isdg::{DepVec, Isdg};
+pub use schema::{stmt_schemas, OperandSrc, OpSchema, StmtSchema};

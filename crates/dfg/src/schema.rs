@@ -1,0 +1,169 @@
+//! Statement schemas: the flattened operation structure of a statement body.
+//!
+//! An [`StmtSchema`] linearizes the binary-operation tree of one statement
+//! into post-order, so that every unrolled iteration instantiates the same
+//! op sequence with the same operand wiring. The root (last) op produces the
+//! value written to the statement's target.
+
+use himap_kernels::{Expr, Kernel, OpKind, StmtId};
+
+/// Where an operand of an op comes from, within one statement instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OperandSrc {
+    /// Result of another op of the same statement (post-order index).
+    Op(u8),
+    /// The `idx`-th array read of the statement (reads enumerated in
+    /// evaluation order across the whole expression tree).
+    Read(u8),
+    /// An immediate constant.
+    Const(i64),
+}
+
+/// One binary operation of a statement body.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpSchema {
+    /// The ALU operation.
+    pub kind: OpKind,
+    /// Left operand source.
+    pub lhs: OperandSrc,
+    /// Right operand source.
+    pub rhs: OperandSrc,
+}
+
+impl OpSchema {
+    /// The operand source for slot 0 (lhs) or 1 (rhs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot > 1`.
+    pub fn operand(&self, slot: u8) -> OperandSrc {
+        match slot {
+            0 => self.lhs,
+            1 => self.rhs,
+            _ => panic!("binary ops have operand slots 0 and 1, got {slot}"),
+        }
+    }
+}
+
+/// The flattened op structure of one statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StmtSchema {
+    /// Statement this schema describes.
+    pub stmt: StmtId,
+    /// Ops in post-order; the last op produces the written value.
+    pub ops: Vec<OpSchema>,
+    /// Number of array reads in the statement.
+    pub read_count: usize,
+}
+
+impl StmtSchema {
+    /// Post-order index of the root op (the op producing the stored value).
+    pub fn root_op(&self) -> u8 {
+        (self.ops.len() - 1) as u8
+    }
+}
+
+/// Builds the schemas for every statement of a kernel.
+///
+/// # Panics
+///
+/// Panics if a statement has no binary operation (a pure copy such as
+/// `a[i] = b[i]`), which the DFG builder does not support — every statement
+/// must compute something on the ALU.
+pub fn stmt_schemas(kernel: &Kernel) -> Vec<StmtSchema> {
+    kernel
+        .stmts()
+        .iter()
+        .enumerate()
+        .map(|(sid, stmt)| {
+            let mut ops = Vec::new();
+            let mut read_idx = 0u8;
+            let root = flatten(&stmt.value, &mut ops, &mut read_idx);
+            match root {
+                OperandSrc::Op(_) => {}
+                other => panic!(
+                    "statement {sid} of kernel `{}` is a pure copy ({other:?}); \
+                     every statement must contain at least one operation",
+                    kernel.name()
+                ),
+            }
+            StmtSchema {
+                stmt: StmtId::from_index(sid),
+                ops,
+                read_count: read_idx as usize,
+            }
+        })
+        .collect()
+}
+
+fn flatten(expr: &Expr, ops: &mut Vec<OpSchema>, read_idx: &mut u8) -> OperandSrc {
+    match expr {
+        Expr::Const(c) => OperandSrc::Const(*c),
+        Expr::Read(_) => {
+            let idx = *read_idx;
+            *read_idx += 1;
+            OperandSrc::Read(idx)
+        }
+        Expr::Binary(kind, l, r) => {
+            let lhs = flatten(l, ops, read_idx);
+            let rhs = flatten(r, ops, read_idx);
+            let idx = ops.len() as u8;
+            ops.push(OpSchema { kind: *kind, lhs, rhs });
+            OperandSrc::Op(idx)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use himap_kernels::suite;
+
+    #[test]
+    fn gemm_schema_shape() {
+        let schemas = stmt_schemas(&suite::gemm());
+        assert_eq!(schemas.len(), 1);
+        let s = &schemas[0];
+        // C[i][j] + (A[i][k] * B[k][j]): mul first in post-order, add is root.
+        assert_eq!(s.ops.len(), 2);
+        assert_eq!(s.ops[0].kind, OpKind::Mul);
+        assert_eq!(s.ops[1].kind, OpKind::Add);
+        assert_eq!(s.ops[1].lhs, OperandSrc::Read(0));
+        assert_eq!(s.ops[1].rhs, OperandSrc::Op(0));
+        assert_eq!(s.ops[0].lhs, OperandSrc::Read(1));
+        assert_eq!(s.ops[0].rhs, OperandSrc::Read(2));
+        assert_eq!(s.read_count, 3);
+        assert_eq!(s.root_op(), 1);
+    }
+
+    #[test]
+    fn bicg_has_two_statements() {
+        let schemas = stmt_schemas(&suite::bicg());
+        assert_eq!(schemas.len(), 2);
+        assert_eq!(schemas[0].ops.len(), 2);
+        assert_eq!(schemas[1].ops.len(), 2);
+        assert_eq!(schemas[0].stmt.index(), 0);
+        assert_eq!(schemas[1].stmt.index(), 1);
+    }
+
+    #[test]
+    fn adi_five_ops_total() {
+        let schemas = stmt_schemas(&suite::adi());
+        let total: usize = schemas.iter().map(|s| s.ops.len()).sum();
+        assert_eq!(total, 5);
+    }
+
+    #[test]
+    fn operand_accessor() {
+        let op = OpSchema { kind: OpKind::Add, lhs: OperandSrc::Read(0), rhs: OperandSrc::Const(3) };
+        assert_eq!(op.operand(0), OperandSrc::Read(0));
+        assert_eq!(op.operand(1), OperandSrc::Const(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "operand slots")]
+    fn operand_slot_bounds() {
+        let op = OpSchema { kind: OpKind::Add, lhs: OperandSrc::Read(0), rhs: OperandSrc::Const(3) };
+        let _ = op.operand(2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of DFG construction over randomized affine kernels.
+
+use himap_dfg::{Dfg, EdgeKind, NodeKind, OperandSrc};
+use himap_graph::has_cycle;
+use himap_kernels::{AffineExpr, ArrayRef, Expr, Kernel, KernelBuilder, OpKind};
+use proptest::prelude::*;
+
+/// Random 2-D streaming kernels: `out[sel] op (m[i][j] op2 v[sel2])`, where
+/// `sel` picks an accumulator direction and `sel2` a reused vector.
+fn arb_kernel() -> impl Strategy<Value = Kernel> {
+    (
+        0usize..2, // accumulator direction
+        0usize..2, // reused vector direction
+        0usize..4,
+        0usize..4,
+        -2i64..=2, // constant offset on the matrix access
+    )
+        .prop_map(|(acc_dim, reuse_dim, op_a, op_b, offset)| {
+            let ops = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Max];
+            let d = 2;
+            let mut b = KernelBuilder::new("random", d);
+            let acc = b.array("acc", 1);
+            let m = b.array("m", 2);
+            let v = b.array("v", 1);
+            let sel = AffineExpr::var(1 - acc_dim, d);
+            let sel2 = AffineExpr::var(1 - reuse_dim, d);
+            let mi = AffineExpr::new(vec![1, 0], offset);
+            let mj = AffineExpr::var(1, d);
+            b.stmt(
+                ArrayRef::new(acc, vec![sel.clone()]),
+                Expr::binary(
+                    ops[op_a],
+                    Expr::Read(ArrayRef::new(acc, vec![sel])),
+                    Expr::binary(
+                        ops[op_b],
+                        Expr::Read(ArrayRef::new(m, vec![mi, mj])),
+                        Expr::Read(ArrayRef::new(v, vec![sel2])),
+                    ),
+                ),
+            );
+            b.build().expect("random kernel is well-formed")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dfgs_are_acyclic(kernel in arb_kernel(), b1 in 2usize..6, b2 in 2usize..6) {
+        let dfg = Dfg::build(&kernel, &[b1, b2]).expect("builds");
+        prop_assert!(!has_cycle(dfg.graph()));
+    }
+
+    #[test]
+    fn cross_iteration_edges_are_lex_forward(
+        kernel in arb_kernel(),
+        b1 in 2usize..6,
+        b2 in 2usize..6,
+    ) {
+        // The chaining rule guarantees every cross-iteration edge points to
+        // a lexicographically later iteration — the global acyclicity
+        // argument.
+        let dfg = Dfg::build(&kernel, &[b1, b2]).expect("builds");
+        for e in dfg.graph().edge_ids() {
+            let (src, dst) = dfg.graph().edge_endpoints(e);
+            let (a, b) = (dfg.graph()[src].iter, dfg.graph()[dst].iter);
+            prop_assert!(a <= b, "edge {e:?} goes lex-backward: {a:?} -> {b:?}");
+        }
+    }
+
+    #[test]
+    fn operand_slots_exactly_covered(
+        kernel in arb_kernel(),
+        b1 in 2usize..5,
+        b2 in 2usize..5,
+    ) {
+        let dfg = Dfg::build(&kernel, &[b1, b2]).expect("builds");
+        for (id, w) in dfg.graph().nodes() {
+            let NodeKind::Op { stmt, op, .. } = w.kind else { continue };
+            let schema = &dfg.schemas()[stmt as usize].ops[op as usize];
+            for slot in 0..2u8 {
+                let is_const = matches!(schema.operand(slot), OperandSrc::Const(_));
+                let covered = dfg
+                    .graph()
+                    .in_edges(id)
+                    .filter(|e| dfg.graph()[e.id].slot == slot)
+                    .count();
+                prop_assert_eq!(covered, usize::from(!is_const));
+            }
+        }
+    }
+
+    #[test]
+    fn forward_edges_reference_live_roots(
+        kernel in arb_kernel(),
+        b1 in 2usize..5,
+        b2 in 2usize..5,
+    ) {
+        let dfg = Dfg::build(&kernel, &[b1, b2]).expect("builds");
+        for e in dfg.graph().edge_refs() {
+            if let EdgeKind::Forward { root } = e.weight.kind {
+                let w = &dfg.graph()[root];
+                prop_assert!(w.kind.is_input() || w.kind.is_op());
+                // The root's signal reaches this edge's source through a
+                // chain of edges carrying the same root.
+                let carried = dfg
+                    .graph()
+                    .in_edges(e.src)
+                    .any(|ie| dfg.graph()[ie.id].signal(ie.src) == root);
+                prop_assert!(carried, "chain broken at {:?}", e.src);
+            }
+        }
+    }
+
+    #[test]
+    fn op_count_is_exact(kernel in arb_kernel(), b1 in 1usize..6, b2 in 1usize..6) {
+        let dfg = Dfg::build(&kernel, &[b1, b2]).expect("builds");
+        prop_assert_eq!(
+            dfg.op_count(),
+            b1 * b2 * kernel.compute_ops_per_iteration()
+        );
+        let counted = dfg.graph().nodes().filter(|(_, w)| w.kind.is_op()).count();
+        prop_assert_eq!(dfg.op_count(), counted);
+    }
+
+    #[test]
+    fn idfg_partition_is_complete(kernel in arb_kernel(), b1 in 2usize..5, b2 in 2usize..5) {
+        // Every node belongs to exactly one cluster, and IDFG views cover
+        // all nodes.
+        let dfg = Dfg::build(&kernel, &[b1, b2]).expect("builds");
+        let mut seen = vec![false; dfg.graph().node_count()];
+        for idx in 0..dfg.iteration_count() {
+            let iter = dfg.iteration_at(idx);
+            for &n in dfg.cluster(iter) {
+                prop_assert!(!seen[n.index()], "node {n:?} in two clusters");
+                seen[n.index()] = true;
+                prop_assert_eq!(dfg.graph()[n].iter, iter);
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,77 @@
+//! Graphviz DOT export for debugging mapper graphs.
+
+use std::fmt;
+
+use crate::digraph::DiGraph;
+
+/// Wrapper that renders a graph in Graphviz DOT format via [`fmt::Display`].
+///
+/// Node and edge labels use the weights' `Display` implementations.
+///
+/// # Example
+///
+/// ```
+/// use himap_graph::{DiGraph, Dot};
+///
+/// let mut g: DiGraph<&str, &str> = DiGraph::new();
+/// let a = g.add_node("load");
+/// let b = g.add_node("mul");
+/// g.add_edge(a, b, "x");
+/// let dot = Dot::new(&g).to_string();
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub struct Dot<'a, N, E> {
+    graph: &'a DiGraph<N, E>,
+}
+
+impl<'a, N, E> Dot<'a, N, E> {
+    /// Wraps `graph` for DOT rendering.
+    pub fn new(graph: &'a DiGraph<N, E>) -> Self {
+        Dot { graph }
+    }
+}
+
+impl<N: fmt::Display, E: fmt::Display> fmt::Display for Dot<'_, N, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "digraph {{")?;
+        for (id, w) in self.graph.nodes() {
+            writeln!(f, "    n{} [label=\"{}\"];", id.index(), w)?;
+        }
+        for e in self.graph.edge_refs() {
+            writeln!(
+                f,
+                "    n{} -> n{} [label=\"{}\"];",
+                e.src.index(),
+                e.dst.index(),
+                e.weight
+            )?;
+        }
+        writeln!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("alpha");
+        let b = g.add_node("beta");
+        g.add_edge(a, b, 42);
+        let s = Dot::new(&g).to_string();
+        assert!(s.starts_with("digraph {"));
+        assert!(s.contains("n0 [label=\"alpha\"];"));
+        assert!(s.contains("n1 [label=\"beta\"];"));
+        assert!(s.contains("n0 -> n1 [label=\"42\"];"));
+        assert!(s.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn empty_graph_renders() {
+        let g: DiGraph<u8, u8> = DiGraph::new();
+        let s = Dot::new(&g).to_string();
+        assert_eq!(s, "digraph {\n}\n");
+    }
+}

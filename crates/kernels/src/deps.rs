@@ -1,0 +1,331 @@
+//! Dependence analysis over the affine IR.
+//!
+//! Computes the inter-iteration dependence structure that drives both the
+//! Table I categorization and the systolic mapping search:
+//!
+//! * **flow dependencies** — an iteration reads an element written by an
+//!   earlier iteration (accumulators, recurrences), found by exact
+//!   last-writer analysis over a sample block;
+//! * **reuse dependencies** — several iterations read the same live-in
+//!   element (operand forwarding chains in a systolic schedule), detected
+//!   per static access function as the loop levels its indices are
+//!   invariant in.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::ir::{ArrayId, IterVec, Kernel, StmtId};
+
+/// How a dependence arises.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Read-after-write between iterations (true dataflow).
+    Flow,
+    /// Read-read reuse of a live-in element (systolic forwarding chain).
+    Reuse,
+}
+
+/// An inter-iteration dependence with a constant distance vector.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Dependence {
+    /// Flow or reuse.
+    pub kind: DepKind,
+    /// Iteration distance (consumer iteration − producer iteration).
+    pub distance: IterVec,
+    /// Array carrying the dependence.
+    pub array: ArrayId,
+}
+
+/// Result of analysing a kernel's inter-iteration dependence structure.
+#[derive(Clone, Debug)]
+pub struct DepAnalysis {
+    /// Distinct dependence distance vectors (flow and reuse).
+    pub dependences: Vec<Dependence>,
+    /// For each loop level, `true` if some dependence has a non-zero
+    /// component at that level.
+    pub carried_levels: Vec<bool>,
+}
+
+impl DepAnalysis {
+    /// `true` if the kernel has any inter-iteration dependence.
+    pub fn has_inter_iteration_deps(&self) -> bool {
+        self.dependences.iter().any(|d| d.distance.iter().any(|&x| x != 0))
+    }
+
+    /// Distinct non-zero flow-dependence distances.
+    pub fn flow_distances(&self) -> Vec<IterVec> {
+        let mut out: Vec<IterVec> = self
+            .dependences
+            .iter()
+            .filter(|d| d.kind == DepKind::Flow && d.distance.iter().any(|&x| x != 0))
+            .map(|d| d.distance.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Table I category of a loop kernel.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum KernelCategory {
+    /// No inter-iteration dependency (any dimensionality).
+    NoInterIterationDeps,
+    /// Inter-iteration dependencies, 1-D loop.
+    DepsDim1,
+    /// Inter-iteration dependencies, 2-D loop nest.
+    DepsDim2,
+    /// Inter-iteration dependencies, 3-D loop nest.
+    DepsDim3,
+    /// Inter-iteration dependencies, 4-D loop nest.
+    DepsDim4,
+}
+
+impl fmt::Display for KernelCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelCategory::NoInterIterationDeps => write!(f, "no inter-iteration dependency"),
+            KernelCategory::DepsDim1 => write!(f, "inter-iteration deps, Dim = 1"),
+            KernelCategory::DepsDim2 => write!(f, "inter-iteration deps, Dim = 2"),
+            KernelCategory::DepsDim3 => write!(f, "inter-iteration deps, Dim = 3"),
+            KernelCategory::DepsDim4 => write!(f, "inter-iteration deps, Dim = 4"),
+        }
+    }
+}
+
+/// Size of the sample block used for exact dependence extraction. Large
+/// enough that boundary effects do not hide interior dependences, small
+/// enough to stay fast for 4-D kernels.
+const SAMPLE_EXTENT: usize = 4;
+
+/// Analyses a kernel's inter-iteration dependences over a sample block.
+///
+/// Flow dependences are extracted exactly (per element, last writer wins);
+/// only distances that repeat for every interior iteration are reported, so
+/// one-off boundary effects do not produce spurious vectors. Reuse
+/// dependences are derived per static read access from the loop levels its
+/// index expressions are invariant in (unit distance along the innermost
+/// such level, matching the forwarding chains built by `himap-dfg`).
+///
+/// # Example
+///
+/// ```
+/// use himap_kernels::{suite, DepAnalysis, DepKind};
+///
+/// let analysis = himap_kernels::DepAnalysis::of(&suite::gemm());
+/// assert!(analysis.has_inter_iteration_deps());
+/// // C accumulates along k:
+/// assert!(analysis.flow_distances().contains(&vec![0, 0, 1]));
+/// ```
+impl DepAnalysis {
+    /// Runs the analysis. See the type-level docs for the method.
+    pub fn of(kernel: &Kernel) -> DepAnalysis {
+        analyze(kernel)
+    }
+}
+
+fn analyze(kernel: &Kernel) -> DepAnalysis {
+    let dims = kernel.dims();
+    let block = vec![SAMPLE_EXTENT; dims];
+    // Exact last-writer map: (array, element) -> writer iteration.
+    let mut last_writer: HashMap<(ArrayId, Vec<i64>), IterVec> = HashMap::new();
+    // Flow distances observed, with a count of observations.
+    let mut flow_counts: HashMap<(ArrayId, IterVec), usize> = HashMap::new();
+    for iter in kernel.iteration_space(&block) {
+        for (sid, stmt) in kernel.stmts().iter().enumerate() {
+            let _ = StmtId(sid as u32);
+            for read in stmt.value.reads() {
+                let elem = read.element_at(&iter);
+                if let Some(writer) = last_writer.get(&(read.array, elem)) {
+                    let dist: IterVec =
+                        iter.iter().zip(writer).map(|(c, p)| c - p).collect();
+                    if dist.iter().any(|&x| x != 0) {
+                        *flow_counts.entry((read.array, dist)).or_insert(0) += 1;
+                    }
+                }
+            }
+            let elem = stmt.target.element_at(&iter);
+            last_writer.insert((stmt.target.array, elem), iter.clone());
+        }
+    }
+    let mut dependences = Vec::new();
+    // Keep distances seen more than once: constant-distance recurrences fire
+    // for (almost) every iteration of the sample block, one-off distances are
+    // boundary artefacts of non-uniform reads (e.g. Floyd–Warshall pivots,
+    // which the DFG builder chains into unit steps anyway).
+    for ((array, dist), count) in flow_counts {
+        if count >= 2 {
+            dependences.push(Dependence { kind: DepKind::Flow, distance: dist, array });
+        }
+    }
+    // Reuse chains: per static read access function.
+    for stmt in kernel.stmts() {
+        for read in stmt.value.reads() {
+            if let Some(level) = reuse_level(kernel, read) {
+                let mut distance = vec![0; dims];
+                distance[level] = 1;
+                dependences.push(Dependence {
+                    kind: DepKind::Reuse,
+                    distance,
+                    array: read.array,
+                });
+            }
+        }
+    }
+    dependences.sort_by(|a, b| (a.kind as u8, &a.distance).cmp(&(b.kind as u8, &b.distance)));
+    dependences.dedup();
+    let mut carried_levels = vec![false; dims];
+    for dep in &dependences {
+        for (lvl, &x) in dep.distance.iter().enumerate() {
+            if x != 0 {
+                carried_levels[lvl] = true;
+            }
+        }
+    }
+    DepAnalysis { dependences, carried_levels }
+}
+
+/// The loop level along which a read access is forwarded in a systolic
+/// schedule: the innermost level its indices are invariant in, provided the
+/// array is never written by the kernel (live-in reuse only).
+pub(crate) fn reuse_level(kernel: &Kernel, read: &crate::ir::ArrayRef) -> Option<usize> {
+    let written = kernel.stmts().iter().any(|s| s.target.array == read.array);
+    if written {
+        return None;
+    }
+    (0..kernel.dims()).rev().find(|&lvl| read.invariant_in(lvl))
+}
+
+/// Classifies a kernel into its Table I category.
+///
+/// # Example
+///
+/// ```
+/// use himap_kernels::{classify, suite, KernelCategory};
+///
+/// assert_eq!(classify(&suite::gemm()), KernelCategory::DepsDim3);
+/// ```
+pub fn classify(kernel: &Kernel) -> KernelCategory {
+    let analysis = DepAnalysis::of(kernel);
+    if !analysis.has_inter_iteration_deps() {
+        return KernelCategory::NoInterIterationDeps;
+    }
+    match kernel.dims() {
+        1 => KernelCategory::DepsDim1,
+        2 => KernelCategory::DepsDim2,
+        3 => KernelCategory::DepsDim3,
+        _ => KernelCategory::DepsDim4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{AffineExpr, ArrayRef, Expr, KernelBuilder, OpKind};
+    use crate::suite;
+
+    #[test]
+    fn gemm_dependences() {
+        let a = DepAnalysis::of(&suite::gemm());
+        assert!(a.has_inter_iteration_deps());
+        // Accumulation of C along k.
+        assert!(a.flow_distances().contains(&vec![0, 0, 1]));
+        // A reused along j, B reused along i.
+        let reuse: Vec<_> =
+            a.dependences.iter().filter(|d| d.kind == DepKind::Reuse).collect();
+        assert!(reuse.iter().any(|d| d.distance == vec![0, 1, 0]));
+        assert!(reuse.iter().any(|d| d.distance == vec![1, 0, 0]));
+        assert_eq!(a.carried_levels, vec![true, true, true]);
+    }
+
+    #[test]
+    fn bicg_dependences() {
+        let a = DepAnalysis::of(&suite::bicg());
+        let flows = a.flow_distances();
+        assert!(flows.contains(&vec![1, 0]), "s[j] accumulates along i: {flows:?}");
+        assert!(flows.contains(&vec![0, 1]), "q[i] accumulates along j: {flows:?}");
+    }
+
+    #[test]
+    fn adi_dependences_one_dimensional() {
+        let a = DepAnalysis::of(&suite::adi());
+        assert!(a.has_inter_iteration_deps());
+        // All dependences of the column sweep run along j only.
+        for dep in &a.dependences {
+            assert_eq!(dep.distance[0], 0, "unexpected i-carried dep: {dep:?}");
+        }
+        assert_eq!(a.carried_levels, vec![false, true]);
+    }
+
+    #[test]
+    fn mvt_has_deps_on_both_levels() {
+        let a = DepAnalysis::of(&suite::mvt());
+        assert_eq!(a.carried_levels, vec![true, true]);
+    }
+
+    #[test]
+    fn classification_matches_table1() {
+        use KernelCategory::*;
+        assert_eq!(classify(&suite::adi()), DepsDim2);
+        assert_eq!(classify(&suite::atax()), DepsDim2);
+        assert_eq!(classify(&suite::bicg()), DepsDim2);
+        assert_eq!(classify(&suite::mvt()), DepsDim2);
+        assert_eq!(classify(&suite::gemm()), DepsDim3);
+        assert_eq!(classify(&suite::syrk()), DepsDim3);
+        assert_eq!(classify(&suite::floyd_warshall()), DepsDim3);
+        assert_eq!(classify(&suite::ttm()), DepsDim4);
+    }
+
+    #[test]
+    fn independent_kernel_classifies_as_no_deps() {
+        // y[i][j] = x[i][j] * 2 — every iteration independent, no reuse.
+        let mut b = KernelBuilder::new("scale", 2);
+        let x = b.array("x", 2);
+        let y = b.array("y", 2);
+        let idx = vec![AffineExpr::var(0, 2), AffineExpr::var(1, 2)];
+        b.stmt(
+            ArrayRef::new(y, idx.clone()),
+            Expr::binary(OpKind::Mul, Expr::Read(ArrayRef::new(x, idx)), Expr::Const(2)),
+        );
+        let k = b.build().unwrap();
+        assert_eq!(classify(&k), KernelCategory::NoInterIterationDeps);
+    }
+
+    #[test]
+    fn one_dimensional_recurrence() {
+        // fib-like: a[i] = a[i-1] + b[i]
+        let mut bld = KernelBuilder::new("rec1d", 1);
+        let a = bld.array("a", 1);
+        let b = bld.array("b", 1);
+        bld.stmt(
+            ArrayRef::new(a, vec![AffineExpr::var(0, 1)]),
+            Expr::binary(
+                OpKind::Add,
+                Expr::Read(ArrayRef::new(a, vec![AffineExpr::new(vec![1], -1)])),
+                Expr::Read(ArrayRef::new(b, vec![AffineExpr::var(0, 1)])),
+            ),
+        );
+        let k = bld.build().unwrap();
+        assert_eq!(classify(&k), KernelCategory::DepsDim1);
+        let analysis = DepAnalysis::of(&k);
+        assert_eq!(analysis.flow_distances(), vec![vec![1]]);
+    }
+
+    #[test]
+    fn reuse_level_picks_innermost_invariant() {
+        let gemm = suite::gemm();
+        // A[i][k] is invariant in j (level 1).
+        let reads = gemm.stmts()[0].value.reads();
+        let a_read = reads
+            .iter()
+            .find(|r| gemm.arrays()[r.array.index()].name == "A")
+            .expect("A read");
+        assert_eq!(reuse_level(&gemm, a_read), Some(1));
+        // C is written, so its reads never get a reuse chain.
+        let c_read = reads
+            .iter()
+            .find(|r| gemm.arrays()[r.array.index()].name == "C")
+            .expect("C read");
+        assert_eq!(reuse_level(&gemm, c_read), None);
+    }
+}

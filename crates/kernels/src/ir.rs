@@ -1,0 +1,696 @@
+//! The affine loop-nest intermediate representation.
+//!
+//! A [`Kernel`] is a perfect loop nest of `l` levels whose body is a sequence
+//! of statements `target[affine indices] = expr`, where `expr` is a tree of
+//! arithmetic operations over affine array reads and integer constants. All
+//! eight kernels evaluated in the HiMap paper fit this shape.
+
+use std::error::Error;
+use std::fmt;
+
+/// Integer vector indexing a point of the iteration space, outermost loop
+/// first (the paper's `CI_i`).
+pub type IterVec = Vec<i64>;
+
+/// Identifier of an array declared in a [`Kernel`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub(crate) u32);
+
+/// Identifier of a statement within a kernel body (program order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StmtId(pub(crate) u32);
+
+impl ArrayId {
+    /// Dense index of this array in declaration order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `ArrayId` from a dense index (declaration order).
+    pub fn from_index(index: usize) -> Self {
+        ArrayId(index as u32)
+    }
+}
+
+impl StmtId {
+    /// Dense index of this statement in program order.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `StmtId` from a dense index (program order).
+    pub fn from_index(index: usize) -> Self {
+        StmtId(index as u32)
+    }
+}
+
+impl fmt::Debug for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arr{}", self.0)
+    }
+}
+
+impl fmt::Debug for StmtId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stmt{}", self.0)
+    }
+}
+
+/// An affine expression over the loop iterators: `coeffs · i + constant`.
+///
+/// # Example
+///
+/// ```
+/// use himap_kernels::AffineExpr;
+///
+/// // j - 1 in a 2-level nest (i, j)
+/// let e = AffineExpr::new(vec![0, 1], -1);
+/// assert_eq!(e.eval(&[5, 3]), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct AffineExpr {
+    /// One coefficient per loop level, outermost first.
+    pub coeffs: Vec<i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl AffineExpr {
+    /// Creates an affine expression from coefficients and a constant.
+    pub fn new(coeffs: Vec<i64>, constant: i64) -> Self {
+        AffineExpr { coeffs, constant }
+    }
+
+    /// The expression that is just loop iterator `level`.
+    pub fn var(level: usize, dims: usize) -> Self {
+        let mut coeffs = vec![0; dims];
+        coeffs[level] = 1;
+        AffineExpr { coeffs, constant: 0 }
+    }
+
+    /// The constant expression `c`.
+    pub fn constant(c: i64, dims: usize) -> Self {
+        AffineExpr { coeffs: vec![0; dims], constant: c }
+    }
+
+    /// Evaluates the expression at an iteration point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iter.len()` differs from the number of coefficients.
+    pub fn eval(&self, iter: &[i64]) -> i64 {
+        assert_eq!(iter.len(), self.coeffs.len(), "iteration vector arity mismatch");
+        self.coeffs.iter().zip(iter).map(|(c, i)| c * i).sum::<i64>() + self.constant
+    }
+
+    /// `true` if iterator `level` has a non-zero coefficient.
+    pub fn uses_level(&self, level: usize) -> bool {
+        self.coeffs.get(level).is_some_and(|&c| c != 0)
+    }
+}
+
+impl fmt::Display for AffineExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = ["i", "j", "k", "l", "m", "n"];
+        let mut first = true;
+        for (lvl, &c) in self.coeffs.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let name = names.get(lvl).copied().unwrap_or("?");
+            if first {
+                match c {
+                    1 => write!(f, "{name}")?,
+                    -1 => write!(f, "-{name}")?,
+                    _ => write!(f, "{c}{name}")?,
+                }
+                first = false;
+            } else if c > 0 {
+                if c == 1 {
+                    write!(f, "+{name}")?;
+                } else {
+                    write!(f, "+{c}{name}")?;
+                }
+            } else if c == -1 {
+                write!(f, "-{name}")?;
+            } else {
+                write!(f, "{c}{name}")?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, "+{}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, "{}", self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+/// A reference to an array element with affine indices, e.g. `A[i][j-1]`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// The accessed array.
+    pub array: ArrayId,
+    /// One affine index expression per array dimension.
+    pub indices: Vec<AffineExpr>,
+}
+
+impl ArrayRef {
+    /// Creates an array reference.
+    pub fn new(array: ArrayId, indices: Vec<AffineExpr>) -> Self {
+        ArrayRef { array, indices }
+    }
+
+    /// Evaluates all index expressions at an iteration point.
+    pub fn element_at(&self, iter: &[i64]) -> Vec<i64> {
+        self.indices.iter().map(|e| e.eval(iter)).collect()
+    }
+
+    /// `true` if no index expression uses loop `level` — i.e. the same
+    /// element is accessed by every iteration along that level (data reuse).
+    pub fn invariant_in(&self, level: usize) -> bool {
+        self.indices.iter().all(|e| !e.uses_level(level))
+    }
+}
+
+/// Arithmetic operation kinds supported by the CGRA ALU model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Wrapping integer addition.
+    Add,
+    /// Wrapping integer subtraction.
+    Sub,
+    /// Wrapping integer multiplication.
+    Mul,
+    /// Minimum of two values.
+    Min,
+    /// Maximum of two values.
+    Max,
+}
+
+impl OpKind {
+    /// Applies the operation to two values (wrapping semantics).
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            OpKind::Add => a.wrapping_add(b),
+            OpKind::Sub => a.wrapping_sub(b),
+            OpKind::Mul => a.wrapping_mul(b),
+            OpKind::Min => a.min(b),
+            OpKind::Max => a.max(b),
+        }
+    }
+
+    /// Short lowercase mnemonic (`add`, `sub`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Min => "min",
+            OpKind::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// An expression tree in a statement body.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Load of an array element.
+    Read(ArrayRef),
+    /// Integer literal.
+    Const(i64),
+    /// Binary operation.
+    Binary(OpKind, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for a binary operation.
+    pub fn binary(op: OpKind, lhs: Expr, rhs: Expr) -> Self {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// Number of binary operations in this expression tree.
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Read(_) | Expr::Const(_) => 0,
+            Expr::Binary(_, l, r) => 1 + l.op_count() + r.op_count(),
+        }
+    }
+
+    /// Collects all array reads in evaluation (left-to-right, post-order) order.
+    pub fn reads(&self) -> Vec<&ArrayRef> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads<'a>(&'a self, out: &mut Vec<&'a ArrayRef>) {
+        match self {
+            Expr::Read(r) => out.push(r),
+            Expr::Const(_) => {}
+            Expr::Binary(_, l, r) => {
+                l.collect_reads(out);
+                r.collect_reads(out);
+            }
+        }
+    }
+}
+
+/// One assignment in the kernel body: `target = value`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Statement {
+    /// Array element written by this statement.
+    pub target: ArrayRef,
+    /// Right-hand side expression.
+    pub value: Expr,
+}
+
+/// Declaration of an array used by a kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of dimensions.
+    pub rank: usize,
+}
+
+/// A perfect affine loop nest with a straight-line body.
+///
+/// Loop extents are not part of the kernel: the block size `(b1, …, bl)` is
+/// supplied when the DFG is unrolled, mirroring the paper where block sizes
+/// are chosen per CGRA size.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    name: String,
+    dims: usize,
+    arrays: Vec<ArrayDecl>,
+    stmts: Vec<Statement>,
+    mem_routed: Vec<(u32, u8)>,
+}
+
+/// Error produced when building an ill-formed [`Kernel`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelError {
+    /// A statement refers to an array id that was never declared.
+    UnknownArray(ArrayId),
+    /// An array reference has the wrong number of indices.
+    RankMismatch {
+        /// The offending array.
+        array: ArrayId,
+        /// Declared rank.
+        expected: usize,
+        /// Number of indices supplied.
+        found: usize,
+    },
+    /// An affine expression has the wrong number of coefficients.
+    ArityMismatch {
+        /// Loop-nest depth of the kernel.
+        expected: usize,
+        /// Coefficients supplied.
+        found: usize,
+    },
+    /// The kernel body is empty.
+    EmptyBody,
+    /// A memory-routing mark refers to a non-existent statement or read.
+    BadMemRouted {
+        /// Statement index of the mark.
+        stmt: usize,
+        /// Read index of the mark.
+        read: u8,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::UnknownArray(a) => write!(f, "statement references undeclared {a:?}"),
+            KernelError::RankMismatch { array, expected, found } => {
+                write!(f, "{array:?} has rank {expected} but was indexed with {found} indices")
+            }
+            KernelError::ArityMismatch { expected, found } => {
+                write!(f, "affine expression has {found} coefficients, kernel has {expected} loops")
+            }
+            KernelError::EmptyBody => write!(f, "kernel body has no statements"),
+            KernelError::BadMemRouted { stmt, read } => {
+                write!(f, "memory-routing mark (stmt {stmt}, read {read}) does not exist")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+impl Kernel {
+    /// Kernel name (e.g. `"bicg"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Loop-nest depth `l` (the paper's `Dim`).
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// Body statements in program order.
+    pub fn stmts(&self) -> &[Statement] {
+        &self.stmts
+    }
+
+    /// Statement by id.
+    pub fn stmt(&self, id: StmtId) -> &Statement {
+        &self.stmts[id.index()]
+    }
+
+    /// Number of binary compute operations executed per iteration
+    /// (the `|V_F|` of one IDFG).
+    pub fn compute_ops_per_iteration(&self) -> usize {
+        self.stmts.iter().map(|s| s.value.op_count().max(1)).sum()
+    }
+
+    /// `true` if read access `read` (evaluation order) of statement `stmt`
+    /// is routed through data memory rather than the mesh.
+    ///
+    /// Memory-routed reads model dependence patterns that no linear systolic
+    /// schedule can carry over mesh links — Floyd–Warshall's pivot row and
+    /// column broadcasts. The value travels through the PE-local data
+    /// memories / on-chip banks: the producing iteration stores it, each
+    /// consuming iteration loads it, and the mapper only has to prove that
+    /// the store's macro step precedes the load's.
+    pub fn is_mem_routed(&self, stmt: StmtId, read: u8) -> bool {
+        self.mem_routed.contains(&(stmt.index() as u32, read))
+    }
+
+    /// All memory-routed `(statement, read)` pairs.
+    pub fn mem_routed_reads(&self) -> impl Iterator<Item = (StmtId, u8)> + '_ {
+        self.mem_routed.iter().map(|&(s, r)| (StmtId(s), r))
+    }
+
+    /// Iterates over all points of the block `(b1, …, bl)` in lexicographic
+    /// order (outermost loop slowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block.len()` differs from [`Kernel::dims`].
+    pub fn iteration_space(&self, block: &[usize]) -> IterationSpace {
+        assert_eq!(block.len(), self.dims, "block size arity mismatch");
+        IterationSpace { block: block.to_vec(), next: Some(vec![0; self.dims]) }
+    }
+}
+
+/// Iterator over the points of an iteration-space block in lexicographic
+/// order. Created by [`Kernel::iteration_space`].
+#[derive(Clone, Debug)]
+pub struct IterationSpace {
+    block: Vec<usize>,
+    next: Option<IterVec>,
+}
+
+impl Iterator for IterationSpace {
+    type Item = IterVec;
+
+    fn next(&mut self) -> Option<IterVec> {
+        let current = self.next.clone()?;
+        if self.block.contains(&0) {
+            self.next = None;
+            return None;
+        }
+        // Advance like an odometer, innermost fastest.
+        let mut bump = current.clone();
+        let mut level = self.block.len();
+        loop {
+            if level == 0 {
+                self.next = None;
+                break;
+            }
+            level -= 1;
+            bump[level] += 1;
+            if (bump[level] as usize) < self.block[level] {
+                self.next = Some(bump);
+                break;
+            }
+            bump[level] = 0;
+        }
+        Some(current)
+    }
+}
+
+/// Builder for [`Kernel`]. Validates array ranks and affine arities.
+///
+/// # Example
+///
+/// ```
+/// use himap_kernels::{AffineExpr, ArrayRef, Expr, KernelBuilder, OpKind};
+///
+/// # fn main() -> Result<(), himap_kernels::KernelError> {
+/// let mut b = KernelBuilder::new("axpy2d", 2);
+/// let x = b.array("x", 2);
+/// let y = b.array("y", 2);
+/// let idx = vec![AffineExpr::var(0, 2), AffineExpr::var(1, 2)];
+/// b.stmt(
+///     ArrayRef::new(y, idx.clone()),
+///     Expr::binary(
+///         OpKind::Add,
+///         Expr::Read(ArrayRef::new(y, idx.clone())),
+///         Expr::Read(ArrayRef::new(x, idx)),
+///     ),
+/// );
+/// let kernel = b.build()?;
+/// assert_eq!(kernel.compute_ops_per_iteration(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct KernelBuilder {
+    name: String,
+    dims: usize,
+    arrays: Vec<ArrayDecl>,
+    stmts: Vec<Statement>,
+    mem_routed: Vec<(u32, u8)>,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel with the given name and loop depth.
+    pub fn new(name: impl Into<String>, dims: usize) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            dims,
+            arrays: Vec::new(),
+            stmts: Vec::new(),
+            mem_routed: Vec::new(),
+        }
+    }
+
+    /// Marks read access `read` of statement `stmt` as routed through data
+    /// memory (see [`Kernel::is_mem_routed`]).
+    pub fn route_read_via_memory(&mut self, stmt: StmtId, read: u8) {
+        self.mem_routed.push((stmt.index() as u32, read));
+    }
+
+    /// Declares an array and returns its id.
+    pub fn array(&mut self, name: impl Into<String>, rank: usize) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(ArrayDecl { name: name.into(), rank });
+        id
+    }
+
+    /// Appends a body statement and returns its id.
+    pub fn stmt(&mut self, target: ArrayRef, value: Expr) -> StmtId {
+        let id = StmtId(self.stmts.len() as u32);
+        self.stmts.push(Statement { target, value });
+        id
+    }
+
+    /// Finalizes the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`KernelError`] if the body is empty, an array reference is
+    /// malformed, or an affine expression has the wrong arity.
+    pub fn build(self) -> Result<Kernel, KernelError> {
+        if self.stmts.is_empty() {
+            return Err(KernelError::EmptyBody);
+        }
+        let check_ref = |r: &ArrayRef| -> Result<(), KernelError> {
+            let decl = self
+                .arrays
+                .get(r.array.index())
+                .ok_or(KernelError::UnknownArray(r.array))?;
+            if r.indices.len() != decl.rank {
+                return Err(KernelError::RankMismatch {
+                    array: r.array,
+                    expected: decl.rank,
+                    found: r.indices.len(),
+                });
+            }
+            for idx in &r.indices {
+                if idx.coeffs.len() != self.dims {
+                    return Err(KernelError::ArityMismatch {
+                        expected: self.dims,
+                        found: idx.coeffs.len(),
+                    });
+                }
+            }
+            Ok(())
+        };
+        for stmt in &self.stmts {
+            check_ref(&stmt.target)?;
+            for read in stmt.value.reads() {
+                check_ref(read)?;
+            }
+        }
+        for &(s, r) in &self.mem_routed {
+            let valid = self
+                .stmts
+                .get(s as usize)
+                .is_some_and(|stmt| (r as usize) < stmt.value.reads().len());
+            if !valid {
+                return Err(KernelError::BadMemRouted { stmt: s as usize, read: r });
+            }
+        }
+        Ok(Kernel {
+            name: self.name,
+            dims: self.dims,
+            arrays: self.arrays,
+            stmts: self.stmts,
+            mem_routed: self.mem_routed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affine_eval() {
+        let e = AffineExpr::new(vec![2, -1], 3);
+        assert_eq!(e.eval(&[1, 4]), 2 - 4 + 3);
+        assert!(e.uses_level(0));
+        assert!(e.uses_level(1));
+        assert!(!AffineExpr::constant(5, 2).uses_level(0));
+    }
+
+    #[test]
+    fn affine_display() {
+        assert_eq!(AffineExpr::var(0, 2).to_string(), "i");
+        assert_eq!(AffineExpr::new(vec![0, 1], -1).to_string(), "j-1");
+        assert_eq!(AffineExpr::new(vec![1, 1], 0).to_string(), "i+j");
+        assert_eq!(AffineExpr::constant(7, 2).to_string(), "7");
+        assert_eq!(AffineExpr::new(vec![-1, 0], 2).to_string(), "-i+2");
+    }
+
+    #[test]
+    fn op_kind_semantics() {
+        assert_eq!(OpKind::Add.apply(2, 3), 5);
+        assert_eq!(OpKind::Sub.apply(2, 3), -1);
+        assert_eq!(OpKind::Mul.apply(4, -2), -8);
+        assert_eq!(OpKind::Min.apply(4, -2), -2);
+        assert_eq!(OpKind::Max.apply(4, -2), 4);
+        assert_eq!(OpKind::Add.apply(i64::MAX, 1), i64::MIN);
+    }
+
+    #[test]
+    fn expr_op_count_and_reads() {
+        let dims = 2;
+        let a = ArrayRef::new(ArrayId(0), vec![AffineExpr::var(0, dims)]);
+        let b = ArrayRef::new(ArrayId(1), vec![AffineExpr::var(1, dims)]);
+        let e = Expr::binary(
+            OpKind::Add,
+            Expr::Read(a.clone()),
+            Expr::binary(OpKind::Mul, Expr::Read(b.clone()), Expr::Const(2)),
+        );
+        assert_eq!(e.op_count(), 2);
+        let reads = e.reads();
+        assert_eq!(reads.len(), 2);
+        assert_eq!(reads[0], &a);
+        assert_eq!(reads[1], &b);
+    }
+
+    #[test]
+    fn iteration_space_order() {
+        let kernel = simple_kernel();
+        let pts: Vec<_> = kernel.iteration_space(&[2, 3]).collect();
+        assert_eq!(pts.len(), 6);
+        assert_eq!(pts[0], vec![0, 0]);
+        assert_eq!(pts[1], vec![0, 1]);
+        assert_eq!(pts[2], vec![0, 2]);
+        assert_eq!(pts[3], vec![1, 0]);
+        assert_eq!(pts[5], vec![1, 2]);
+    }
+
+    #[test]
+    fn iteration_space_empty_block() {
+        let kernel = simple_kernel();
+        assert_eq!(kernel.iteration_space(&[0, 3]).count(), 0);
+    }
+
+    fn simple_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("t", 2);
+        let a = b.array("a", 2);
+        let idx = vec![AffineExpr::var(0, 2), AffineExpr::var(1, 2)];
+        b.stmt(
+            ArrayRef::new(a, idx.clone()),
+            Expr::binary(
+                OpKind::Add,
+                Expr::Read(ArrayRef::new(a, idx)),
+                Expr::Const(1),
+            ),
+        );
+        b.build().expect("valid kernel")
+    }
+
+    #[test]
+    fn builder_validates_rank() {
+        let mut b = KernelBuilder::new("bad", 2);
+        let a = b.array("a", 2);
+        b.stmt(
+            ArrayRef::new(a, vec![AffineExpr::var(0, 2)]),
+            Expr::Const(0),
+        );
+        match b.build() {
+            Err(KernelError::RankMismatch { expected, found, .. }) => {
+                assert_eq!(expected, 2);
+                assert_eq!(found, 1);
+            }
+            other => panic!("expected rank mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_validates_arity() {
+        let mut b = KernelBuilder::new("bad", 3);
+        let a = b.array("a", 1);
+        b.stmt(
+            ArrayRef::new(a, vec![AffineExpr::var(0, 2)]),
+            Expr::Const(0),
+        );
+        assert!(matches!(b.build(), Err(KernelError::ArityMismatch { expected: 3, found: 2 })));
+    }
+
+    #[test]
+    fn builder_rejects_empty_body() {
+        let b = KernelBuilder::new("empty", 1);
+        assert_eq!(b.build().unwrap_err(), KernelError::EmptyBody);
+    }
+
+    #[test]
+    fn invariant_detection() {
+        let r = ArrayRef::new(ArrayId(0), vec![AffineExpr::var(0, 3)]);
+        assert!(!r.invariant_in(0));
+        assert!(r.invariant_in(1));
+        assert!(r.invariant_in(2));
+    }
+}

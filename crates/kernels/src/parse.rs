@@ -1,0 +1,511 @@
+//! A textual front-end for the kernel IR.
+//!
+//! The paper's compiler "accepts the C source code of the target kernel as
+//! input". This module provides the equivalent user-facing surface for the
+//! affine IR: a small kernel DSL with loop iterators, affine array accesses
+//! and arithmetic expressions.
+//!
+//! # Grammar
+//!
+//! ```text
+//! kernel   := "kernel" IDENT "(" IDENT ("," IDENT)* ")" "{" stmt+ "}"
+//! stmt     := access "=" expr ";"
+//! expr     := term  (("+" | "-") term)*
+//! term     := factor ("*" factor)*
+//! factor   := "min" "(" expr "," expr ")"
+//!           | "max" "(" expr "," expr ")"
+//!           | "@mem"? access
+//!           | INT
+//!           | "(" expr ")"
+//! access   := IDENT ("[" affine "]")+
+//! affine   := aterm (("+" | "-") aterm)*
+//! aterm    := INT ("*" IDENT)? | IDENT
+//! ```
+//!
+//! `@mem` marks a read as memory-routed (see
+//! [`Kernel::is_mem_routed`](crate::Kernel::is_mem_routed)) — used for
+//! Floyd–Warshall's pivot reads.
+//!
+//! # Example
+//!
+//! ```
+//! use himap_kernels::parse_kernel;
+//!
+//! let gemm = parse_kernel(
+//!     "kernel gemm(i, j, k) {
+//!          C[i][j] = C[i][j] + A[i][k] * B[k][j];
+//!      }",
+//! )?;
+//! assert_eq!(gemm.dims(), 3);
+//! assert_eq!(gemm.compute_ops_per_iteration(), 2);
+//! # Ok::<(), himap_kernels::ParseError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::ir::{AffineExpr, ArrayId, ArrayRef, Expr, Kernel, KernelBuilder, OpKind};
+
+/// Error produced by [`parse_kernel`], with a byte offset into the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the offending token.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Sym(char),
+    AtMem,
+}
+
+struct Lexer {
+    toks: Vec<(usize, Tok)>,
+    pos: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<(usize, Tok)>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '#' {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push((start, Tok::Ident(src[start..i].to_string())));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let value = src[start..i]
+                .parse()
+                .map_err(|_| ParseError { at: start, message: "integer overflow".into() })?;
+            toks.push((start, Tok::Int(value)));
+        } else if c == '@' {
+            let start = i;
+            if src[i..].starts_with("@mem") {
+                i += 4;
+                toks.push((start, Tok::AtMem));
+            } else {
+                return Err(ParseError { at: i, message: "unknown annotation".into() });
+            }
+        } else if "(){}[],;=+-*".contains(c) {
+            toks.push((i, Tok::Sym(c)));
+            i += 1;
+        } else {
+            return Err(ParseError { at: i, message: format!("unexpected character `{c}`") });
+        }
+    }
+    Ok(toks)
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(_, t)| t)
+    }
+
+    fn at(&self) -> usize {
+        self.toks.get(self.pos).map_or(usize::MAX, |(a, _)| *a)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(_, t)| t.clone());
+        self.pos += 1;
+        t
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(Tok::Sym(s)) if s == c => Ok(()),
+            other => Err(ParseError { at, message: format!("expected `{c}`, found {other:?}") }),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        let at = self.at();
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => {
+                Err(ParseError { at, message: format!("expected identifier, found {other:?}") })
+            }
+        }
+    }
+
+    fn eat_sym(&mut self, c: char) -> bool {
+        if self.peek() == Some(&Tok::Sym(c)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+struct Parser {
+    lexer: Lexer,
+    iters: Vec<String>,
+    arrays: HashMap<String, (ArrayId, usize)>,
+    builder: KernelBuilder,
+    /// Memory-routing marks collected per statement: read indices.
+    mem_reads: Vec<Vec<u8>>,
+    /// Read counter within the current statement.
+    read_counter: u8,
+    current_mem_reads: Vec<u8>,
+}
+
+/// Parses a kernel definition from the DSL (see the module docs for the
+/// grammar and an example).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a byte offset on malformed input, or if the
+/// resulting kernel fails IR validation.
+pub fn parse_kernel(src: &str) -> Result<Kernel, ParseError> {
+    let lexer = Lexer { toks: lex(src)?, pos: 0 };
+    let mut p = Parser {
+        lexer,
+        iters: Vec::new(),
+        arrays: HashMap::new(),
+        builder: KernelBuilder::new("", 0),
+        mem_reads: Vec::new(),
+        read_counter: 0,
+        current_mem_reads: Vec::new(),
+    };
+    p.kernel()
+}
+
+impl Parser {
+    fn kernel(&mut self) -> Result<Kernel, ParseError> {
+        let at = self.lexer.at();
+        let kw = self.lexer.expect_ident()?;
+        if kw != "kernel" {
+            return Err(ParseError { at, message: "expected `kernel`".into() });
+        }
+        let name = self.lexer.expect_ident()?;
+        self.lexer.expect_sym('(')?;
+        loop {
+            self.iters.push(self.lexer.expect_ident()?);
+            if !self.lexer.eat_sym(',') {
+                break;
+            }
+        }
+        self.lexer.expect_sym(')')?;
+        self.builder = KernelBuilder::new(name, self.iters.len());
+        self.lexer.expect_sym('{')?;
+        while !self.lexer.eat_sym('}') {
+            self.stmt()?;
+        }
+        if let Some(t) = self.lexer.peek() {
+            return Err(ParseError {
+                at: self.lexer.at(),
+                message: format!("trailing input after kernel body: {t:?}"),
+            });
+        }
+        // Apply memory-routing marks.
+        let mem_reads = std::mem::take(&mut self.mem_reads);
+        let mut builder = std::mem::replace(&mut self.builder, KernelBuilder::new("", 0));
+        for (sid, reads) in mem_reads.into_iter().enumerate() {
+            for r in reads {
+                builder
+                    .route_read_via_memory(crate::ir::StmtId::from_index(sid), r);
+            }
+        }
+        builder.build().map_err(|e| ParseError { at: 0, message: e.to_string() })
+    }
+
+    fn stmt(&mut self) -> Result<(), ParseError> {
+        self.read_counter = 0;
+        self.current_mem_reads = Vec::new();
+        let target = self.access()?;
+        self.lexer.expect_sym('=')?;
+        let value = self.expr()?;
+        self.lexer.expect_sym(';')?;
+        self.builder.stmt(target, value);
+        let marks = std::mem::take(&mut self.current_mem_reads);
+        self.mem_reads.push(marks);
+        Ok(())
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.lexer.eat_sym('+') {
+                let rhs = self.term()?;
+                lhs = Expr::binary(OpKind::Add, lhs, rhs);
+            } else if self.lexer.eat_sym('-') {
+                let rhs = self.term()?;
+                lhs = Expr::binary(OpKind::Sub, lhs, rhs);
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        while self.lexer.eat_sym('*') {
+            let rhs = self.factor()?;
+            lhs = Expr::binary(OpKind::Mul, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let at = self.lexer.at();
+        match self.lexer.peek().cloned() {
+            Some(Tok::AtMem) => {
+                self.lexer.next();
+                self.current_mem_reads.push(self.read_counter);
+                let access = self.access()?;
+                self.read_counter += 1;
+                Ok(Expr::Read(access))
+            }
+            Some(Tok::Ident(name)) if name == "min" || name == "max" => {
+                self.lexer.next();
+                let op = if name == "min" { OpKind::Min } else { OpKind::Max };
+                self.lexer.expect_sym('(')?;
+                let a = self.expr()?;
+                self.lexer.expect_sym(',')?;
+                let b = self.expr()?;
+                self.lexer.expect_sym(')')?;
+                Ok(Expr::binary(op, a, b))
+            }
+            Some(Tok::Ident(_)) => {
+                let access = self.access()?;
+                self.read_counter += 1;
+                Ok(Expr::Read(access))
+            }
+            Some(Tok::Int(v)) => {
+                self.lexer.next();
+                Ok(Expr::Const(v))
+            }
+            Some(Tok::Sym('(')) => {
+                self.lexer.next();
+                let e = self.expr()?;
+                self.lexer.expect_sym(')')?;
+                Ok(e)
+            }
+            other => Err(ParseError { at, message: format!("expected expression, found {other:?}") }),
+        }
+    }
+
+    fn access(&mut self) -> Result<ArrayRef, ParseError> {
+        let at = self.lexer.at();
+        let name = self.lexer.expect_ident()?;
+        if self.iters.contains(&name) {
+            return Err(ParseError {
+                at,
+                message: format!("`{name}` is a loop iterator, not an array"),
+            });
+        }
+        let mut indices = Vec::new();
+        while self.lexer.eat_sym('[') {
+            indices.push(self.affine()?);
+            self.lexer.expect_sym(']')?;
+        }
+        if indices.is_empty() {
+            return Err(ParseError { at, message: format!("array `{name}` used without index") });
+        }
+        let rank = indices.len();
+        let id = match self.arrays.get(&name) {
+            Some(&(id, declared_rank)) => {
+                if declared_rank != rank {
+                    return Err(ParseError {
+                        at,
+                        message: format!(
+                            "array `{name}` used with rank {rank} but previously rank {declared_rank}"
+                        ),
+                    });
+                }
+                id
+            }
+            None => {
+                let id = self.builder.array(name.clone(), rank);
+                self.arrays.insert(name, (id, rank));
+                id
+            }
+        };
+        Ok(ArrayRef::new(id, indices))
+    }
+
+    /// Affine index expression: signed sum of `INT`, `IDENT`, `INT*IDENT`.
+    fn affine(&mut self) -> Result<AffineExpr, ParseError> {
+        let dims = self.iters.len();
+        let mut coeffs = vec![0i64; dims];
+        let mut constant = 0i64;
+        let mut sign = 1i64;
+        loop {
+            let at = self.lexer.at();
+            match self.lexer.next() {
+                Some(Tok::Int(v)) => {
+                    if self.lexer.eat_sym('*') {
+                        let ident = self.lexer.expect_ident()?;
+                        let level = self.iter_level(&ident, at)?;
+                        coeffs[level] += sign * v;
+                    } else {
+                        constant += sign * v;
+                    }
+                }
+                Some(Tok::Ident(ident)) => {
+                    let level = self.iter_level(&ident, at)?;
+                    coeffs[level] += sign;
+                }
+                other => {
+                    return Err(ParseError {
+                        at,
+                        message: format!("expected affine term, found {other:?}"),
+                    })
+                }
+            }
+            if self.lexer.eat_sym('+') {
+                sign = 1;
+            } else if self.lexer.eat_sym('-') {
+                sign = -1;
+            } else {
+                return Ok(AffineExpr::new(coeffs, constant));
+            }
+        }
+    }
+
+    fn iter_level(&self, ident: &str, at: usize) -> Result<usize, ParseError> {
+        self.iters.iter().position(|i| i == ident).ok_or_else(|| ParseError {
+            at,
+            message: format!("unknown iterator `{ident}`"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deps::classify;
+    use crate::suite;
+
+    #[test]
+    fn parses_gemm() {
+        let k = parse_kernel(
+            "kernel gemm(i, j, k) {
+                 C[i][j] = C[i][j] + A[i][k] * B[k][j];
+             }",
+        )
+        .expect("parses");
+        assert_eq!(k.name(), "gemm");
+        assert_eq!(k.dims(), 3);
+        assert_eq!(k.compute_ops_per_iteration(), 2);
+        assert_eq!(classify(&k), classify(&suite::gemm()));
+    }
+
+    #[test]
+    fn parses_bicg_with_two_statements() {
+        let k = parse_kernel(
+            "kernel bicg(i, j) {
+                 s[j] = s[j] + r[i] * A[i][j];
+                 q[i] = q[i] + A[i][j] * p[j];
+             }",
+        )
+        .expect("parses");
+        assert_eq!(k.stmts().len(), 2);
+        assert_eq!(k.compute_ops_per_iteration(), 4);
+        assert_eq!(classify(&k), classify(&suite::bicg()));
+    }
+
+    #[test]
+    fn parses_floyd_warshall_with_mem_annotations() {
+        let k = parse_kernel(
+            "kernel fw(k, i, j) {
+                 D[k+1][i][j] = min(D[k][i][j], @mem D[k][i][k] + @mem D[k][k][j]);
+             }",
+        )
+        .expect("parses");
+        assert_eq!(k.compute_ops_per_iteration(), 2);
+        // Reads in evaluation order: 0 = D[k][i][j], 1 and 2 = pivots.
+        let stmt = crate::ir::StmtId::from_index(0);
+        assert!(!k.is_mem_routed(stmt, 0));
+        assert!(k.is_mem_routed(stmt, 1));
+        assert!(k.is_mem_routed(stmt, 2));
+    }
+
+    #[test]
+    fn affine_indices_with_offsets_and_coefficients() {
+        let k = parse_kernel(
+            "kernel s(i, j) {
+                 y[i][j] = x[2*i+1][j-1] + 3;
+             }",
+        )
+        .expect("parses");
+        let reads = k.stmts()[0].value.reads();
+        assert_eq!(reads[0].indices[0], AffineExpr::new(vec![2, 0], 1));
+        assert_eq!(reads[0].indices[1], AffineExpr::new(vec![0, 1], -1));
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        let k = parse_kernel(
+            "# matrix-vector accumulate\n\
+             kernel mv(i, j) {\n\
+                 y[i] = y[i] + A[i][j] * x[j]; # MAC\n\
+             }",
+        )
+        .expect("parses");
+        assert_eq!(k.name(), "mv");
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_kernel("kernel bad(i) { y[i] = ; }").unwrap_err();
+        assert!(err.at > 0);
+        assert!(err.message.contains("expected expression"));
+        let err = parse_kernel("kernel bad(i) { y[i] = x[q]; }").unwrap_err();
+        assert!(err.message.contains("unknown iterator"));
+        let err = parse_kernel("kernel bad(i) { y[i] = y[i][i] + 1; }").unwrap_err();
+        assert!(err.message.contains("rank"));
+    }
+
+    #[test]
+    fn iterator_cannot_be_read_as_array() {
+        let err = parse_kernel("kernel bad(i) { y[i] = i + 1; }").unwrap_err();
+        assert!(err.message.contains("loop iterator"));
+    }
+
+    #[test]
+    fn parsed_kernels_match_suite_dfgs() {
+        // The parsed GEMM produces the same unrolled dependence structure as
+        // the programmatic one.
+        let parsed = parse_kernel(
+            "kernel gemm(i, j, k) {
+                 C[i][j] = C[i][j] + A[i][k] * B[k][j];
+             }",
+        )
+        .expect("parses");
+        let a = crate::DepAnalysis::of(&parsed);
+        let b = crate::DepAnalysis::of(&suite::gemm());
+        assert_eq!(a.flow_distances(), b.flow_distances());
+        assert_eq!(a.carried_levels, b.carried_levels);
+    }
+}

@@ -1,0 +1,810 @@
+//! The negotiated-congestion router.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use himap_cgra::{Mrrg, RKind, RNode};
+
+/// Identifier of a routed signal — typically the DFG node index of the value
+/// producer. Two routes with the same `SignalId` may share resources
+/// (fan-out); different signals on one resource oversubscribe it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub u32);
+
+/// Constraint on a route's elapsed cycle count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Elapsed {
+    /// Exactly this many cycles (a dependence with fixed producer and
+    /// consumer schedule times).
+    Exact(u32),
+    /// At most this many cycles (e.g. a load whose earliest legal issue
+    /// cycle is bounded by a store's visibility).
+    AtMost(u32),
+}
+
+/// Tuning knobs of the PathFinder negotiation scheme.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Cost of entering a free routing resource.
+    pub base_cost: f64,
+    /// Cost of re-entering a resource already carrying the same signal.
+    pub same_signal_cost: f64,
+    /// History increment added per unit of oversubscription each round.
+    pub history_increment: f64,
+    /// Present-congestion penalty per extra distinct signal.
+    pub present_factor: f64,
+    /// Elapsed-cycle cap used when a route has no exact budget.
+    pub default_elapsed_cap: u32,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            base_cost: 1.0,
+            same_signal_cost: 0.01,
+            history_increment: 2.0,
+            present_factor: 8.0,
+            default_elapsed_cap: 64,
+        }
+    }
+}
+
+/// A successfully searched route. Resource occupancy is only recorded when
+/// the path is [`Router::commit`]ted.
+#[derive(Clone, Debug)]
+pub struct RoutedPath {
+    /// The signal this path carries.
+    pub signal: SignalId,
+    /// Nodes from source to target inclusive.
+    pub nodes: Vec<RNode>,
+    /// Cycles elapsed from source to target.
+    pub elapsed: u32,
+    /// Accumulated negotiation cost (diagnostic).
+    pub cost: f64,
+}
+
+impl RoutedPath {
+    /// The node that delivers the signal into the target — the last node
+    /// before the target, or the source itself for direct feeds.
+    pub fn delivery(&self) -> RNode {
+        if self.nodes.len() >= 2 {
+            self.nodes[self.nodes.len() - 2]
+        } else {
+            self.nodes[0]
+        }
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    cost: f64,
+    node: RNode,
+    elapsed: u32,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("routing costs are never NaN")
+            .then_with(|| (other.node, other.elapsed).cmp(&(self.node, self.elapsed)))
+    }
+}
+
+/// PathFinder router over an implicit MRRG.
+///
+/// See the crate docs for the congestion model and an example.
+#[derive(Clone, Debug)]
+pub struct Router {
+    mrrg: Mrrg,
+    /// Distinct signals currently claiming each resource.
+    present: HashMap<RNode, Vec<SignalId>>,
+    /// Accumulated history cost per resource.
+    history: HashMap<RNode, f64>,
+    config: RouterConfig,
+}
+
+impl Router {
+    /// Creates a router over an MRRG.
+    pub fn new(mrrg: Mrrg, config: RouterConfig) -> Self {
+        Router { mrrg, present: HashMap::new(), history: HashMap::new(), config }
+    }
+
+    /// The routing-resource graph.
+    pub fn mrrg(&self) -> &Mrrg {
+        &self.mrrg
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Cost of `signal` entering `node` under the current congestion state.
+    pub fn node_cost(&self, node: RNode, signal: SignalId) -> f64 {
+        let occupants = self.present.get(&node);
+        if occupants.is_some_and(|o| o.contains(&signal)) {
+            return self.config.same_signal_cost;
+        }
+        let distinct = occupants.map_or(0, |o| o.len());
+        let capacity = self.mrrg.spec().capacity(node.kind);
+        let over = (distinct + 1).saturating_sub(capacity);
+        self.config.base_cost
+            + self.history.get(&node).copied().unwrap_or(0.0)
+            + over as f64 * self.config.present_factor
+    }
+
+    /// Searches a least-cost route for `signal` from any of `sources` to
+    /// `target`, optionally with an exact elapsed-cycle budget.
+    ///
+    /// The search never routes *through* FU or memory resources: an
+    /// [`RKind::Fu`] node may only start (the producer) or end (the
+    /// consumer) a path, an [`RKind::Mem`] node may only start one. The
+    /// target FU itself costs nothing — its legality is the placer's job.
+    ///
+    /// Returns `None` if no route exists within the budget.
+    pub fn route(
+        &self,
+        signal: SignalId,
+        sources: &[RNode],
+        target: RNode,
+        intended_elapsed: Option<u32>,
+    ) -> Option<RoutedPath> {
+        self.route_filtered(signal, sources, target, intended_elapsed, |_| true)
+    }
+
+    /// Like [`Router::route`], but restricted to resources for which
+    /// `allowed` returns `true` (sources and the target are always allowed).
+    ///
+    /// HiMap uses this to confine routes to the bounding box of the
+    /// producing and consuming sub-CGRAs, so that replicating a route
+    /// pattern across the array can never push it out of bounds.
+    pub fn route_filtered(
+        &self,
+        signal: SignalId,
+        sources: &[RNode],
+        target: RNode,
+        intended_elapsed: Option<u32>,
+        allowed: impl Fn(RNode) -> bool,
+    ) -> Option<RoutedPath> {
+        let constraint = match intended_elapsed {
+            Some(e) => Elapsed::Exact(e),
+            None => Elapsed::AtMost(self.config.default_elapsed_cap),
+        };
+        self.route_constrained(signal, sources, target, constraint, allowed)
+    }
+
+    /// The most general routing entry point: explicit elapsed constraint
+    /// plus a resource filter.
+    pub fn route_constrained(
+        &self,
+        signal: SignalId,
+        sources: &[RNode],
+        target: RNode,
+        constraint: Elapsed,
+        allowed: impl Fn(RNode) -> bool,
+    ) -> Option<RoutedPath> {
+        let (cap, intended_elapsed) = match constraint {
+            Elapsed::Exact(e) => (e, Some(e)),
+            Elapsed::AtMost(m) => (m, None),
+        };
+        let mut dist: HashMap<(RNode, u32), f64> = HashMap::new();
+        let mut prev: HashMap<(RNode, u32), (RNode, u32)> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        for &src in sources {
+            debug_assert!(self.mrrg.contains(src), "source {src:?} outside MRRG");
+            let at_target =
+                src == target && intended_elapsed.is_none_or(|e| e == 0);
+            if at_target {
+                return Some(RoutedPath { signal, nodes: vec![src], elapsed: 0, cost: 0.0 });
+            }
+            dist.insert((src, 0), 0.0);
+            heap.push(HeapEntry { cost: 0.0, node: src, elapsed: 0 });
+        }
+        let ii = self.mrrg.ii() as u32;
+        while let Some(HeapEntry { cost, node, elapsed }) = heap.pop() {
+            if dist.get(&(node, elapsed)).is_some_and(|&d| cost > d) {
+                continue;
+            }
+            if node == target && (elapsed > 0 || !sources.contains(&node)) {
+                // Popped the target: minimal cost confirmed (exact-elapsed
+                // filtering happened at insertion).
+                let mut nodes = vec![node];
+                let mut cur = (node, elapsed);
+                while let Some(&p) = prev.get(&cur) {
+                    nodes.push(p.0);
+                    cur = p;
+                }
+                nodes.reverse();
+                return Some(RoutedPath { signal, nodes, elapsed, cost });
+            }
+            // Never expand out of a consumer FU; producer FUs (sources) were
+            // seeded with elapsed 0 and get their one expansion.
+            if node.kind == RKind::Fu && elapsed > 0 {
+                continue;
+            }
+            for succ in self.mrrg.successors(node) {
+                let dt = (succ.t + ii - node.t) % ii;
+                let next_elapsed = elapsed + dt;
+                if next_elapsed > cap {
+                    continue;
+                }
+                // FU nodes only terminate a path; Mem nodes only start one.
+                if succ.kind == RKind::Mem {
+                    continue;
+                }
+                let is_target = succ == target;
+                if succ.kind == RKind::Fu && !is_target {
+                    continue;
+                }
+                if !is_target && !allowed(succ) {
+                    continue;
+                }
+                if is_target {
+                    if let Some(exact) = intended_elapsed {
+                        if next_elapsed != exact {
+                            continue;
+                        }
+                    }
+                }
+                let step = if is_target { 0.0 } else { self.node_cost(succ, signal) };
+                let next_cost = cost + step;
+                let key = (succ, next_elapsed);
+                if dist.get(&key).is_none_or(|&d| next_cost < d) {
+                    dist.insert(key, next_cost);
+                    prev.insert(key, (node, elapsed));
+                    heap.push(HeapEntry { cost: next_cost, node: succ, elapsed: next_elapsed });
+                }
+            }
+        }
+        None
+    }
+
+    /// Net-extension routing: sources carry individual absolute times and
+    /// the value must arrive at `target` exactly at `target_abs`.
+    ///
+    /// This is how a multi-terminal net grows: a signal already routed to
+    /// one consumer exists on *every* resource of that path (wires in
+    /// flight, registers holding), and a further consumer may tap any of
+    /// them. Sources later than `target_abs` are ignored.
+    pub fn route_timed(
+        &self,
+        signal: SignalId,
+        sources: &[(RNode, i64)],
+        target: RNode,
+        target_abs: i64,
+        allowed: impl Fn(RNode) -> bool,
+    ) -> Option<RoutedPath> {
+        let base = sources.iter().map(|&(_, abs)| abs).min()?;
+        let need = u32::try_from(target_abs - base).ok()?;
+        let mut dist: HashMap<(RNode, u32), f64> = HashMap::new();
+        let mut prev: HashMap<(RNode, u32), (RNode, u32)> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        for &(src, abs) in sources {
+            if abs > target_abs {
+                continue;
+            }
+            let offset = (abs - base) as u32;
+            if src == target && offset == need {
+                return Some(RoutedPath { signal, nodes: vec![src], elapsed: 0, cost: 0.0 });
+            }
+            let key = (src, offset);
+            if dist.get(&key).is_none_or(|&d| d > 0.0) {
+                dist.insert(key, 0.0);
+                heap.push(HeapEntry { cost: 0.0, node: src, elapsed: offset });
+            }
+        }
+        let ii = self.mrrg.ii() as u32;
+        while let Some(HeapEntry { cost, node, elapsed }) = heap.pop() {
+            if dist.get(&(node, elapsed)).is_some_and(|&d| cost > d) {
+                continue;
+            }
+            if node == target && elapsed == need && prev.contains_key(&(node, elapsed)) {
+                let mut nodes = vec![node];
+                let mut cur = (node, elapsed);
+                while let Some(&p) = prev.get(&cur) {
+                    nodes.push(p.0);
+                    cur = p;
+                }
+                nodes.reverse();
+                let first_offset = cur.1;
+                return Some(RoutedPath { signal, nodes, elapsed: need - first_offset, cost });
+            }
+            if node.kind == RKind::Fu && prev.contains_key(&(node, elapsed)) {
+                continue; // only source FUs may expand
+            }
+            for succ in self.mrrg.successors(node) {
+                let dt = (succ.t + ii - node.t) % ii;
+                let next_elapsed = elapsed + dt;
+                if next_elapsed > need || succ.kind == RKind::Mem {
+                    continue;
+                }
+                let is_target = succ == target;
+                if succ.kind == RKind::Fu && !is_target {
+                    continue;
+                }
+                if is_target && next_elapsed != need {
+                    continue;
+                }
+                if !is_target && !allowed(succ) {
+                    continue;
+                }
+                let step = if is_target { 0.0 } else { self.node_cost(succ, signal) };
+                let next_cost = cost + step;
+                let key = (succ, next_elapsed);
+                if dist.get(&key).is_none_or(|&d| next_cost < d) {
+                    dist.insert(key, next_cost);
+                    prev.insert(key, (node, elapsed));
+                    heap.push(HeapEntry { cost: next_cost, node: succ, elapsed: next_elapsed });
+                }
+            }
+        }
+        None
+    }
+
+    /// Adds external history cost to a resource (replication-aware
+    /// negotiation feeds replica conflicts back through this).
+    pub fn add_history(&mut self, node: RNode, amount: f64) {
+        *self.history.entry(node).or_insert(0.0) += amount;
+    }
+
+    /// Single-source-set Dijkstra over the whole MRRG: the negotiated cost
+    /// of delivering `signal` from `sources` to every FU slot, keyed by
+    /// `(fu_node, elapsed)` for every elapsed cycle count up to `cap`.
+    ///
+    /// Whole-DFG placers use this to evaluate all candidate slots of an
+    /// operation with one search per parent instead of one per candidate.
+    pub fn fu_distances(
+        &self,
+        signal: SignalId,
+        sources: &[RNode],
+        cap: u32,
+    ) -> HashMap<(RNode, u32), f64> {
+        let mut dist: HashMap<(RNode, u32), f64> = HashMap::new();
+        let mut fu_costs: HashMap<(RNode, u32), f64> = HashMap::new();
+        let mut heap = BinaryHeap::new();
+        for &src in sources {
+            dist.insert((src, 0), 0.0);
+            heap.push(HeapEntry { cost: 0.0, node: src, elapsed: 0 });
+        }
+        let ii = self.mrrg.ii() as u32;
+        while let Some(HeapEntry { cost, node, elapsed }) = heap.pop() {
+            if dist.get(&(node, elapsed)).is_some_and(|&d| cost > d) {
+                continue;
+            }
+            if node.kind == RKind::Fu && elapsed > 0 {
+                continue;
+            }
+            for succ in self.mrrg.successors(node) {
+                let dt = (succ.t + ii - node.t) % ii;
+                let next_elapsed = elapsed + dt;
+                if next_elapsed > cap || succ.kind == RKind::Mem {
+                    continue;
+                }
+                if succ.kind == RKind::Fu {
+                    // Terminal: record, do not expand.
+                    let key = (succ, next_elapsed);
+                    if fu_costs.get(&key).is_none_or(|&d| cost < d) {
+                        fu_costs.insert(key, cost);
+                    }
+                    continue;
+                }
+                let next_cost = cost + self.node_cost(succ, signal);
+                let key = (succ, next_elapsed);
+                if dist.get(&key).is_none_or(|&d| next_cost < d) {
+                    dist.insert(key, next_cost);
+                    heap.push(HeapEntry { cost: next_cost, node: succ, elapsed: next_elapsed });
+                }
+            }
+        }
+        fu_costs
+    }
+
+    /// Routes from a single source. See [`Router::route`].
+    pub fn route_one(
+        &self,
+        signal: SignalId,
+        source: RNode,
+        target: RNode,
+        intended_elapsed: Option<u32>,
+    ) -> Option<RoutedPath> {
+        self.route(signal, &[source], target, intended_elapsed)
+    }
+
+    /// Records a path's resource occupancy. FU endpoints are skipped: the
+    /// producer's and consumer's FU slots are accounted by [`Router::place`].
+    pub fn commit(&mut self, path: &RoutedPath) {
+        for (idx, &node) in path.nodes.iter().enumerate() {
+            let endpoint = idx == 0 || idx == path.nodes.len() - 1;
+            if endpoint && node.kind == RKind::Fu {
+                continue;
+            }
+            let occupants = self.present.entry(node).or_default();
+            if !occupants.contains(&path.signal) {
+                occupants.push(path.signal);
+            }
+        }
+    }
+
+    /// Removes a previously committed path's occupancy.
+    ///
+    /// The caller must only rip up paths it committed; removing a signal
+    /// shared by another still-committed path of the *same* signal is safe
+    /// only when all paths of that signal are ripped up together, which is
+    /// how the negotiation loops use it.
+    pub fn rip_up(&mut self, path: &RoutedPath) {
+        for (idx, &node) in path.nodes.iter().enumerate() {
+            let endpoint = idx == 0 || idx == path.nodes.len() - 1;
+            if endpoint && node.kind == RKind::Fu {
+                continue;
+            }
+            if let Some(occupants) = self.present.get_mut(&node) {
+                occupants.retain(|&s| s != path.signal);
+                if occupants.is_empty() {
+                    self.present.remove(&node);
+                }
+            }
+        }
+    }
+
+    /// Claims a resource for a placed operation or load (counts toward
+    /// capacity like any signal).
+    pub fn place(&mut self, node: RNode, signal: SignalId) {
+        let occupants = self.present.entry(node).or_default();
+        if !occupants.contains(&signal) {
+            occupants.push(signal);
+        }
+    }
+
+    /// Releases a placement claim.
+    pub fn unplace(&mut self, node: RNode, signal: SignalId) {
+        if let Some(occupants) = self.present.get_mut(&node) {
+            occupants.retain(|&s| s != signal);
+            if occupants.is_empty() {
+                self.present.remove(&node);
+            }
+        }
+    }
+
+    /// Distinct signals currently on a node.
+    pub fn occupants(&self, node: RNode) -> &[SignalId] {
+        self.present.get(&node).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All currently oversubscribed resources (distinct signals exceed
+    /// capacity).
+    pub fn oversubscribed(&self) -> Vec<RNode> {
+        let mut out: Vec<RNode> = self
+            .present
+            .iter()
+            .filter(|(node, occupants)| occupants.len() > self.mrrg.spec().capacity(node.kind))
+            .map(|(&node, _)| node)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Adds history cost on every oversubscribed node (one negotiation
+    /// round), returning how many nodes were penalized.
+    pub fn bump_history(&mut self) -> usize {
+        let over = self.oversubscribed();
+        for &node in &over {
+            let occupants = self.present[&node].len();
+            let excess = occupants - self.mrrg.spec().capacity(node.kind);
+            *self.history.entry(node).or_insert(0.0) +=
+                self.config.history_increment * excess as f64;
+        }
+        over.len()
+    }
+
+    /// Clears all present occupancy (history is kept) — the start of a
+    /// rip-up-and-reroute round.
+    pub fn clear_present(&mut self) {
+        self.present.clear();
+    }
+
+    /// Clears both occupancy and history.
+    pub fn reset(&mut self) {
+        self.present.clear();
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use himap_cgra::{CgraSpec, PeId};
+
+    fn fu(x: usize, y: usize, t: u32) -> RNode {
+        RNode::new(PeId::new(x, y), t, RKind::Fu)
+    }
+
+    fn router(c: usize, ii: usize) -> Router {
+        Router::new(Mrrg::new(CgraSpec::square(c), ii), RouterConfig::default())
+    }
+
+    #[test]
+    fn neighbor_route_is_one_cycle() {
+        let r = router(2, 4);
+        let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 1, 1), Some(1)).unwrap();
+        assert_eq!(p.elapsed, 1);
+        // Fu -> Wire(E) -> Fu.
+        assert_eq!(p.nodes.len(), 3);
+        assert!(matches!(p.nodes[1].kind, RKind::Wire(_)));
+        assert_eq!(p.delivery(), p.nodes[1]);
+    }
+
+    #[test]
+    fn same_pe_next_cycle_uses_out_reg() {
+        let r = router(1, 4);
+        let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 0, 1), Some(1)).unwrap();
+        assert_eq!(p.elapsed, 1);
+        assert_eq!(p.nodes[1].kind, RKind::Out);
+    }
+
+    #[test]
+    fn elapsed_budget_is_exact() {
+        let r = router(2, 4);
+        // Two hops in exactly 3 cycles: one cycle of waiting somewhere.
+        let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 3), Some(3)).unwrap();
+        assert_eq!(p.elapsed, 3);
+        // Impossible: two hops cannot fit one cycle.
+        assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 1), Some(1)).is_none());
+    }
+
+    #[test]
+    fn modulo_wraparound_with_exact_elapsed() {
+        // Target at t=0 via wrap: elapsed 2 from t=3 in a 4-cycle window.
+        let r = router(2, 4);
+        let p = r.route_one(SignalId(1), fu(0, 0, 3), fu(0, 1, 1), Some(2)).unwrap();
+        assert_eq!(p.elapsed, 2);
+        // The same endpoints with elapsed 2 + 4 (one extra window) would
+        // deliver a different iteration's value: the exact budget forbids it.
+        assert!(r.route_one(SignalId(1), fu(0, 0, 3), fu(0, 1, 1), Some(6)).is_some());
+    }
+
+    #[test]
+    fn congestion_diverts_routes() {
+        let mut r = router(3, 2);
+        // Occupy the direct east wire from (0,0) at both cycles.
+        let sig_a = SignalId(7);
+        let wire = RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East));
+        r.place(wire, sig_a);
+        let p = r
+            .route_one(SignalId(8), fu(0, 0, 0), fu(0, 1, 1), Some(1))
+            .expect("route exists");
+        // The only 1-cycle path uses that wire, so the router pays the
+        // congestion penalty rather than failing.
+        assert!(p.cost > r.config().base_cost * 2.0);
+        assert!(p.nodes.contains(&wire));
+    }
+
+    #[test]
+    fn same_signal_shares_resources_cheaply() {
+        let mut r = router(2, 3);
+        let sig = SignalId(3);
+        let p1 = r.route_one(sig, fu(0, 0, 0), fu(0, 1, 1), Some(1)).unwrap();
+        r.commit(&p1);
+        // Fan-out of the same signal to another consumer reuses the wire at
+        // near-zero cost.
+        let p2 = r.route_one(sig, fu(0, 0, 0), fu(0, 1, 1), Some(1)).unwrap();
+        assert!(p2.cost <= r.config().same_signal_cost * 4.0);
+    }
+
+    #[test]
+    fn commit_rip_up_roundtrip() {
+        let mut r = router(2, 3);
+        let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 0, 1), Some(1)).unwrap();
+        r.commit(&p);
+        assert!(!r.occupants(p.nodes[1]).is_empty());
+        r.rip_up(&p);
+        assert!(r.occupants(p.nodes[1]).is_empty());
+        // FU endpoints are never occupied by routes.
+        assert!(r.occupants(p.nodes[0]).is_empty());
+    }
+
+    #[test]
+    fn oversubscription_and_history() {
+        let mut r = router(2, 2);
+        let wire = RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East));
+        r.place(wire, SignalId(1));
+        r.place(wire, SignalId(2));
+        assert_eq!(r.oversubscribed(), vec![wire]);
+        let before = r.node_cost(wire, SignalId(3));
+        assert_eq!(r.bump_history(), 1);
+        let after = r.node_cost(wire, SignalId(3));
+        assert!(after > before);
+        // History survives clearing present occupancy.
+        r.clear_present();
+        assert!(r.oversubscribed().is_empty());
+        assert!(r.node_cost(wire, SignalId(3)) > RouterConfig::default().base_cost);
+    }
+
+    #[test]
+    fn mem_is_source_only_and_fu_not_transit() {
+        let r = router(2, 3);
+        let mem = RNode::new(PeId::new(0, 0), 0, RKind::Mem);
+        // Load feeding the local FU in the same cycle.
+        let p = r.route_one(SignalId(1), mem, fu(0, 0, 0), Some(0)).unwrap();
+        assert_eq!(p.nodes, vec![mem, fu(0, 0, 0)]);
+        // A route may not pass through an intermediate FU: the only way to
+        // gain time without moving is Out/Reg, never another FU.
+        let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 2), Some(2)).unwrap();
+        for node in &p.nodes[1..p.nodes.len() - 1] {
+            assert_ne!(node.kind, RKind::Fu, "transit through FU in {:?}", p.nodes);
+        }
+    }
+
+    #[test]
+    fn multi_source_picks_cheapest() {
+        let r = router(3, 3);
+        let sources = [fu(0, 0, 0), fu(2, 2, 0)];
+        let p = r.route(SignalId(1), &sources, fu(2, 1, 1), Some(1)).unwrap();
+        assert_eq!(p.nodes[0], fu(2, 2, 0), "nearer source wins");
+    }
+
+    #[test]
+    fn source_equals_target() {
+        let r = router(2, 2);
+        let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 0, 0), Some(0)).unwrap();
+        assert_eq!(p.nodes.len(), 1);
+        assert_eq!(p.elapsed, 0);
+        assert_eq!(p.delivery(), fu(0, 0, 0));
+    }
+}
+
+#[cfg(test)]
+mod timed_tests {
+    use super::*;
+    use himap_cgra::{CgraSpec, PeId};
+
+    fn fu(x: usize, y: usize, t: u32) -> RNode {
+        RNode::new(PeId::new(x, y), t, RKind::Fu)
+    }
+
+    fn router(c: usize, ii: usize) -> Router {
+        Router::new(Mrrg::new(CgraSpec::square(c), ii), RouterConfig::default())
+    }
+
+    #[test]
+    fn timed_route_from_single_source() {
+        let r = router(2, 4);
+        let p = r
+            .route_timed(SignalId(1), &[(fu(0, 0, 0), 10)], fu(0, 1, 3), 13, |_| true)
+            .expect("one hop plus waits fits 3 cycles");
+        assert_eq!(p.nodes.first(), Some(&fu(0, 0, 0)));
+        assert_eq!(p.nodes.last(), Some(&fu(0, 1, 3)));
+    }
+
+    #[test]
+    fn timed_route_prefers_later_tap() {
+        // The net already extends to a register at a later time; tapping it
+        // beats re-routing from the producer (shorter extension = cheaper).
+        let r = router(2, 4);
+        let producer = (fu(0, 0, 0), 100i64);
+        let reg = (RNode::new(PeId::new(0, 0), 2, RKind::Reg(0)), 102i64);
+        let p = r
+            .route_timed(SignalId(1), &[producer, reg], fu(0, 0, 2), 102, |_| true)
+            .expect("register feeds the FU in the same cycle");
+        // Reg -> RegRd -> Fu: three nodes, zero extra cycles.
+        assert_eq!(p.nodes.len(), 3);
+        assert_eq!(p.nodes[0], reg.0);
+    }
+
+    #[test]
+    fn timed_route_ignores_sources_after_target() {
+        let r = router(2, 4);
+        let late = (fu(0, 0, 1), 200i64);
+        assert!(r
+            .route_timed(SignalId(1), &[late], fu(0, 1, 0), 150, |_| true)
+            .is_none());
+    }
+
+    #[test]
+    fn timed_route_respects_filter() {
+        // On a 1x3 row, (0,0) -> (0,2) must transit PE (0,1); excluding
+        // that PE's resources makes the route impossible.
+        let r = Router::new(
+            Mrrg::new(CgraSpec::mesh(1, 3).expect("valid"), 4),
+            RouterConfig::default(),
+        );
+        let blocked = r.route_timed(
+            SignalId(1),
+            &[(fu(0, 0, 0), 0)],
+            fu(0, 2, 2),
+            2,
+            |n| n.pe.y != 1,
+        );
+        assert!(blocked.is_none(), "filter must block the transit PE");
+        let open = r.route_timed(
+            SignalId(1),
+            &[(fu(0, 0, 0), 0)],
+            fu(0, 2, 2),
+            2,
+            |_| true,
+        );
+        assert!(open.is_some());
+    }
+
+    #[test]
+    fn timed_route_continues_from_register_tap() {
+        // A value parked in a register can continue onward across macro
+        // steps — the net-based continuation that single-delivery routing
+        // could not express.
+        let r = router(1, 6);
+        let reg = (RNode::new(PeId::new(0, 0), 1, RKind::Reg(2)), 1i64);
+        let p = r
+            .route_timed(SignalId(9), &[reg], fu(0, 0, 5), 5, |_| true)
+            .expect("register holds until the consumer's cycle");
+        assert_eq!(p.nodes[0], reg.0);
+        // Path must hold in registers (no wires exist on a 1x1 array).
+        assert!(p.nodes.iter().all(|n| !matches!(n.kind, RKind::Wire(_))));
+    }
+
+    #[test]
+    fn elapsed_constraints() {
+        let r = router(2, 4);
+        let exact = r.route_constrained(
+            SignalId(1),
+            &[fu(0, 0, 0)],
+            fu(0, 1, 3),
+            Elapsed::Exact(3),
+            |_| true,
+        );
+        assert_eq!(exact.expect("routable").elapsed, 3);
+        let at_most = r.route_constrained(
+            SignalId(1),
+            &[fu(0, 0, 0)],
+            fu(0, 1, 1),
+            Elapsed::AtMost(3),
+            |_| true,
+        );
+        assert_eq!(at_most.expect("routable").elapsed, 1, "shortest within budget");
+    }
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+    use himap_cgra::{CgraSpec, PeId};
+
+    #[test]
+    fn fu_distances_cover_reachable_slots() {
+        let r = Router::new(Mrrg::new(CgraSpec::square(2), 2), RouterConfig::default());
+        let src = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
+        let costs = r.fu_distances(SignalId(1), &[src], 4);
+        // The neighbour's FU one cycle later is reachable at elapsed 1.
+        let east = RNode::new(PeId::new(0, 1), 1, RKind::Fu);
+        assert!(costs.contains_key(&(east, 1)));
+        // The far corner needs two hops: elapsed 2, never 1.
+        let corner = RNode::new(PeId::new(1, 1), 0, RKind::Fu);
+        assert!(costs.contains_key(&(corner, 2)));
+        assert!(!costs.contains_key(&(corner, 1)));
+        // Costs are monotone in congestion: occupying the east wire raises
+        // the east route's cost.
+        let mut congested = r.clone();
+        congested.place(
+            RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East)),
+            SignalId(9),
+        );
+        let new_costs = congested.fu_distances(SignalId(1), &[src], 4);
+        assert!(new_costs[&(east, 1)] > costs[&(east, 1)]);
+    }
+
+    #[test]
+    fn fu_distances_respect_cap() {
+        let r = Router::new(Mrrg::new(CgraSpec::square(3), 3), RouterConfig::default());
+        let src = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
+        let costs = r.fu_distances(SignalId(1), &[src], 1);
+        assert!(costs.keys().all(|&(_, e)| e <= 1));
+    }
+}

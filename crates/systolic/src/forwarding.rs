@@ -1,0 +1,252 @@
+//! Forwarding-path decomposition (the paper's `AddForwardingPath`, §V).
+//!
+//! A dependence whose image under the space-time map is not single-cycle
+//! single-hop (`H·d ≠ 1` or more than one mesh hop) is broken into a chain of
+//! single-cycle single-hop segments through intermediate iterations — the
+//! paper's *pseudo input-output nodes*. [`decompose`] computes the iteration
+//! step sequence; the mapper materializes relay nodes along it.
+
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+
+use himap_dfg::{Iter4, MAX_DIMS};
+
+use crate::map::SpaceTimeMap;
+
+/// Error returned by [`decompose`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecomposeError {
+    /// The dependence is not causal under the map (`H·d < 1`).
+    NotCausal(Iter4),
+    /// The dependence is not reachable with one hop per macro step.
+    NotReachable(Iter4),
+    /// The bounded search failed to find a step sequence.
+    SearchExhausted(Iter4),
+}
+
+impl fmt::Display for DecomposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecomposeError::NotCausal(d) => write!(f, "dependence {d:?} is not causal"),
+            DecomposeError::NotReachable(d) => {
+                write!(f, "dependence {d:?} needs more than one hop per macro step")
+            }
+            DecomposeError::SearchExhausted(d) => {
+                write!(f, "no single-hop decomposition found for {d:?}")
+            }
+        }
+    }
+}
+
+impl Error for DecomposeError {}
+
+/// Decomposes dependence distance `d` into iteration-space steps that each
+/// map to exactly one macro step and at most one mesh hop
+/// (`H·u = 1`, `|S·u|₁ ≤ 1`), summing to `d`.
+///
+/// Already-single-hop dependences return a single step. Steps pass through
+/// `H·d − 1` intermediate iterations; the caller materializes relay (pseudo
+/// input/output) nodes there.
+///
+/// # Errors
+///
+/// Returns a [`DecomposeError`] if `d` is not causal, needs more than one hop
+/// per macro step, or the bounded search fails.
+pub fn decompose(map: &SpaceTimeMap, d: Iter4) -> Result<Vec<Iter4>, DecomposeError> {
+    let (t, x, y) = map.apply_distance(d);
+    if t < 1 {
+        return Err(DecomposeError::NotCausal(d));
+    }
+    if x.abs() + y.abs() > t {
+        return Err(DecomposeError::NotReachable(d));
+    }
+    if map.is_single_hop(d) {
+        return Ok(vec![d]);
+    }
+    let candidates = candidate_steps(map, d);
+    // Depth-first search with memoized dead states; depth equals the exact
+    // number of macro steps, so the search is tightly bounded.
+    let mut dead: HashSet<(Iter4, i64)> = HashSet::new();
+    let mut path = Vec::new();
+    if dfs(map, d, t, &candidates, &mut path, &mut dead) {
+        Ok(path)
+    } else {
+        Err(DecomposeError::SearchExhausted(d))
+    }
+}
+
+fn dfs(
+    map: &SpaceTimeMap,
+    remaining: Iter4,
+    t_left: i64,
+    candidates: &[Iter4],
+    path: &mut Vec<Iter4>,
+    dead: &mut HashSet<(Iter4, i64)>,
+) -> bool {
+    if t_left == 0 {
+        return remaining == [0; MAX_DIMS];
+    }
+    if dead.contains(&(remaining, t_left)) || dead.len() > 100_000 {
+        return false;
+    }
+    // Prune: remaining image must stay causal and reachable.
+    let (rt, rx, ry) = map.apply_distance(remaining);
+    if rt != t_left || rx.abs() + ry.abs() > t_left {
+        dead.insert((remaining, t_left));
+        return false;
+    }
+    // Prefer steps that reduce the L1 distance the most.
+    let mut ordered: Vec<Iter4> = candidates.to_vec();
+    ordered.sort_by_key(|u| {
+        let mut l1 = 0i32;
+        for (lvl, &uu) in u.iter().enumerate() {
+            l1 += (remaining[lvl] - uu).abs() as i32;
+        }
+        l1
+    });
+    for u in ordered {
+        let mut rest = remaining;
+        for (lvl, r) in rest.iter_mut().enumerate() {
+            *r -= u[lvl];
+        }
+        path.push(u);
+        if dfs(map, rest, t_left - 1, candidates, path, dead) {
+            return true;
+        }
+        path.pop();
+    }
+    dead.insert((remaining, t_left));
+    false
+}
+
+/// Iteration-space steps with at most two non-zero dims whose image is one
+/// macro step and at most one hop.
+fn candidate_steps(map: &SpaceTimeMap, d: Iter4) -> Vec<Iter4> {
+    let l = map.dims();
+    let bound: i16 = d
+        .iter()
+        .map(|&x| x.abs())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = Vec::new();
+    let mut push = |u: Iter4| {
+        let (t, x, y) = map.apply_distance(u);
+        if t == 1 && x.abs() + y.abs() <= 1 && !out.contains(&u) {
+            out.push(u);
+        }
+    };
+    // Single-dim steps.
+    for dim in 0..l {
+        for v in [-1i16, 1] {
+            let mut u = [0i16; MAX_DIMS];
+            u[dim] = v;
+            push(u);
+        }
+    }
+    // Two-dim compound steps: pick a small value on one dim and solve the
+    // other from H·u = 1.
+    let h = map.h();
+    for a in 0..l {
+        for b in 0..l {
+            if a == b || h[b] == 0 {
+                continue;
+            }
+            for va in [-1i64, 0, 1] {
+                let num = 1 - h[a] * va;
+                if num % h[b] != 0 {
+                    continue;
+                }
+                let vb = num / h[b];
+                if vb.abs() > bound as i64 {
+                    continue;
+                }
+                let mut u = [0i16; MAX_DIMS];
+                u[a] = va as i16;
+                u[b] = vb as i16;
+                push(u);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map2d() -> SpaceTimeMap {
+        // τ = i + j, x = i, y = j.
+        SpaceTimeMap::new(vec![1, 1], [vec![1, 0], vec![0, 1]])
+    }
+
+    #[test]
+    fn single_hop_is_identity() {
+        let m = map2d();
+        assert_eq!(decompose(&m, [0, 1, 0, 0]).unwrap(), vec![[0, 1, 0, 0]]);
+    }
+
+    #[test]
+    fn two_hop_splits() {
+        let m = map2d();
+        let steps = decompose(&m, [0, 2, 0, 0]).unwrap();
+        assert_eq!(steps.len(), 2);
+        let mut sum = [0i16; MAX_DIMS];
+        for s in &steps {
+            for (lvl, v) in sum.iter_mut().enumerate() {
+                *v += s[lvl];
+            }
+            assert!(m.is_single_hop(*s), "{s:?}");
+        }
+        assert_eq!(sum, [0, 2, 0, 0]);
+    }
+
+    #[test]
+    fn diagonal_dependence_splits() {
+        let m = map2d();
+        let steps = decompose(&m, [1, 1, 0, 0]).unwrap();
+        assert_eq!(steps.len(), 2);
+    }
+
+    #[test]
+    fn long_time_zero_hop_dependence() {
+        // τ = 2k + l, x = i, y = j (a TTM-style linearization): the
+        // dependence (0,0,1,0) spans 2 macro steps with no hops.
+        let m = SpaceTimeMap::new(
+            vec![0, 0, 2, 1],
+            [vec![1, 0, 0, 0], vec![0, 1, 0, 0]],
+        );
+        let steps = decompose(&m, [0, 0, 1, 0]).unwrap();
+        assert_eq!(steps.len(), 2);
+        for s in &steps {
+            assert!(m.is_single_hop(*s));
+        }
+        let mut sum = [0i16; MAX_DIMS];
+        for s in &steps {
+            for (lvl, v) in sum.iter_mut().enumerate() {
+                *v += s[lvl];
+            }
+        }
+        assert_eq!(sum, [0, 0, 1, 0]);
+    }
+
+    #[test]
+    fn rejects_non_causal() {
+        let m = map2d();
+        assert_eq!(
+            decompose(&m, [0, -1, 0, 0]).unwrap_err(),
+            DecomposeError::NotCausal([0, -1, 0, 0])
+        );
+    }
+
+    #[test]
+    fn rejects_unreachable() {
+        // τ = j only: moving in i costs hops but no time.
+        let m = SpaceTimeMap::new(vec![0, 1], [vec![1, 0], vec![0, 1]]);
+        assert_eq!(
+            decompose(&m, [3, 1, 0, 0]).unwrap_err(),
+            DecomposeError::NotReachable([3, 1, 0, 0])
+        );
+    }
+}

@@ -1,0 +1,55 @@
+//! Systolic space-time mapping: the `(H, S)` matrices of §V Eq. (1), their
+//! validity conditions, and the heuristic search the paper inherits from
+//! Lee & Kedem.
+//!
+//! A [`SpaceTimeMap`] transforms an iteration vector `CI` into a space-time
+//! position `CP = (τ, x, y)` on the virtual systolic array: `τ = H·CI` is the
+//! macro time step, `(x, y) = S·CI` the SPE coordinates. [`search`]
+//! enumerates candidate matrices and keeps those satisfying the necessary
+//! conditions for a correct transformation:
+//!
+//! * **coverage** — the block's iterations tile the VSA grid exactly, each
+//!   SPE receiving `IIS = b3·…·bl` iterations (the paper chooses
+//!   `b1 = c/s1`, `b2 = c/s2` for precisely this reason);
+//! * **injectivity** — iterations sharing an SPE occupy distinct macro steps
+//!   modulo `IIS`, so the modulo schedule never double-books an FU slot;
+//! * **causality** — every mesh dependence advances time (`H·d ≥ 1`) and
+//!   stays mesh-reachable (`|S·d|₁ ≤ H·d`, one hop per macro step); every
+//!   memory-routed dependence advances time (`H·d ≥ 1`).
+//!
+//! Candidates are ranked by how systolic they are: dependences satisfying
+//! the paper's single-cycle single-hop condition (`H·d = 1`,
+//! `|S·d|₁ ≤ 1`) need no forwarding paths; the rest require
+//! [`decompose`]-based forwarding insertion.
+//!
+//! # Example
+//!
+//! ```
+//! use himap_dfg::Dfg;
+//! use himap_kernels::suite;
+//! use himap_systolic::{search, SearchConfig};
+//!
+//! let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2])?;
+//! let isdg = dfg.isdg();
+//! let maps = search(&SearchConfig {
+//!     dims: 3,
+//!     block: vec![2, 2, 2],
+//!     vsa_rows: 2,
+//!     vsa_cols: 2,
+//!     mesh_deps: isdg.distances().to_vec(),
+//!     mem_deps: dfg.mem_dep_distances(),
+//!     anti_deps: dfg.anti_dep_distances(),
+//! });
+//! assert!(!maps.is_empty());
+//! // The best GEMM mapping is fully single-hop: the TPU dataflow.
+//! assert!(maps[0].forwarding_free);
+//! # Ok::<(), himap_dfg::DfgError>(())
+//! ```
+
+mod forwarding;
+mod map;
+mod search;
+
+pub use forwarding::{decompose, DecomposeError};
+pub use map::{Position, SpaceTimeMap};
+pub use search::{search, RankedMap, SearchConfig};

@@ -1,0 +1,188 @@
+//! The space-time mapping function `φ': CP = [H; S] · CI`.
+
+use std::fmt;
+
+use himap_dfg::{Iter4, MAX_DIMS};
+
+/// A space-time position on the VSA: macro step `t` and SPE coordinates
+/// `(x, y)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Position {
+    /// Macro time step `τ = H·CI` (offset-normalized to start at 0).
+    pub t: i32,
+    /// SPE row.
+    pub x: i32,
+    /// SPE column.
+    pub y: i32,
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(t={}, x={}, y={})", self.t, self.x, self.y)
+    }
+}
+
+/// The systolic mapping matrices `(H, S)` plus normalization offsets.
+///
+/// `H` is the 1×l time row, `S` the 2×l space rows. Offsets shift the image
+/// so that time starts at 0 and space coordinates fall inside the VSA grid.
+///
+/// # Example
+///
+/// ```
+/// use himap_systolic::SpaceTimeMap;
+///
+/// // GEMM's classic mapping: τ = i+j+k, x = i, y = j.
+/// let m = SpaceTimeMap::new(
+///     vec![1, 1, 1],
+///     [vec![1, 0, 0], vec![0, 1, 0]],
+/// );
+/// let p = m.apply([0, 1, 1, 0]);
+/// assert_eq!((p.t, p.x, p.y), (2, 0, 1));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpaceTimeMap {
+    h: Vec<i64>,
+    s: [Vec<i64>; 2],
+    t_offset: i64,
+    x_offset: i64,
+    y_offset: i64,
+}
+
+impl SpaceTimeMap {
+    /// Creates a mapping from the raw matrix rows (offsets zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have different arities or exceed [`MAX_DIMS`].
+    pub fn new(h: Vec<i64>, s: [Vec<i64>; 2]) -> Self {
+        assert!(h.len() <= MAX_DIMS, "at most {MAX_DIMS} loop levels");
+        assert_eq!(h.len(), s[0].len(), "H and S arity mismatch");
+        assert_eq!(h.len(), s[1].len(), "H and S arity mismatch");
+        SpaceTimeMap { h, s, t_offset: 0, x_offset: 0, y_offset: 0 }
+    }
+
+    /// Creates a mapping with explicit normalization offsets (added after
+    /// the matrix product).
+    pub fn with_offsets(
+        h: Vec<i64>,
+        s: [Vec<i64>; 2],
+        t_offset: i64,
+        x_offset: i64,
+        y_offset: i64,
+    ) -> Self {
+        let mut m = Self::new(h, s);
+        m.t_offset = t_offset;
+        m.x_offset = x_offset;
+        m.y_offset = y_offset;
+        m
+    }
+
+    /// Loop-nest depth `l`.
+    pub fn dims(&self) -> usize {
+        self.h.len()
+    }
+
+    /// The time row `H`.
+    pub fn h(&self) -> &[i64] {
+        &self.h
+    }
+
+    /// The space rows `S`.
+    pub fn s(&self) -> &[Vec<i64>; 2] {
+        &self.s
+    }
+
+    /// Applies `φ'` to an iteration vector.
+    pub fn apply(&self, iter: Iter4) -> Position {
+        let dot = |row: &[i64]| -> i64 {
+            row.iter().zip(&iter).map(|(c, &v)| c * v as i64).sum()
+        };
+        Position {
+            t: (dot(&self.h) + self.t_offset) as i32,
+            x: (dot(&self.s[0]) + self.x_offset) as i32,
+            y: (dot(&self.s[1]) + self.y_offset) as i32,
+        }
+    }
+
+    /// The image of a dependence *distance* vector: `(H·d, S·d)` — offsets
+    /// cancel out.
+    pub fn apply_distance(&self, d: Iter4) -> (i64, i64, i64) {
+        let dot = |row: &[i64]| -> i64 {
+            row.iter().zip(&d).map(|(c, &v)| c * v as i64).sum()
+        };
+        (dot(&self.h), dot(&self.s[0]), dot(&self.s[1]))
+    }
+
+    /// `true` if dependence `d` satisfies the paper's single-cycle
+    /// single-hop condition (`H·d == 1`, `|S·d|₁ ≤ 1`).
+    pub fn is_single_hop(&self, d: Iter4) -> bool {
+        let (t, x, y) = self.apply_distance(d);
+        t == 1 && x.abs() + y.abs() <= 1
+    }
+}
+
+impl fmt::Display for SpaceTimeMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "H={:?} S=[{:?}; {:?}]", self.h, self.s[0], self.s[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gemm_map() -> SpaceTimeMap {
+        SpaceTimeMap::new(vec![1, 1, 1], [vec![1, 0, 0], vec![0, 1, 0]])
+    }
+
+    #[test]
+    fn apply_matches_matrix_product() {
+        let m = gemm_map();
+        assert_eq!(m.apply([2, 1, 3, 0]), Position { t: 6, x: 2, y: 1 });
+        assert_eq!(m.apply([0, 0, 0, 0]), Position { t: 0, x: 0, y: 0 });
+    }
+
+    #[test]
+    fn offsets_shift_positions() {
+        let m = SpaceTimeMap::with_offsets(
+            vec![1, -1],
+            [vec![0, 1], vec![0, 0]],
+            3,
+            0,
+            0,
+        );
+        // τ = i - j + 3.
+        assert_eq!(m.apply([0, 3, 0, 0]).t, 0);
+        assert_eq!(m.apply([2, 0, 0, 0]).t, 5);
+    }
+
+    #[test]
+    fn distance_image_ignores_offsets() {
+        let m = SpaceTimeMap::with_offsets(
+            vec![1, 1],
+            [vec![1, 0], vec![0, 1]],
+            7,
+            5,
+            2,
+        );
+        assert_eq!(m.apply_distance([1, 0, 0, 0]), (1, 1, 0));
+        assert_eq!(m.apply_distance([0, -1, 0, 0]), (-1, 0, -1));
+    }
+
+    #[test]
+    fn single_hop_condition() {
+        let m = gemm_map();
+        assert!(m.is_single_hop([0, 0, 1, 0])); // accumulator: (1, 0, 0)
+        assert!(m.is_single_hop([1, 0, 0, 0])); // B reuse: (1, 1, 0)
+        assert!(m.is_single_hop([0, 1, 0, 0])); // A reuse: (1, 0, 1)
+        assert!(!m.is_single_hop([1, 1, 0, 0])); // diagonal: (2, 1, 1)
+        assert!(!m.is_single_hop([1, 1, 1, 0])); // (3, 1, 1)
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let _ = SpaceTimeMap::new(vec![1, 1], [vec![1], vec![0, 1]]);
+    }
+}

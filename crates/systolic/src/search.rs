@@ -1,0 +1,480 @@
+//! Heuristic enumeration search for valid `(H, S)` matrices.
+//!
+//! Mirrors the Lee & Kedem-style pre-computation the paper feeds HiMap with:
+//! candidate matrices are enumerated from a structured family and filtered by
+//! the necessary conditions (see the crate docs). The family:
+//!
+//! * **space rows** are signed selectors `x = ±i_p`, `y = ±i_q` over two
+//!   distinct loop dims whose block extents equal the VSA dimensions (HiMap
+//!   chooses the block size to make this possible), or a zero row for a VSA
+//!   dimension of extent 1;
+//! * **time row** combines small coefficients (−1, 0, 1) on the space dims
+//!   with a mixed-radix linearization of the remaining "free" dims, which
+//!   guarantees distinct per-SPE time residues by construction.
+
+use himap_dfg::{Iter4, MAX_DIMS};
+
+use crate::map::SpaceTimeMap;
+
+/// Inputs to the systolic mapping [`search`].
+#[derive(Clone, Debug)]
+pub struct SearchConfig {
+    /// Loop-nest depth `l`.
+    pub dims: usize,
+    /// Block size `(b1, …, bl)`.
+    pub block: Vec<usize>,
+    /// VSA grid rows.
+    pub vsa_rows: usize,
+    /// VSA grid columns.
+    pub vsa_cols: usize,
+    /// Distinct mesh dependence distances (from the ISDG).
+    pub mesh_deps: Vec<Iter4>,
+    /// Distinct memory-routed dependence distances.
+    pub mem_deps: Vec<Iter4>,
+    /// Distinct anti-dependence distances (`writer − live-in reader`): the
+    /// write must not precede the read in macro time.
+    pub anti_deps: Vec<Iter4>,
+}
+
+/// One valid mapping with its ranking metadata.
+#[derive(Clone, Debug)]
+pub struct RankedMap {
+    /// The space-time mapping (offsets normalized over the block).
+    pub map: SpaceTimeMap,
+    /// Iterations placed on each SPE (`P`; the steady-state stream initiates
+    /// one iteration per SPE every macro step, and a new block every
+    /// `P` macro steps).
+    pub iterations_per_spe: usize,
+    /// `true` if every mesh dependence satisfies the single-cycle single-hop
+    /// condition — no forwarding paths needed.
+    pub forwarding_free: bool,
+    /// Number of mesh dependences that need forwarding-path insertion.
+    pub forwarding_count: usize,
+    /// Sum of `H·d` over mesh dependences (lower = tighter pipeline).
+    pub latency_sum: i64,
+}
+
+/// Enumerates and ranks all valid space-time mappings for a configuration.
+///
+/// Returns mappings sorted best-first: forwarding-free mappings before ones
+/// needing forwarding paths, then by total dependence latency, then by a
+/// deterministic matrix order. Returns an empty vector when no valid mapping
+/// exists (e.g. block extents incompatible with the VSA shape, or a
+/// dependence that no candidate time row can make causal).
+pub fn search(config: &SearchConfig) -> Vec<RankedMap> {
+    let l = config.dims;
+    assert!((1..=MAX_DIMS).contains(&l), "1..={MAX_DIMS} loop levels supported");
+    assert_eq!(config.block.len(), l, "block arity mismatch");
+    let mut out = Vec::new();
+    for selector in space_selectors(config) {
+        let free_dims: Vec<usize> =
+            (0..l).filter(|d| !selector.used_dims.contains(d)).collect();
+        for h in time_rows(config, &selector, &free_dims) {
+            if let Some(ranked) = validate(config, &selector, &h, &free_dims) {
+                out.push(ranked);
+            }
+        }
+    }
+    out.sort_by_key(|m| {
+        let negatives = |row: &[i64]| row.iter().filter(|&&c| c < 0).count();
+        let neg_count = negatives(m.map.h())
+            + negatives(&m.map.s()[0])
+            + negatives(&m.map.s()[1]);
+        (
+            m.forwarding_count,
+            m.latency_sum,
+            neg_count,
+            m.map.h().to_vec(),
+            m.map.s().clone(),
+        )
+    });
+    out
+}
+
+/// A pair of signed-selector space rows.
+#[derive(Clone, Debug)]
+struct Selector {
+    /// Row for x: `Some((dim, sign))` or `None` (zero row, VSA rows == 1).
+    x: Option<(usize, i64)>,
+    /// Row for y.
+    y: Option<(usize, i64)>,
+    used_dims: Vec<usize>,
+}
+
+fn space_selectors(config: &SearchConfig) -> Vec<Selector> {
+    let l = config.dims;
+    let mut xs: Vec<Option<(usize, i64)>> = Vec::new();
+    if config.vsa_rows == 1 {
+        xs.push(None);
+    }
+    for d in 0..l {
+        if config.block[d] == config.vsa_rows {
+            xs.push(Some((d, 1)));
+            if config.vsa_rows > 1 {
+                xs.push(Some((d, -1)));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for &x in &xs {
+        let mut ys: Vec<Option<(usize, i64)>> = Vec::new();
+        if config.vsa_cols == 1 {
+            ys.push(None);
+        }
+        for d in 0..l {
+            if Some(d) == x.map(|(p, _)| p) {
+                continue;
+            }
+            if config.block[d] == config.vsa_cols {
+                ys.push(Some((d, 1)));
+                if config.vsa_cols > 1 {
+                    ys.push(Some((d, -1)));
+                }
+            }
+        }
+        for y in ys {
+            let mut used = Vec::new();
+            if let Some((p, _)) = x {
+                used.push(p);
+            }
+            if let Some((q, _)) = y {
+                used.push(q);
+            }
+            out.push(Selector { x, y, used_dims: used });
+        }
+    }
+    out
+}
+
+/// Candidate time rows: space-dim coefficients in {-1, 0, 1} × mixed-radix
+/// linearizations of the free dims (all permutations).
+fn time_rows(config: &SearchConfig, selector: &Selector, free_dims: &[usize]) -> Vec<Vec<i64>> {
+    let l = config.dims;
+    let space_dims = &selector.used_dims;
+    // Free-dim coefficient assignments.
+    let mut free_assignments: Vec<Vec<(usize, i64)>> = Vec::new();
+    for perm in permutations(free_dims) {
+        let mut coeffs = Vec::with_capacity(perm.len());
+        let mut radix = 1i64;
+        for &d in perm.iter().rev() {
+            coeffs.push((d, radix));
+            radix *= config.block[d] as i64;
+        }
+        coeffs.sort_by_key(|&(d, _)| d);
+        if !free_assignments.contains(&coeffs) {
+            free_assignments.push(coeffs);
+        }
+    }
+    if free_assignments.is_empty() {
+        free_assignments.push(Vec::new());
+    }
+    // Space-dim coefficient combinations.
+    let mut space_assignments: Vec<Vec<(usize, i64)>> = vec![Vec::new()];
+    for &d in space_dims {
+        let mut next = Vec::new();
+        for partial in &space_assignments {
+            for c in [-1i64, 0, 1] {
+                let mut p = partial.clone();
+                p.push((d, c));
+                next.push(p);
+            }
+        }
+        space_assignments = next;
+    }
+    let mut out = Vec::new();
+    for free in &free_assignments {
+        for space in &space_assignments {
+            let mut h = vec![0i64; l];
+            for &(d, c) in free.iter().chain(space.iter()) {
+                h[d] = c;
+            }
+            out.push(h);
+        }
+    }
+    out
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &item) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, item);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn validate(
+    config: &SearchConfig,
+    selector: &Selector,
+    h: &[i64],
+    free_dims: &[usize],
+) -> Option<RankedMap> {
+    let l = config.dims;
+    let mut s0 = vec![0i64; l];
+    let mut s1 = vec![0i64; l];
+    if let Some((p, sign)) = selector.x {
+        s0[p] = sign;
+    }
+    if let Some((q, sign)) = selector.y {
+        s1[q] = sign;
+    }
+    // Offsets: normalize over the block's corners (linear maps attain their
+    // extrema at corners).
+    let t_offset = -corner_min(h, &config.block);
+    let x_offset = -corner_min(&s0, &config.block);
+    let y_offset = -corner_min(&s1, &config.block);
+    let map = SpaceTimeMap::with_offsets(
+        h.to_vec(),
+        [s0, s1],
+        t_offset,
+        x_offset,
+        y_offset,
+    );
+    // Causality and reachability of every dependence.
+    let mut forwarding_count = 0usize;
+    let mut latency_sum = 0i64;
+    for &d in &config.mesh_deps {
+        let (tr, dx, dy) = map.apply_distance(d);
+        if tr < 1 || dx.abs() + dy.abs() > tr {
+            return None;
+        }
+        latency_sum += tr;
+        if !(tr == 1 && dx.abs() + dy.abs() <= 1) {
+            forwarding_count += 1;
+        }
+    }
+    for &d in &config.mem_deps {
+        let (tr, _, _) = map.apply_distance(d);
+        if tr < 1 {
+            return None;
+        }
+    }
+    for &d in &config.anti_deps {
+        let (tr, _, _) = map.apply_distance(d);
+        if tr < 0 {
+            return None;
+        }
+    }
+    let iterations_per_spe: usize =
+        free_dims.iter().map(|&d| config.block[d]).product();
+    Some(RankedMap {
+        forwarding_free: forwarding_count == 0,
+        forwarding_count,
+        latency_sum,
+        iterations_per_spe,
+        map,
+    })
+}
+
+/// Minimum of `row · CI` over the block (attained at a corner).
+fn corner_min(row: &[i64], block: &[usize]) -> i64 {
+    row.iter()
+        .zip(block)
+        .map(|(&c, &b)| if c < 0 { c * (b as i64 - 1) } else { 0 })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use himap_dfg::Dfg;
+    use himap_kernels::suite;
+
+    fn config_for(
+        kernel: &himap_kernels::Kernel,
+        block: &[usize],
+        rows: usize,
+        cols: usize,
+    ) -> SearchConfig {
+        let dfg = Dfg::build(kernel, block).expect("dfg builds");
+        let isdg = dfg.isdg();
+        SearchConfig {
+            dims: kernel.dims(),
+            block: block.to_vec(),
+            vsa_rows: rows,
+            vsa_cols: cols,
+            mesh_deps: isdg.distances().to_vec(),
+            mem_deps: dfg.mem_dep_distances(),
+            anti_deps: dfg.anti_dep_distances(),
+        }
+    }
+
+    #[test]
+    fn gemm_finds_tpu_dataflow() {
+        // Fig. 5: GEMM on a 2x2 VSA with b1=b2=b3=2.
+        let cfg = config_for(&suite::gemm(), &[2, 2, 2], 2, 2);
+        let maps = search(&cfg);
+        assert!(!maps.is_empty());
+        let best = &maps[0];
+        assert!(best.forwarding_free);
+        assert_eq!(best.iterations_per_spe, 2);
+        // All three dependences are single-hop under the best map.
+        for d in &cfg.mesh_deps {
+            assert!(best.map.is_single_hop(*d));
+        }
+    }
+
+    #[test]
+    fn bicg_on_linear_vsa() {
+        // §II: BiCG b1=b2=4 on the 4x1 VSA of the 8x1 CGRA.
+        let cfg = config_for(&suite::bicg(), &[4, 4], 4, 1);
+        let maps = search(&cfg);
+        assert!(!maps.is_empty());
+        let best = &maps[0];
+        assert!(best.forwarding_free);
+        assert_eq!(best.iterations_per_spe, 4);
+        // Dependent iterations land on neighbouring SPEs or consecutive
+        // steps.
+        for d in &cfg.mesh_deps {
+            let (tr, dx, dy) = best.map.apply_distance(*d);
+            assert_eq!(tr, 1);
+            assert!(dx.abs() + dy.abs() <= 1);
+            assert_eq!(dy, 0, "linear VSA has no y extent");
+        }
+    }
+
+    #[test]
+    fn bicg_on_square_vsa_is_one_iteration_per_spe() {
+        let cfg = config_for(&suite::bicg(), &[4, 4], 4, 4);
+        let maps = search(&cfg);
+        assert!(!maps.is_empty());
+        assert_eq!(maps[0].iterations_per_spe, 1);
+    }
+
+    #[test]
+    fn floyd_warshall_requires_time_along_k() {
+        let cfg = config_for(&suite::floyd_warshall(), &[3, 3, 3], 3, 3);
+        let maps = search(&cfg);
+        assert!(!maps.is_empty());
+        let best = &maps[0];
+        // Space must be (i, j): k is the only remaining free dim, and every
+        // memory dependence advances k, so H·e_k >= 1.
+        assert_eq!(best.iterations_per_spe, 3);
+        let (tr, _, _) = best.map.apply_distance([1, 0, 0, 0]);
+        assert!(tr >= 1);
+        // Mem deps that move backward in j must still be causal.
+        let (tr, _, _) = best.map.apply_distance([1, 0, -2, 0]);
+        assert!(tr >= 1);
+    }
+
+    #[test]
+    fn ttm_linearizes_two_free_dims() {
+        let cfg = config_for(&suite::ttm(), &[2, 2, 3, 2], 2, 2);
+        let maps = search(&cfg);
+        assert!(!maps.is_empty());
+        let best = &maps[0];
+        assert_eq!(best.iterations_per_spe, 6);
+        // Per-SPE time residues are distinct mod 6.
+        let mut residues = std::collections::HashSet::new();
+        for k in 0..3i16 {
+            for l in 0..2i16 {
+                let p = best.map.apply([0, 0, k, l]);
+                assert!(residues.insert(p.t.rem_euclid(6)), "residue collision");
+            }
+        }
+    }
+
+    #[test]
+    fn positions_cover_vsa_grid() {
+        for (kernel, block, rows, cols) in [
+            (suite::gemm(), vec![2usize, 3, 2], 2, 3),
+            (suite::bicg(), vec![4, 2], 4, 2),
+            (suite::adi(), vec![2, 4], 2, 4),
+        ] {
+            let cfg = config_for(&kernel, &block, rows, cols);
+            let maps = search(&cfg);
+            assert!(!maps.is_empty(), "{} has no mapping", kernel.name());
+            let best = &maps[0];
+            let mut count = std::collections::HashMap::new();
+            let dfg = Dfg::build(&kernel, &block).unwrap();
+            for idx in 0..dfg.iteration_count() {
+                let p = best.map.apply(dfg.iteration_at(idx));
+                assert!(p.x >= 0 && (p.x as usize) < rows, "{p:?}");
+                assert!(p.y >= 0 && (p.y as usize) < cols, "{p:?}");
+                assert!(p.t >= 0);
+                *count.entry((p.x, p.y)).or_insert(0usize) += 1;
+            }
+            assert_eq!(count.len(), rows * cols, "all SPEs used");
+            assert!(
+                count.values().all(|&c| c == best.iterations_per_spe),
+                "uniform SPE load"
+            );
+        }
+    }
+
+    #[test]
+    fn injectivity_over_block() {
+        // No two iterations share a space-time position.
+        for (kernel, block, rows, cols) in [
+            (suite::gemm(), vec![3usize, 3, 3], 3, 3),
+            (suite::ttm(), vec![2, 2, 2, 2], 2, 2),
+            (suite::bicg(), vec![4, 4], 4, 1),
+        ] {
+            let cfg = config_for(&kernel, &block, rows, cols);
+            let maps = search(&cfg);
+            assert!(!maps.is_empty(), "{}", kernel.name());
+            let best = &maps[0];
+            let dfg = Dfg::build(&kernel, &block).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for idx in 0..dfg.iteration_count() {
+                let p = best.map.apply(dfg.iteration_at(idx));
+                assert!(seen.insert(p), "{} collides at {p}", kernel.name());
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_configurations_return_empty() {
+        // Block extents that cannot tile the VSA.
+        let cfg = config_for(&suite::bicg(), &[4, 4], 3, 1);
+        assert!(search(&cfg).is_empty());
+        // A dependence that cannot be causal: synthetic opposing distances
+        // along the only free dim.
+        let cfg = SearchConfig {
+            dims: 2,
+            block: vec![4, 4],
+            vsa_rows: 4,
+            vsa_cols: 1,
+            mesh_deps: vec![[0, 1, 0, 0], [0, -1, 0, 0]],
+            mem_deps: vec![],
+            anti_deps: vec![],
+        };
+        assert!(search(&cfg).is_empty());
+    }
+
+    #[test]
+    fn forwarding_needed_for_long_hops() {
+        // Synthetic dependence skipping an iteration: d = (0, 2).
+        let cfg = SearchConfig {
+            dims: 2,
+            block: vec![4, 4],
+            vsa_rows: 4,
+            vsa_cols: 4,
+            mesh_deps: vec![[0, 2, 0, 0], [1, 0, 0, 0]],
+            mem_deps: vec![],
+            anti_deps: vec![],
+        };
+        let maps = search(&cfg);
+        assert!(!maps.is_empty());
+        // d = (0,2) maps to two hops — every valid map needs forwarding.
+        assert!(maps.iter().all(|m| m.forwarding_count >= 1));
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let cfg = config_for(&suite::gemm(), &[2, 2, 2], 2, 2);
+        let a = search(&cfg);
+        let b = search(&cfg);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.map, y.map);
+        }
+    }
+}

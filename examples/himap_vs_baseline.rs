@@ -1,0 +1,55 @@
+//! Head-to-head comparison of HiMap and the BHC baselines on one kernel —
+//! a single bar group of the paper's Fig. 7.
+//!
+//! Run with: `cargo run --release --example himap_vs_baseline [-- <kernel> <size>]`
+
+use std::time::Instant;
+
+use himap_repro::baseline::{bhc, BaselineOptions};
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::{HiMap, HiMapOptions};
+use himap_repro::dfg::Dfg;
+use himap_repro::kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gemm".to_string());
+    let size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(8);
+    let kernel = suite::by_name(&name).ok_or("unknown kernel")?;
+    let spec = CgraSpec::square(size);
+    println!("{} on {size}x{size}:\n", kernel.name());
+
+    let started = Instant::now();
+    match HiMap::new(HiMapOptions::default()).map(&kernel, &spec) {
+        Ok(m) => println!(
+            "HiMap : U = {:>5.1}%  ({:.0} MOPS, {:.1} MOPS/mW)  in {:.2}s",
+            m.utilization() * 100.0,
+            m.throughput_mops(),
+            m.efficiency_mops_per_mw(),
+            started.elapsed().as_secs_f64(),
+        ),
+        Err(e) => println!("HiMap : failed ({e})"),
+    }
+
+    // Baselines map the whole unrolled DFG of a small block (they cannot
+    // scale past a few hundred nodes).
+    let options = BaselineOptions::default();
+    let block = vec![4usize.min(size); kernel.dims()];
+    let dfg = Dfg::build(&kernel, &block)?;
+    let started = Instant::now();
+    let result = bhc(&dfg, &spec, &options);
+    let elapsed = started.elapsed();
+    for (label, outcome) in [("SPR  ", &result.spr), ("SA   ", &result.sa)] {
+        match outcome {
+            Ok(m) => println!(
+                "{label} : U = {:>5.1}%  (II = {}, block {:?})",
+                m.utilization * 100.0,
+                m.ii,
+                block
+            ),
+            Err(e) => println!("{label} : failed ({e})"),
+        }
+    }
+    println!("BHC wall-clock: {:.2}s", elapsed.as_secs_f64());
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Scalability demonstration: map every kernel onto large CGRAs.
+//!
+//! The paper's headline scalability claim is that HiMap produces
+//! near-optimal mappings for a 64x64 CGRA in under 15 minutes while
+//! conventional mappers take days. This example maps all eight kernels onto
+//! 16x16 (default) and optionally larger arrays, printing compile time and
+//! mapping quality.
+//!
+//! Run with: `cargo run --release --example large_scale [-- <size>]`
+//! e.g. `cargo run --release --example large_scale -- 64`
+
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::{HiMap, HiMapOptions};
+use himap_repro::kernels::suite;
+
+fn main() {
+    let size: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
+    let spec = CgraSpec::square(size);
+    println!(
+        "mapping all kernels onto a {size}x{size} CGRA ({} PEs)\n",
+        spec.pe_count()
+    );
+    println!(
+        "{:<16} {:>10} {:>8} {:>14} {:>12} {:>10}",
+        "kernel", "util", "classes", "block", "IIB", "time"
+    );
+    for kernel in suite::all() {
+        let started = std::time::Instant::now();
+        match HiMap::new(HiMapOptions::default()).map(&kernel, &spec) {
+            Ok(m) => {
+                println!(
+                    "{:<16} {:>9.1}% {:>8} {:>14} {:>12} {:>9.2}s",
+                    kernel.name(),
+                    m.utilization() * 100.0,
+                    m.stats().unique_iterations,
+                    format!("{:?}", m.stats().block),
+                    m.stats().iib,
+                    started.elapsed().as_secs_f64(),
+                );
+            }
+            Err(e) => println!("{:<16} failed: {e}", kernel.name()),
+        }
+    }
+    println!(
+        "\nThe number of unique iterations — and hence the detailed-routing \
+         work — is independent of the array size; compile time is dominated \
+         by block unrolling and replication stamping."
+    );
+}

@@ -1,0 +1,40 @@
+//! Renders a mapping's repeating schedule as a cycle × PE grid — the
+//! textual equivalent of the paper's Fig. 2/5 schedule diagrams.
+//!
+//! Run with: `cargo run --release --example schedule_view [-- <kernel> <size>]`
+
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::viz::{render_schedule, render_utilization_map};
+use himap_repro::core::{ConfigImage, HiMap, HiMapOptions};
+use himap_repro::kernels::suite;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "gemm".to_string());
+    let size: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let kernel = suite::by_name(&name).ok_or("unknown kernel")?;
+    let spec = CgraSpec::square(size);
+    let mapping = HiMap::new(HiMapOptions::default()).map(&kernel, &spec)?;
+
+    println!(
+        "{} on {size}x{size}: U = {:.0}%, IIB = {} cycles, {} unique iterations\n",
+        kernel.name(),
+        mapping.utilization() * 100.0,
+        mapping.stats().iib,
+        mapping.stats().unique_iterations,
+    );
+    println!("repeating schedule (op[iteration] per PE per cycle):\n");
+    println!("{}", render_schedule(&mapping));
+    println!("ops per PE per window:");
+    println!("{}", render_utilization_map(&mapping));
+
+    let image = ConfigImage::from_mapping(&mapping);
+    println!(
+        "configuration memory: {} unique instructions max per PE \
+         (raw stream {} cycles, capacity {})",
+        image.max_unique_instrs(),
+        image.uncompressed_len(),
+        mapping.spec().config_mem_depth,
+    );
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Unique-iteration analysis (Fig. 6 / Table II): shows how HiMap collapses
+//! a block's iterations into a handful of equivalence classes, and how the
+//! count stays constant as the block grows — the key to its compile-time
+//! scalability.
+//!
+//! Run with: `cargo run --release --example unique_iterations [-- <kernel>]`
+
+use himap_repro::cgra::{CgraSpec, Vsa};
+use himap_repro::core::submap::map_idfg;
+use himap_repro::core::unique::classify;
+use himap_repro::core::{HiMapOptions, Layout};
+use himap_repro::dfg::Dfg;
+use himap_repro::kernels::suite;
+use himap_repro::systolic::{search, SearchConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gemm".to_string());
+    let kernel = suite::by_name(&name).ok_or("unknown kernel")?;
+    let options = HiMapOptions::default();
+    println!("unique-iteration analysis for `{}`\n", kernel.name());
+    for c in [4usize, 8, 16] {
+        let spec = CgraSpec::square(c);
+        let subs = map_idfg(&kernel, &spec, &options);
+        let Some(sub) = subs.first().cloned() else {
+            println!("{c}x{c}: no sub-CGRA mapping");
+            continue;
+        };
+        let vsa = Vsa::new(spec, sub.s1, sub.s2)?;
+        let block: Vec<usize> = (0..kernel.dims())
+            .map(|dim| match dim {
+                0 if vsa.rows() > 1 => vsa.rows(),
+                1 if vsa.cols() > 1 => vsa.cols(),
+                _ => 4,
+            })
+            .collect();
+        let dfg = Dfg::build(&kernel, &block)?;
+        let isdg = dfg.isdg();
+        let ranked = search(&SearchConfig {
+            dims: kernel.dims(),
+            block: block.clone(),
+            vsa_rows: vsa.rows(),
+            vsa_cols: vsa.cols(),
+            mesh_deps: isdg.distances().to_vec(),
+            mem_deps: dfg.mem_dep_distances(),
+        anti_deps: dfg.anti_dep_distances(),
+        });
+        let Some(best) = ranked.first() else {
+            println!("{c}x{c}: no systolic mapping");
+            continue;
+        };
+        let layout = Layout::new(&dfg, vsa, sub, best);
+        let classes = classify(&dfg, &layout);
+        println!(
+            "{c}x{c}: block {:?} = {} iterations -> {} unique classes \
+             (detailed routing covers {:.2}% of the block)",
+            block,
+            dfg.iteration_count(),
+            classes.count(),
+            100.0 * classes.count() as f64 / dfg.iteration_count() as f64,
+        );
+    }
+    println!(
+        "\nOnly one representative per class is placed and routed in detail; \
+         all other iterations replicate its routing shifted in space-time."
+    );
+    Ok(())
+}

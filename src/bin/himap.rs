@@ -1,0 +1,167 @@
+//! `himap` — the command-line compiler driver.
+//!
+//! ```text
+//! himap map <kernel> [--size N] [--rows R --cols C] [--paper-order]
+//!                    [--schedule] [--simulate] [--file <path>]
+//! himap list
+//! ```
+//!
+//! `<kernel>` is a built-in name (`gemm`, `bicg`, …) or, with `--file`, a
+//! path to a kernel-DSL source file (see `himap_kernels::parse_kernel`).
+
+use std::process::ExitCode;
+
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::viz::render_schedule;
+use himap_repro::core::{ConfigImage, HiMap, HiMapOptions};
+use himap_repro::kernels::{parse_kernel, suite, Kernel};
+use himap_repro::sim::simulate;
+
+struct Args {
+    kernel: Option<String>,
+    file: Option<String>,
+    rows: usize,
+    cols: usize,
+    paper_order: bool,
+    schedule: bool,
+    sim: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  himap map <kernel> [--size N | --rows R --cols C] \
+         [--paper-order] [--schedule] [--simulate] [--file <path>]\n  himap list"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("list") => {
+            println!("built-in kernels:");
+            for kernel in suite::all() {
+                println!(
+                    "  {:16} {}-D, {} ops/iteration",
+                    kernel.name(),
+                    kernel.dims(),
+                    kernel.compute_ops_per_iteration()
+                );
+            }
+            println!("  {:16} {}-D, {} ops/iteration (extension)", "conv2d", 2, 17);
+            println!("  {:16} {}-D, {} ops/iteration (extension)", "syr2k", 3, 4);
+            ExitCode::SUCCESS
+        }
+        Some("map") => match parse_args(&argv[1..]) {
+            Some(args) => run_map(args),
+            None => usage(),
+        },
+        _ => usage(),
+    }
+}
+
+fn parse_args(argv: &[String]) -> Option<Args> {
+    let mut args = Args {
+        kernel: None,
+        file: None,
+        rows: 8,
+        cols: 8,
+        paper_order: false,
+        schedule: false,
+        sim: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                let n: usize = it.next()?.parse().ok()?;
+                args.rows = n;
+                args.cols = n;
+            }
+            "--rows" => args.rows = it.next()?.parse().ok()?,
+            "--cols" => args.cols = it.next()?.parse().ok()?,
+            "--paper-order" => args.paper_order = true,
+            "--schedule" => args.schedule = true,
+            "--simulate" => args.sim = true,
+            "--file" => args.file = Some(it.next()?.clone()),
+            other if !other.starts_with('-') && args.kernel.is_none() => {
+                args.kernel = Some(other.to_string());
+            }
+            _ => return None,
+        }
+    }
+    Some(args)
+}
+
+fn load_kernel(args: &Args) -> Result<Kernel, String> {
+    if let Some(path) = &args.file {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return parse_kernel(&src).map_err(|e| e.to_string());
+    }
+    let name = args.kernel.as_deref().ok_or("no kernel given")?;
+    suite::by_name(name).ok_or_else(|| format!("unknown kernel `{name}` (try `himap list`)"))
+}
+
+fn run_map(args: Args) -> ExitCode {
+    let kernel = match load_kernel(&args) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match CgraSpec::mesh(args.rows, args.cols) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let options = HiMapOptions {
+        depth_priority_scheduling: !args.paper_order,
+        ..HiMapOptions::default()
+    };
+    let started = std::time::Instant::now();
+    let mapping = match HiMap::new(options).map(&kernel, &spec) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("mapping failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed();
+    let stats = mapping.stats();
+    println!("kernel            : {} ({}-D)", kernel.name(), kernel.dims());
+    println!("CGRA              : {}x{} @ {} MHz", spec.rows, spec.cols, spec.freq_mhz);
+    println!("compile time      : {elapsed:?}");
+    println!("utilization       : {:.1}%", mapping.utilization() * 100.0);
+    println!("throughput        : {:.0} MOPS", mapping.throughput_mops());
+    println!("power efficiency  : {:.1} MOPS/mW", mapping.efficiency_mops_per_mw());
+    println!("sub-CGRA (s1,s2,t): {:?}", stats.sub_shape);
+    println!("block             : {:?}", stats.block);
+    println!("unique iterations : {}", stats.unique_iterations);
+    println!("IIB               : {} cycles", stats.iib);
+    let image = ConfigImage::from_mapping(&mapping);
+    println!(
+        "config memory     : {} / {} entries (compressed from {})",
+        image.max_unique_instrs(),
+        spec.config_mem_depth,
+        image.uncompressed_len()
+    );
+    if args.schedule {
+        println!("\n{}", render_schedule(&mapping));
+    }
+    if args.sim {
+        match simulate(&mapping, 0xC0FFEE) {
+            Ok(report) => println!(
+                "validation        : OK ({} ops, {} cycles, {} elements match the reference, {:.3} uJ)",
+                report.ops_executed, report.cycles, report.elements_checked, report.energy_uj
+            ),
+            Err(e) => {
+                eprintln!("validation FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the HiMap reproduction workspace.
+//!
+//! Re-exports the public APIs of all member crates so that examples and
+//! integration tests can use a single dependency. Downstream users would
+//! typically depend on [`himap_core`] directly.
+//!
+//! # Example
+//!
+//! ```
+//! use himap_repro::kernels::suite;
+//! let gemm = suite::gemm();
+//! assert_eq!(gemm.dims(), 3);
+//! ```
+
+pub use himap_baseline as baseline;
+pub use himap_cgra as cgra;
+pub use himap_core as core;
+pub use himap_dfg as dfg;
+pub use himap_graph as graph;
+pub use himap_kernels as kernels;
+pub use himap_mapper as mapper;
+pub use himap_sim as sim;
+pub use himap_systolic as systolic;

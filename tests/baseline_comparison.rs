@@ -1,0 +1,98 @@
+//! Cross-crate checks of the HiMap-vs-baseline comparison machinery.
+
+use std::time::Duration;
+
+use himap_repro::baseline::{baseline_block, bhc, BaselineFailure, BaselineOptions};
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::{HiMap, HiMapOptions};
+use himap_repro::dfg::Dfg;
+use himap_repro::kernels::suite;
+
+#[test]
+fn bhc_maps_small_blocks() {
+    let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).expect("builds");
+    let result = bhc(&dfg, &CgraSpec::square(4), &BaselineOptions::default());
+    let best = result.best().expect("small GEMM block maps");
+    assert!(best.utilization > 0.0);
+    assert!(best.ii >= 1);
+}
+
+#[test]
+fn bhc_hits_the_scalability_cliff() {
+    // The paper: "BHC fails to find a solution when the number of DFG nodes
+    // is higher than 400".
+    let options = BaselineOptions::default();
+    let dfg = Dfg::build(&suite::gemm(), &[8, 8, 8]).expect("builds");
+    assert!(dfg.graph().node_count() > options.max_dfg_nodes);
+    let result = bhc(&dfg, &CgraSpec::square(16), &options);
+    assert!(result.best().is_none());
+    assert!(matches!(result.spr, Err(BaselineFailure::TooManyNodes { .. })));
+    assert!(matches!(result.sa, Err(BaselineFailure::TooManyNodes { .. })));
+}
+
+#[test]
+fn himap_dominates_on_large_arrays() {
+    // Fig. 7's crossover: on a 16x16 array the baselines' node-capped DFG
+    // cannot fill 256 PEs, while HiMap's utilization stays flat.
+    let kernel = suite::gemm();
+    let spec = CgraSpec::square(16);
+    let himap_util = HiMap::new(HiMapOptions::default())
+        .map(&kernel, &spec)
+        .expect("maps")
+        .utilization();
+    let options = BaselineOptions {
+        timeout: Duration::from_secs(15),
+        ..BaselineOptions::default()
+    };
+    let block = baseline_block(&kernel, &options);
+    let dfg = Dfg::build(&kernel, &block).expect("builds");
+    let bhc_util = bhc(&dfg, &spec, &options).best_utilization();
+    // The baseline's ops are capped near the node limit; 256 PEs cannot be
+    // filled even at II = 1.
+    let ops_bound = dfg.op_count() as f64 / spec.pe_count() as f64;
+    assert!(bhc_util <= ops_bound + 1e-9);
+    assert!(
+        himap_util > 2.0 * bhc_util,
+        "himap {himap_util} vs bhc {bhc_util}"
+    );
+}
+
+#[test]
+fn baseline_mappings_respect_mem_causality() {
+    // Floyd–Warshall's memory-routed pivots: the baseline scheduler must
+    // order every load after its producing store.
+    let dfg = Dfg::build(&suite::floyd_warshall(), &[3, 3, 3]).expect("builds");
+    let result = bhc(&dfg, &CgraSpec::square(4), &BaselineOptions::default());
+    let Some(best) = result.best() else {
+        // Failing to map is acceptable; producing a causality-violating
+        // mapping is not (checked below when it succeeds).
+        return;
+    };
+    for &(producer, input) in dfg.mem_deps() {
+        let (_, pabs) = best.op_slots[&producer];
+        for consumer in dfg.graph().out_neighbors(input) {
+            let (_, cabs) = best.op_slots[&consumer];
+            assert!(
+                cabs >= pabs + 2,
+                "load consumer at {cabs} before store at {pabs} is visible"
+            );
+        }
+    }
+}
+
+#[test]
+fn timeouts_are_honoured() {
+    let dfg = Dfg::build(&suite::ttm(), &[3, 3, 3, 3]).expect("builds");
+    let options = BaselineOptions {
+        timeout: Duration::from_millis(1),
+        ..BaselineOptions::default()
+    };
+    let start = std::time::Instant::now();
+    let result = bhc(&dfg, &CgraSpec::square(8), &options);
+    assert!(start.elapsed() < Duration::from_secs(30));
+    // With a 1 ms budget both mappers must report a timeout (or an early
+    // structural failure), never hang.
+    if let Err(e) = &result.spr {
+        assert!(matches!(e, BaselineFailure::Timeout | BaselineFailure::TooManyNodes { .. }));
+    }
+}

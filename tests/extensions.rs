@@ -1,0 +1,37 @@
+//! Extension kernels beyond the paper's Table II set: Conv2D (Table I's 2-D
+//! list) and SYR2K, exercised through the full pipeline.
+
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::{HiMap, HiMapOptions};
+use himap_repro::kernels::suite;
+use himap_repro::sim::simulate;
+
+#[test]
+fn syr2k_maps_and_validates() {
+    let kernel = suite::by_name("syr2k").expect("extension kernel");
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&kernel, &CgraSpec::square(4))
+        .expect("syr2k maps");
+    // Two GEMM-like streams: near-full utilization expected.
+    assert!(mapping.utilization() >= 0.5, "U = {}", mapping.utilization());
+    let report = simulate(&mapping, 11).expect("functionally correct");
+    assert!(report.elements_checked > 0);
+}
+
+#[test]
+fn conv2d_maps_and_validates() {
+    let kernel = suite::by_name("conv2d").expect("extension kernel");
+    let result = HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(8));
+    match result {
+        Ok(mapping) => {
+            let report = simulate(&mapping, 13).expect("functionally correct");
+            assert!(report.elements_checked > 0);
+            assert!(mapping.utilization() > 0.0);
+        }
+        Err(e) => {
+            // Dense halo reuse makes conv2d the hardest extension; a clean
+            // failure is acceptable, silent wrong answers are not.
+            eprintln!("conv2d did not map: {e}");
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration: kernel IR → DFG → HiMap → cycle-accurate
+//! simulation, across crates.
+
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::{HiMap, HiMapOptions};
+use himap_repro::kernels::suite;
+use himap_repro::sim::simulate;
+
+#[test]
+fn every_kernel_maps_and_validates_on_4x4_and_8x8() {
+    for c in [4usize, 8] {
+        let spec = CgraSpec::square(c);
+        for kernel in suite::all() {
+            let mapping = HiMap::new(HiMapOptions::default())
+                .map(&kernel, &spec)
+                .unwrap_or_else(|e| panic!("{} fails on {c}x{c}: {e}", kernel.name()));
+            let report = simulate(&mapping, 0xFEED)
+                .unwrap_or_else(|e| panic!("{} invalid on {c}x{c}: {e}", kernel.name()));
+            assert!(report.elements_checked > 0, "{}", kernel.name());
+        }
+    }
+}
+
+#[test]
+fn linear_cgra_of_the_motivating_example() {
+    // §II: BiCG on the 8x1 linear CGRA.
+    let spec = CgraSpec::mesh(8, 1).expect("8x1 is valid");
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&suite::bicg(), &spec)
+        .expect("bicg maps on 8x1");
+    let report = simulate(&mapping, 21).expect("valid");
+    assert!(report.elements_checked > 0);
+    // Sub-CGRA columns must be 1 on a 1-wide array.
+    assert_eq!(mapping.stats().sub_shape.1, 1);
+}
+
+#[test]
+fn utilization_is_size_independent() {
+    // The paper's Fig. 7 top: HiMap utilization stays flat as the CGRA
+    // grows (the same sub-CGRA mapping replicates over a larger VSA).
+    for kernel in [suite::gemm(), suite::bicg(), suite::adi()] {
+        let u4 = HiMap::new(HiMapOptions::default())
+            .map(&kernel, &CgraSpec::square(4))
+            .expect("maps on 4x4")
+            .utilization();
+        let u8 = HiMap::new(HiMapOptions::default())
+            .map(&kernel, &CgraSpec::square(8))
+            .expect("maps on 8x8")
+            .utilization();
+        assert!(
+            (u4 - u8).abs() < 1e-9,
+            "{}: U(4x4) = {u4} vs U(8x8) = {u8}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn mapping_respects_config_memory() {
+    // §VI: 32-entry configuration memory per PE; unique-instruction
+    // compression must keep every mapping within it.
+    for kernel in suite::all() {
+        let mapping = HiMap::new(HiMapOptions::default())
+            .map(&kernel, &CgraSpec::square(4))
+            .expect("maps");
+        assert!(
+            mapping.stats().max_config_slots <= mapping.spec().config_mem_depth,
+            "{}: {} config slots exceed the {}-entry config memory",
+            kernel.name(),
+            mapping.stats().max_config_slots,
+            mapping.spec().config_mem_depth
+        );
+    }
+}
+
+#[test]
+fn deterministic_mapping() {
+    let a = HiMap::new(HiMapOptions::default())
+        .map(&suite::mvt(), &CgraSpec::square(4))
+        .expect("maps");
+    let b = HiMap::new(HiMapOptions::default())
+        .map(&suite::mvt(), &CgraSpec::square(4))
+        .expect("maps");
+    assert_eq!(a.stats().sub_shape, b.stats().sub_shape);
+    assert_eq!(a.utilization(), b.utilization());
+    assert_eq!(a.routes().len(), b.routes().len());
+}
+
+#[test]
+fn rectangular_cgras_supported() {
+    let spec = CgraSpec::mesh(8, 4).expect("valid");
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&suite::gemm(), &spec)
+        .expect("gemm maps on 8x4");
+    let report = simulate(&mapping, 3).expect("valid");
+    assert!(report.elements_checked > 0);
+}
+
+#[test]
+fn anti_dependent_kernel_simulates_correctly() {
+    // Jacobi-style stencil: a[i][j] = a[i][j-1] + a[i][j+1]. The east read
+    // is an anti-dependence; the simulator's memory model catches any
+    // overwrite-before-load, so a passing run proves the schedule honours
+    // it.
+    use himap_repro::kernels::{AffineExpr, ArrayRef, Expr, KernelBuilder, OpKind};
+    let d = 2;
+    let mut b = KernelBuilder::new("jacobi", d);
+    let a = b.array("a", 2);
+    let (i, j) = (AffineExpr::var(0, d), AffineExpr::var(1, d));
+    b.stmt(
+        ArrayRef::new(a, vec![i.clone(), j]),
+        Expr::binary(
+            OpKind::Add,
+            Expr::Read(ArrayRef::new(a, vec![i.clone(), AffineExpr::new(vec![0, 1], -1)])),
+            Expr::Read(ArrayRef::new(a, vec![i, AffineExpr::new(vec![0, 1], 1)])),
+        ),
+    );
+    let kernel = b.build().expect("well-formed");
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&kernel, &CgraSpec::square(4))
+        .expect("maps");
+    let report = simulate(&mapping, 99).expect("anti-dependences honoured");
+    assert!(report.elements_checked > 0);
+}
+
+#[test]
+fn mapping_accessors_are_consistent() {
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&suite::gemm(), &CgraSpec::square(2))
+        .expect("maps");
+    // route_of finds the route for every edge.
+    for route in mapping.routes() {
+        let found = mapping.route_of(route.edge).expect("route exists");
+        assert_eq!(found.steps.len(), route.steps.len());
+    }
+    // fu_occupancy is injective over placed ops and every node is placed
+    // or not an op.
+    let occupancy = mapping.fu_occupancy();
+    let ops = mapping
+        .dfg()
+        .graph()
+        .nodes()
+        .filter(|(_, w)| matches!(w.kind, himap_repro::dfg::NodeKind::Op { .. }))
+        .count();
+    assert_eq!(occupancy.len(), ops, "one FU slot per op");
+    for node in mapping.dfg().graph().node_ids() {
+        assert!(mapping.is_placed(node));
+    }
+}
