@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, tests.
+#
+# Usage: ./ci.sh
+# Mirrors what a hosted pipeline would run; every step must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "CI green."

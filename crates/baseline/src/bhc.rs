@@ -42,19 +42,13 @@ impl BhcResult {
 /// Runs both baselines and reports both outcomes (§VI: "we report the best
 /// utilization results obtained from the two frameworks").
 pub fn bhc(dfg: &Dfg, spec: &CgraSpec, options: &BaselineOptions) -> BhcResult {
-    BhcResult {
-        spr: SprMapper::run(dfg, spec, options),
-        sa: SaMapper::run(dfg, spec, options),
-    }
+    BhcResult { spr: SprMapper::run(dfg, spec, options), sa: SaMapper::run(dfg, spec, options) }
 }
 
 /// Chooses the largest block for a baseline run: the biggest uniform extent
 /// whose unrolled DFG stays within the node limit (the paper: "BHC maps the
 /// small DFG keeping the block size small").
-pub fn baseline_block(
-    kernel: &himap_kernels::Kernel,
-    options: &BaselineOptions,
-) -> Vec<usize> {
+pub fn baseline_block(kernel: &himap_kernels::Kernel, options: &BaselineOptions) -> Vec<usize> {
     let dims = kernel.dims();
     let mut best = vec![1; dims];
     for extent in 2..=options.max_dfg_nodes {

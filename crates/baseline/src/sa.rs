@@ -32,10 +32,7 @@ impl SaMapper {
     ) -> Result<BaselineMapping, BaselineFailure> {
         let nodes = dfg.graph().node_count();
         if nodes > options.max_dfg_nodes {
-            return Err(BaselineFailure::TooManyNodes {
-                nodes,
-                limit: options.max_dfg_nodes,
-            });
+            return Err(BaselineFailure::TooManyNodes { nodes, limit: options.max_dfg_nodes });
         }
         let started = Instant::now();
         let mut rng = StdRng::seed_from_u64(options.seed);
@@ -141,8 +138,7 @@ fn total_cost(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots) -> f64 {
     }
     for e in dfg.graph().edge_ids() {
         let (src, dst) = dfg.graph().edge_endpoints(e);
-        let (Some(&(spe, sabs)), Some(&(dpe, dabs))) = (slots.get(&src), slots.get(&dst))
-        else {
+        let (Some(&(spe, sabs)), Some(&(dpe, dabs))) = (slots.get(&src), slots.get(&dst)) else {
             continue;
         };
         let dist = spec.distance(spe, dpe) as i64;
@@ -220,9 +216,7 @@ fn validate_routing(
                 SignalId(v.index() as u32),
             );
         }
-        if route_all(dfg, spec, ii, slots, &mut router)
-            && router.oversubscribed().is_empty()
-        {
+        if route_all(dfg, spec, ii, slots, &mut router) && router.oversubscribed().is_empty() {
             return true;
         }
         router.bump_history();
@@ -230,13 +224,7 @@ fn validate_routing(
     false
 }
 
-fn route_all(
-    dfg: &Dfg,
-    spec: &CgraSpec,
-    ii: usize,
-    slots: &OpSlots,
-    router: &mut Router,
-) -> bool {
+fn route_all(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots, router: &mut Router) -> bool {
     let order = topological_sort(dfg.graph()).expect("DFGs are acyclic");
     let mut deliveries: HashMap<(NodeId, NodeId), (RNode, i64)> = HashMap::new();
     let mut mem_producers: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
@@ -272,23 +260,20 @@ fn route_all(
                 (EdgeKind::Flow, NodeKind::Input { .. }) => {
                     // Loads may not issue before their producing stores are
                     // visible.
-                    let mem_lo = mem_producers
-                        .get(&e.src)
-                        .map_or(0, |producers| {
-                            producers
-                                .iter()
-                                .filter_map(|p| slots.get(p))
-                                .map(|&(_, pabs)| pabs + crate::spr::STORE_LATENCY)
-                                .max()
-                                .unwrap_or(0)
-                        });
+                    let mem_lo = mem_producers.get(&e.src).map_or(0, |producers| {
+                        producers
+                            .iter()
+                            .filter_map(|p| slots.get(p))
+                            .map(|&(_, pabs)| pabs + crate::spr::STORE_LATENCY)
+                            .max()
+                            .unwrap_or(0)
+                    });
                     router.route_constrained(
                         signal,
                         &all_mem,
                         target,
                         himap_mapper::Elapsed::AtMost(
-                            ((abs - mem_lo).max(0) as u32)
-                                .min(router.config().default_elapsed_cap),
+                            ((abs - mem_lo).max(0) as u32).min(router.config().default_elapsed_cap),
                         ),
                         |_| true,
                     )

@@ -30,10 +30,7 @@ impl SprMapper {
     ) -> Result<BaselineMapping, BaselineFailure> {
         let nodes = dfg.graph().node_count();
         if nodes > options.max_dfg_nodes {
-            return Err(BaselineFailure::TooManyNodes {
-                nodes,
-                limit: options.max_dfg_nodes,
-            });
+            return Err(BaselineFailure::TooManyNodes { nodes, limit: options.max_dfg_nodes });
         }
         let started = Instant::now();
         let mii = dfg.op_count().div_ceil(spec.pe_count()).max(1);
@@ -53,13 +50,11 @@ impl SprMapper {
                 router.clear_present();
                 match place_round(dfg, spec, ii, &order, &mut router, options, &started) {
                     Some(op_slots)
-                        if router.oversubscribed().is_empty()
-                            && anti_deps_ok(dfg, &op_slots) =>
+                        if router.oversubscribed().is_empty() && anti_deps_ok(dfg, &op_slots) =>
                     {
                         return Ok(BaselineMapping {
                             ii,
-                            utilization: dfg.op_count() as f64
-                                / (spec.pe_count() * ii) as f64,
+                            utilization: dfg.op_count() as f64 / (spec.pe_count() * ii) as f64,
                             op_slots,
                             algorithm: Algorithm::Spr,
                         });
@@ -92,10 +87,8 @@ pub(crate) fn mem_aware_topo_order(dfg: &Dfg) -> Vec<NodeId> {
         extra_out.entry(producer.index()).or_default().push(input);
         in_deg[input.index()] += 1;
     }
-    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
-        .filter(|&i| in_deg[i] == 0)
-        .map(std::cmp::Reverse)
-        .collect();
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+        (0..n).filter(|&i| in_deg[i] == 0).map(std::cmp::Reverse).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(std::cmp::Reverse(idx)) = ready.pop() {
         let node = NodeId::from_index(idx);
@@ -213,9 +206,7 @@ fn place_round(
                     // Memory causality: the load may not issue before every
                     // producing store is visible.
                     let mut mem_lo = 0i64;
-                    for producer in
-                        mem_producers.get(&e.src).map_or(&[][..], |v| v.as_slice())
-                    {
+                    for producer in mem_producers.get(&e.src).map_or(&[][..], |v| v.as_slice()) {
                         let &(_, pabs) = slots.get(producer)?;
                         mem_lo = mem_lo.max(pabs + STORE_LATENCY);
                     }
@@ -258,13 +249,10 @@ fn place_round(
                         // producing stores are visible): take the cheapest
                         // elapsed within that bound.
                         None => {
-                            let max_elapsed =
-                                ((abs - p.mem_lo).max(0) as u32).min(ii as u32 * 2);
+                            let max_elapsed = ((abs - p.mem_lo).max(0) as u32).min(ii as u32 * 2);
                             (0..=max_elapsed)
                                 .filter_map(|e| costs.get(&(fu, e)).copied())
-                                .fold(None, |acc: Option<f64>, c| {
-                                    Some(acc.map_or(c, |a| a.min(c)))
-                                })
+                                .fold(None, |acc: Option<f64>, c| Some(acc.map_or(c, |a| a.min(c))))
                         }
                     };
                     match c {
@@ -286,19 +274,15 @@ fn place_round(
         // Route parents for real.
         for p in &parents {
             let path = match p.abs {
-                Some(pabs) => router.route(
-                    signal_of(p.root),
-                    &p.source,
-                    target,
-                    Some((abs - pabs) as u32),
-                )?,
+                Some(pabs) => {
+                    router.route(signal_of(p.root), &p.source, target, Some((abs - pabs) as u32))?
+                }
                 None => router.route_constrained(
                     signal_of(p.root),
                     &p.source,
                     target,
                     Elapsed::AtMost(
-                        ((abs - p.mem_lo).max(0) as u32)
-                            .min(router.config().default_elapsed_cap),
+                        ((abs - p.mem_lo).max(0) as u32).min(router.config().default_elapsed_cap),
                     ),
                     |_| true,
                 )?,
@@ -345,8 +329,7 @@ mod tests {
         // Dependences respect schedule order.
         for e in dfg.graph().edge_ids() {
             let (src, dst) = dfg.graph().edge_endpoints(e);
-            if let (Some(&(_, a)), Some(&(_, b))) = (m.op_slots.get(&src), m.op_slots.get(&dst))
-            {
+            if let (Some(&(_, a)), Some(&(_, b))) = (m.op_slots.get(&src), m.op_slots.get(&dst)) {
                 assert!(b > a, "edge {e:?} violates precedence");
             }
         }

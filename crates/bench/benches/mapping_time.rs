@@ -46,7 +46,7 @@ fn bench_systolic_search(c: &mut Criterion) {
             vsa_cols: cols,
             mesh_deps: isdg.distances().to_vec(),
             mem_deps: dfg.mem_dep_distances(),
-        anti_deps: dfg.anti_dep_distances(),
+            anti_deps: dfg.anti_dep_distances(),
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(kernel.name().to_string()),
@@ -69,13 +69,33 @@ fn bench_himap_end_to_end(c: &mut Criterion) {
             BenchmarkId::new(name, format!("{cgra}x{cgra}")),
             &(kernel, spec),
             |b, (kernel, spec)| {
-                b.iter(|| {
-                    HiMap::new(HiMapOptions::default())
-                        .map(kernel, spec)
-                        .expect("maps")
-                });
+                b.iter(|| HiMap::new(HiMapOptions::default()).map(kernel, spec).expect("maps"));
             },
         );
+    }
+    group.finish();
+}
+
+fn bench_parallel_walk(c: &mut Criterion) {
+    // Wall-clock scaling of the candidate walk with worker threads. BiCG on
+    // 8x8 walks past failing candidates before its winner, so extra workers
+    // shorten the walk when cores are available; the winning mapping is
+    // identical at every thread count.
+    let mut group = c.benchmark_group("parallel_walk");
+    group.sample_size(10);
+    for (name, cgra) in [("bicg", 8usize), ("gemm", 8)] {
+        let kernel = suite::by_name(name).expect("kernel exists");
+        let spec = CgraSpec::square(cgra);
+        for threads in [1usize, 2, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_{cgra}x{cgra}"), threads),
+                &threads,
+                |b, &threads| {
+                    let options = HiMapOptions { threads, ..HiMapOptions::default() };
+                    b.iter(|| HiMap::new(options.clone()).map(&kernel, &spec).expect("maps"));
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -96,6 +116,7 @@ criterion_group!(
     bench_dfg_build,
     bench_systolic_search,
     bench_himap_end_to_end,
+    bench_parallel_walk,
     bench_spr_baseline
 );
 criterion_main!(benches);

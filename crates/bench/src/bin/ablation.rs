@@ -38,11 +38,7 @@ fn main() {
             HiMapOptions { replication_feedback_rounds: 1, ..base.clone() },
             spec.clone(),
         ),
-        (
-            "no-slack",
-            HiMapOptions { max_time_slack: 0, ..base.clone() },
-            spec.clone(),
-        ),
+        ("no-slack", HiMapOptions { max_time_slack: 0, ..base.clone() }, spec.clone()),
         ("1-rf-port", base.clone(), CgraSpec { rf_ports: 1, ..spec.clone() }),
         ("4-rf-ports", base.clone(), CgraSpec { rf_ports: 4, ..spec.clone() }),
     ];

@@ -20,27 +20,22 @@ const SWEEP: [usize; 12] = [2, 3, 4, 5, 6, 8, 10, 12, 16, 20, 32, 64];
 
 fn main() {
     let max = parse_max().unwrap_or(64);
-    let kernels = [
-        (suite::mvt(), 64usize),
-        (suite::gemm(), 64),
-        (suite::ttm(), 16),
-    ];
-    let baseline_options = BaselineOptions {
-        timeout: Duration::from_secs(30),
-        ..BaselineOptions::default()
-    };
+    let kernels = [(suite::mvt(), 64usize), (suite::gemm(), 64), (suite::ttm(), 16)];
+    let baseline_options =
+        BaselineOptions { timeout: Duration::from_secs(30), ..BaselineOptions::default() };
     let mut rows = Vec::new();
     for (kernel, cap) in kernels {
         for &b in SWEEP.iter().filter(|&&b| b <= cap.min(max)) {
             let spec = CgraSpec::square(b);
             // HiMap with the block matched to the CGRA (paper: b = c).
-            let himap_options =
-                HiMapOptions { free_extents: vec![b], ..HiMapOptions::default() };
+            let himap_options = HiMapOptions { free_extents: vec![b], ..HiMapOptions::default() };
             let start = Instant::now();
-            let himap = HiMap::new(himap_options).map(&kernel, &spec);
+            let (himap, pipeline) = HiMap::new(himap_options).map_with_stats(&kernel, &spec);
             let himap_time = start.elapsed();
             let himap_cell = match &himap {
-                Ok(m) => format!("{:.2}s (U={:.0}%)", himap_time.as_secs_f64(), m.utilization() * 100.0),
+                Ok(m) => {
+                    format!("{:.2}s (U={:.0}%)", himap_time.as_secs_f64(), m.utilization() * 100.0)
+                }
                 Err(e) => format!("failed: {e}"),
             };
             // BHC on the same whole block.
@@ -68,15 +63,16 @@ fn main() {
                 }
                 Err(e) => format!("failed: {e}"),
             };
-            eprintln!("{} b={b}: himap {himap_cell} | bhc {bhc_cell}", kernel.name());
+            eprintln!(
+                "{} b={b}: himap {himap_cell} | bhc {bhc_cell}\n{}",
+                kernel.name(),
+                pipeline.summary()
+            );
             rows.push(vec![kernel.name().to_string(), b.to_string(), bhc_cell, himap_cell]);
         }
     }
     println!("# Fig. 8 — compilation time vs block size (c = b)\n");
-    print!(
-        "{}",
-        markdown_table(&["kernel", "block/CGRA size b", "BHC", "HiMap"], &rows)
-    );
+    print!("{}", markdown_table(&["kernel", "block/CGRA size b", "BHC", "HiMap"], &rows));
     println!();
     println!(
         "HiMap compile time stays within seconds across the sweep because \

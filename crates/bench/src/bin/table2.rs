@@ -26,8 +26,7 @@ fn main() {
         // the property the compilation-time scalability rests on).
         let mut measured = 0usize;
         for c in [4usize, 8] {
-            if let Ok(m) = HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(c))
-            {
+            if let Ok(m) = HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(c)) {
                 measured = measured.max(m.stats().unique_iterations);
             }
         }

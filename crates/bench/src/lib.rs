@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use himap_baseline::{baseline_block, bhc, BaselineOptions, BhcResult};
 use himap_cgra::{CgraSpec, PowerModel};
-use himap_core::{HiMap, HiMapOptions, Mapping};
+use himap_core::{HiMap, HiMapOptions, Mapping, PipelineStats};
 use himap_dfg::Dfg;
 use himap_kernels::Kernel;
 
@@ -57,9 +57,21 @@ impl ComparisonPoint {
 
 /// Runs HiMap on a kernel/CGRA pair, returning the mapping and compile time.
 pub fn run_himap(kernel: &Kernel, c: usize, options: &HiMapOptions) -> (Option<Mapping>, Duration) {
+    let (mapping, _, time) = run_himap_with_stats(kernel, c, options);
+    (mapping, time)
+}
+
+/// [`run_himap`], additionally returning the pipeline instrumentation —
+/// populated for failed mappings too, so the binaries can print where an
+/// unmappable point's candidates died.
+pub fn run_himap_with_stats(
+    kernel: &Kernel,
+    c: usize,
+    options: &HiMapOptions,
+) -> (Option<Mapping>, PipelineStats, Duration) {
     let start = Instant::now();
-    let result = HiMap::new(options.clone()).map(kernel, &CgraSpec::square(c));
-    (result.ok(), start.elapsed())
+    let (result, stats) = HiMap::new(options.clone()).map_with_stats(kernel, &CgraSpec::square(c));
+    (result.ok(), stats, start.elapsed())
 }
 
 /// Runs the combined baseline over every block size it can scale to (all
@@ -72,10 +84,8 @@ pub fn run_bhc(kernel: &Kernel, c: usize, options: &BaselineOptions) -> (BhcResu
     let start = Instant::now();
     let mut best: Option<BhcResult> = None;
     let extents: Vec<usize> = (2..=max_block[0]).collect();
-    let per_block = options
-        .timeout
-        .checked_div(extents.len().max(1) as u32)
-        .unwrap_or(options.timeout);
+    let per_block =
+        options.timeout.checked_div(extents.len().max(1) as u32).unwrap_or(options.timeout);
     for extent in extents {
         let block = vec![extent; kernel.dims()];
         let Ok(dfg) = Dfg::build(kernel, &block) else { continue };
@@ -125,17 +135,11 @@ pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:>w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
         format!("| {} |\n", padded.join(" | "))
     };
-    out.push_str(&fmt_row(
-        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
-        &widths,
-    ));
+    out.push_str(&fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &widths));
     out.push_str(&format!(
         "|{}|\n",
         widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|")
@@ -162,12 +166,8 @@ mod tests {
 
     #[test]
     fn compare_produces_sane_point() {
-        let point = compare(
-            &suite::gemm(),
-            4,
-            &HiMapOptions::default(),
-            &figure_baseline_options(),
-        );
+        let point =
+            compare(&suite::gemm(), 4, &HiMapOptions::default(), &figure_baseline_options());
         assert_eq!(point.kernel, "gemm");
         assert!(point.himap_util > 0.0);
         assert!(point.himap_util >= point.bhc_util, "HiMap must dominate");

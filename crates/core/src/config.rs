@@ -214,9 +214,11 @@ fn step_move(
             // cycle — which is a's availability cycle.
             Some((b.pe, (a_abs.rem_euclid(iib as i64)) as u32, Move { src, dst: DstPort::Out(d) }))
         }
-        RKind::RegWr => {
-            Some((b.pe, (a_abs.rem_euclid(iib as i64)) as u32, Move { src, dst: DstPort::RfWrite(0) }))
-        }
+        RKind::RegWr => Some((
+            b.pe,
+            (a_abs.rem_euclid(iib as i64)) as u32,
+            Move { src, dst: DstPort::RfWrite(0) },
+        )),
         RKind::Reg(r) => {
             // RegWr -> Reg(r): patch the register index onto the pending
             // write; modelled as its own move for simplicity.
@@ -232,11 +234,7 @@ fn step_move(
         }
         RKind::Fu => {
             // Operand select at the consumer's cycle.
-            Some((
-                b.pe,
-                b.t,
-                Move { src, dst: DstPort::Operand(0) },
-            ))
+            Some((b.pe, b.t, Move { src, dst: DstPort::Operand(0) }))
         }
         RKind::Out | RKind::RegRd | RKind::Mem => None,
     }
@@ -271,9 +269,8 @@ mod tests {
 
     fn image_for(name: &str, c: usize) -> (Mapping, ConfigImage) {
         let kernel = suite::by_name(name).expect("kernel exists");
-        let mapping = HiMap::new(HiMapOptions::default())
-            .map(&kernel, &CgraSpec::square(c))
-            .expect("maps");
+        let mapping =
+            HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(c)).expect("maps");
         let image = ConfigImage::from_mapping(&mapping);
         (mapping, image)
     }

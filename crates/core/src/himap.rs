@@ -1,17 +1,31 @@
 //! The HiMap orchestrator (Algorithm 1 top level).
+//!
+//! The candidate walk is staged: [`enumerate_candidates`] materializes every
+//! `(sub-candidate, block, space-assignment)` tuple up front in the exact
+//! best-utilization-first order the sequential Algorithm-1 loop visits, then
+//! the tuples are evaluated either in order on this thread
+//! (`options.threads == 1`) or on a scoped worker pool with a
+//! first-verified-wins early-exit flag. The candidates are independent, so
+//! the winner is defined purely by enumeration order: the lowest-index tuple
+//! that fully verifies. Both paths return that same winner, making the
+//! parallel walk observable only through [`PipelineStats`] and wall time.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 use himap_cgra::{CgraSpec, Vsa};
 use himap_dfg::{Dfg, NodeKind};
 use himap_kernels::Kernel;
-use himap_systolic::{search, SearchConfig};
+use himap_systolic::{search_counted, SearchConfig};
 
 use crate::layout::Layout;
 use crate::mapping::{Mapping, MappingStats};
 use crate::options::{HiMapError, HiMapOptions};
 use crate::route::{replicate_and_verify, route_representatives};
-use crate::submap::map_idfg;
+use crate::stats::{PipelineStats, Stage, StatsCollector};
+use crate::submap::{map_idfg_counted, SubMapping};
 use crate::unique::classify;
 
 /// The HiMap mapper.
@@ -21,6 +35,44 @@ use crate::unique::classify;
 #[derive(Clone, Debug, Default)]
 pub struct HiMap {
     options: HiMapOptions,
+}
+
+/// Distinct dependence distances probed on a small block:
+/// `(mesh, memory-routed, anti)`.
+type Deps = (Vec<himap_dfg::Iter4>, Vec<himap_dfg::Iter4>, Vec<himap_dfg::Iter4>);
+
+/// One enumerated `(sub-candidate, block, space-assignment)` tuple. Its
+/// position in the enumeration is its priority: lower index wins.
+#[derive(Clone, Debug)]
+struct Candidate {
+    sub: SubMapping,
+    vsa: Vsa,
+    block: Vec<usize>,
+}
+
+/// The outcome of evaluating one candidate.
+enum Verdict {
+    /// Fully placed, routed, replicated and verified.
+    Mapped(Box<Mapping>),
+    /// Rejected before detailed routing (probe failed or no valid systolic
+    /// mapping); the sequential walk would `continue`.
+    Pruned,
+    /// Reached detailed routing and failed there; sets the "furthest stage"
+    /// error of an unsuccessful walk.
+    RouteFailed,
+    /// Full-block DFG construction failed; the sequential walk aborts with
+    /// this error immediately, so it is terminal like `Mapped`.
+    DfgError(String),
+    /// Abandoned by the early-exit flag: some candidate of better-or-equal
+    /// priority already fully verified, so this one cannot win.
+    Abandoned,
+}
+
+impl Verdict {
+    /// Terminal verdicts end the walk at their candidate's priority.
+    fn is_terminal(&self) -> bool {
+        matches!(self, Verdict::Mapped(_) | Verdict::DfgError(_))
+    }
 }
 
 impl HiMap {
@@ -40,13 +92,47 @@ impl HiMap {
     /// the VSA, chooses block sizes to fit it, searches systolic mappings,
     /// routes the unique iterations and replicates. The first fully verified
     /// combination wins — exactly the iterate-until-valid structure of
-    /// Algorithm 1.
+    /// Algorithm 1. With `options.threads > 1` the candidates are evaluated
+    /// concurrently, but the winner (and therefore every quality statistic)
+    /// is identical to the sequential walk's.
     ///
     /// # Errors
     ///
     /// Returns a [`HiMapError`] describing the furthest stage reached when
     /// every candidate fails.
     pub fn map(&self, kernel: &Kernel, cgra: &CgraSpec) -> Result<Mapping, HiMapError> {
+        self.map_with_stats(kernel, cgra).0
+    }
+
+    /// [`HiMap::map`], additionally returning the [`PipelineStats`] of the
+    /// run — for failed attempts too, which is the only way to observe
+    /// where an unmappable kernel's candidates died.
+    ///
+    /// On success the same snapshot is also embedded in the mapping's
+    /// [`MappingStats::pipeline`](crate::MappingStats).
+    pub fn map_with_stats(
+        &self,
+        kernel: &Kernel,
+        cgra: &CgraSpec,
+    ) -> (Result<Mapping, HiMapError>, PipelineStats) {
+        let wall = Instant::now();
+        let stats = StatsCollector::default();
+        let result = self.walk(kernel, cgra, &stats);
+        let pipeline = stats.snapshot(wall.elapsed(), self.options.effective_threads());
+        let result = result.map(|mut mapping| {
+            mapping.set_pipeline_stats(pipeline.clone());
+            mapping
+        });
+        (result, pipeline)
+    }
+
+    /// Enumerates the candidate tuples and drives their evaluation.
+    fn walk(
+        &self,
+        kernel: &Kernel,
+        cgra: &CgraSpec,
+        stats: &StatsCollector,
+    ) -> Result<Mapping, HiMapError> {
         if kernel.dims() < 2 {
             return Err(HiMapError::UnsupportedKernel(format!(
                 "kernel `{}` is {}-dimensional; HiMap targets multi-dimensional kernels",
@@ -54,140 +140,316 @@ impl HiMap {
                 kernel.dims()
             )));
         }
-        let subs = map_idfg(kernel, cgra, &self.options);
+        let (subs, sub_stats) =
+            stats.timed(Stage::Map, || map_idfg_counted(kernel, cgra, &self.options));
+        StatsCollector::add(&stats.sub_shapes_tried, sub_stats.shapes_tried);
+        StatsCollector::add(&stats.sub_candidates, subs.len());
         if subs.is_empty() {
             return Err(HiMapError::NoSubMapping);
         }
-        let mut furthest = HiMapError::NoSystolicMapping;
-        // Dependence distances are block-size independent; probe them once
-        // per probe-block shape to pre-filter space-dimension assignments
-        // without unrolling full blocks.
-        type Deps = (Vec<himap_dfg::Iter4>, Vec<himap_dfg::Iter4>, Vec<himap_dfg::Iter4>);
-        let mut probe_cache: HashMap<Vec<usize>, Deps> = HashMap::new();
-        for sub in subs.iter().take(self.options.max_sub_candidates).cloned() {
-            let vsa = match Vsa::new(cgra.clone(), sub.s1, sub.s2) {
-                Ok(v) => v,
-                Err(_) => continue,
-            };
-            // Different (free extent, space assignment) pairs often produce
-            // the same block; each distinct block is tried once.
-            let mut tried_blocks: std::collections::HashSet<Vec<usize>> =
-                std::collections::HashSet::new();
-        for free_extent in self.options.free_extents.iter().copied() {
-        for (p, q) in space_assignments(kernel.dims(), vsa.rows(), vsa.cols()) {
-            let block = block_for_assignment(kernel.dims(), &vsa, free_extent, p, q);
-            if !tried_blocks.insert(block.clone()) {
-                continue;
-            }
-            // Probe the dependence structure on a small same-shape block.
-            let probe_block: Vec<usize> = block.iter().map(|&b| b.min(4)).collect();
-            let (mesh_deps, mem_deps, anti_deps) = match probe_cache.get(&probe_block) {
-                Some(d) => d.clone(),
-                None => {
-                    let Ok(probe) = Dfg::build(kernel, &probe_block) else { continue };
-                    let d = (
-                        probe.isdg().distances().to_vec(),
-                        probe.mem_dep_distances(),
-                        probe.anti_dep_distances(),
-                    );
-                    probe_cache.insert(probe_block.clone(), d.clone());
-                    d
-                }
-            };
-            let ranked = search(&SearchConfig {
-                dims: kernel.dims(),
-                block: block.clone(),
-                vsa_rows: vsa.rows(),
-                vsa_cols: vsa.cols(),
-                mesh_deps,
-                mem_deps,
-                anti_deps,
-            });
-            if ranked.is_empty() {
-                continue;
-            }
-            // Unroll the real block and re-validate the search against its
-            // exact dependence distances (probe ranges are subsets).
-            let dfg = match Dfg::build(kernel, &block) {
-                Ok(d) => d,
-                Err(e) => return Err(HiMapError::Dfg(e.to_string())),
-            };
-            let isdg = dfg.isdg();
-            let ranked = search(&SearchConfig {
-                dims: kernel.dims(),
-                block: block.clone(),
-                vsa_rows: vsa.rows(),
-                vsa_cols: vsa.cols(),
-                mesh_deps: isdg.distances().to_vec(),
-                mem_deps: dfg.mem_dep_distances(),
-        anti_deps: dfg.anti_dep_distances(),
-            });
-            if ranked.is_empty() {
-                continue;
-            }
-            for st in ranked.iter().take(self.options.max_systolic_candidates) {
-                let layout = Layout::new(&dfg, vsa.clone(), sub.clone(), st);
-                let classes = classify(&dfg, &layout);
-                // Replication-aware negotiation: replica conflicts feed back
-                // into representative routing as pre-seeded history costs.
-                let mut seed_history: Vec<himap_cgra::RNode> = Vec::new();
-                let mut routed = None;
-                for _attempt in 0..self.options.replication_feedback_rounds {
-                    let design = match route_representatives(
-                        &dfg,
-                        &layout,
-                        &classes,
-                        &self.options,
-                        &seed_history,
-                    ) {
-                        Ok(d) => d,
-                        Err(_) => break,
-                    };
-                    match replicate_and_verify(&dfg, &layout, &classes, &design) {
-                        Ok(r) => {
-                            routed = Some(r);
-                            break;
-                        }
-                        Err(crate::route::RouteError::ReplicaConflicts {
-                            rep_frame, ..
-                        }) => {
-                            seed_history.extend(rep_frame);
-                            continue;
-                        }
-                        Err(_) => break,
-                    }
-                }
-                let Some(routes) = routed else {
-                    furthest = HiMapError::RoutingFailed;
-                    continue;
-                };
-                // Success: materialize the mapping artifact.
-                let mut op_slots = HashMap::new();
-                for (node, w) in dfg.graph().nodes() {
-                    if let NodeKind::Op { stmt, op, .. } = w.kind {
-                        op_slots.insert(node, layout.op_slot(&dfg, w.iter, stmt, op));
-                    }
-                }
-                let iib = layout.iib();
-                let stats = MappingStats {
-                    sub_shape: (sub.s1, sub.s2, sub.t),
-                    unique_iterations: classes.count(),
-                    iterations_per_spe: layout.iterations_per_spe(),
-                    iib,
-                    max_config_slots: 0, // filled from the config image below
-                    block,
-                };
-                let mut mapping = Mapping::new(cgra.clone(), dfg, op_slots, routes, stats);
-                let image = crate::config::ConfigImage::from_mapping(&mapping);
-                mapping.set_max_config_slots(image.max_unique_instrs());
-                return Ok(mapping);
+        let candidates = stats.timed(Stage::Enumerate, || {
+            enumerate_candidates(kernel, cgra, &subs, &self.options, stats)
+        });
+        let ctx = EvalCtx {
+            kernel,
+            cgra,
+            options: &self.options,
+            stats,
+            probe_cache: Mutex::new(HashMap::new()),
+        };
+        let threads = self.options.effective_threads();
+        let verdicts = if threads <= 1 {
+            evaluate_sequential(&ctx, &candidates)
+        } else {
+            evaluate_parallel(&ctx, &candidates, threads)
+        };
+        // The winner is the lowest-priority terminal verdict; with none, the
+        // walk's error is the furthest stage any candidate reached.
+        let mut route_failed = false;
+        for verdict in verdicts {
+            match verdict {
+                Verdict::Mapped(mapping) => return Ok(*mapping),
+                Verdict::DfgError(why) => return Err(HiMapError::Dfg(why)),
+                Verdict::RouteFailed => route_failed = true,
+                Verdict::Pruned | Verdict::Abandoned => {}
             }
         }
+        if route_failed {
+            Err(HiMapError::RoutingFailed)
+        } else {
+            Err(HiMapError::NoSystolicMapping)
         }
-        }
-        Err(furthest)
     }
+}
 
+/// Shared read-only context of one walk, plus the shared probe cache.
+struct EvalCtx<'a> {
+    kernel: &'a Kernel,
+    cgra: &'a CgraSpec,
+    options: &'a HiMapOptions,
+    stats: &'a StatsCollector,
+    /// Dependence distances are block-size independent; probe them once per
+    /// probe-block shape to pre-filter space-dimension assignments without
+    /// unrolling full blocks. Shared across workers.
+    probe_cache: Mutex<HashMap<Vec<usize>, Deps>>,
+}
+
+/// Materializes every `(sub-candidate, block, space-assignment)` tuple in
+/// the order the sequential Algorithm-1 walk visits them: sub-candidates
+/// best-utilization-first, free extents and space assignments in option
+/// order, duplicate blocks within one sub-candidate dropped.
+fn enumerate_candidates(
+    kernel: &Kernel,
+    cgra: &CgraSpec,
+    subs: &[SubMapping],
+    options: &HiMapOptions,
+    stats: &StatsCollector,
+) -> Vec<Candidate> {
+    let mut out = Vec::new();
+    let mut deduped = 0usize;
+    for sub in subs.iter().take(options.max_sub_candidates) {
+        let Ok(vsa) = Vsa::new(cgra.clone(), sub.s1, sub.s2) else {
+            continue;
+        };
+        // Different (free extent, space assignment) pairs often produce the
+        // same block; each distinct block is tried once.
+        let mut tried_blocks: std::collections::HashSet<Vec<usize>> =
+            std::collections::HashSet::new();
+        for free_extent in options.free_extents.iter().copied() {
+            for (p, q) in space_assignments(kernel.dims(), vsa.rows(), vsa.cols()) {
+                let block = block_for_assignment(kernel.dims(), &vsa, free_extent, p, q);
+                if !tried_blocks.insert(block.clone()) {
+                    deduped += 1;
+                    continue;
+                }
+                out.push(Candidate { sub: sub.clone(), vsa: vsa.clone(), block });
+            }
+        }
+    }
+    StatsCollector::add(&stats.candidates_enumerated, out.len());
+    StatsCollector::add(&stats.candidates_deduped, deduped);
+    out
+}
+
+/// Evaluates candidates strictly in order on the calling thread, stopping at
+/// the first terminal verdict — the literal Algorithm-1 walk.
+fn evaluate_sequential(ctx: &EvalCtx<'_>, candidates: &[Candidate]) -> Vec<Verdict> {
+    let mut verdicts = Vec::new();
+    for candidate in candidates {
+        let verdict = evaluate(ctx, candidate, &|| false);
+        let terminal = verdict.is_terminal();
+        verdicts.push(verdict);
+        if terminal {
+            break;
+        }
+    }
+    verdicts
+}
+
+/// Evaluates candidates on `threads` scoped workers.
+///
+/// Workers claim candidates in enumeration order from a shared cursor.
+/// `best` holds the lowest index whose verdict is terminal; a worker
+/// abandons its candidate only when a *strictly lower* index is terminal
+/// (equal is impossible — a candidate cannot outrank itself), so every
+/// candidate that could still win the priority race runs to completion.
+/// That invariant makes the winner identical to the sequential walk's.
+fn evaluate_parallel(ctx: &EvalCtx<'_>, candidates: &[Candidate], threads: usize) -> Vec<Verdict> {
+    let next = AtomicUsize::new(0);
+    let best = AtomicUsize::new(usize::MAX);
+    let verdicts: Vec<Mutex<Verdict>> =
+        candidates.iter().map(|_| Mutex::new(Verdict::Pruned)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(candidates.len().max(1)) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= candidates.len() {
+                    break;
+                }
+                if best.load(Ordering::Acquire) < idx {
+                    // A better candidate already verified; everything at or
+                    // past this index can only lose the priority race.
+                    StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
+                    *lock(&verdicts[idx]) = Verdict::Abandoned;
+                    continue;
+                }
+                let abandon = || best.load(Ordering::Acquire) < idx;
+                let verdict = evaluate(ctx, &candidates[idx], &abandon);
+                if matches!(verdict, Verdict::Abandoned) {
+                    StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
+                }
+                if verdict.is_terminal() {
+                    best.fetch_min(idx, Ordering::AcqRel);
+                }
+                *lock(&verdicts[idx]) = verdict;
+            });
+        }
+    });
+    verdicts.into_iter().map(|cell| cell.into_inner().unwrap_or(Verdict::Pruned)).collect()
+}
+
+/// Locks a mutex, recovering from poisoning (a panicking sibling worker must
+/// not also hide this worker's verdict).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Evaluates one candidate tuple end to end: probe-filtered systolic search,
+/// exact re-validation on the unrolled block, then detailed routing with
+/// replication-aware negotiation for each ranked systolic map.
+///
+/// `abandon` is polled between the expensive phases; when it reports `true`
+/// a better-or-equal-priority candidate has fully verified and the result
+/// cannot matter, so the evaluation stops early with [`Verdict::Abandoned`].
+fn evaluate(ctx: &EvalCtx<'_>, candidate: &Candidate, abandon: &dyn Fn() -> bool) -> Verdict {
+    let stats = ctx.stats;
+    StatsCollector::add(&stats.candidates_tried, 1);
+    let Candidate { sub, vsa, block } = candidate;
+    // Probe the dependence structure on a small same-shape block.
+    let probe_block: Vec<usize> = block.iter().map(|&b| b.min(4)).collect();
+    let cached = lock(&ctx.probe_cache).get(&probe_block).cloned();
+    let (mesh_deps, mem_deps, anti_deps) = match cached {
+        Some(deps) => {
+            StatsCollector::add(&stats.probe_cache_hits, 1);
+            deps
+        }
+        None => {
+            StatsCollector::add(&stats.probe_cache_misses, 1);
+            let probe = match stats.timed(Stage::Probe, || Dfg::build(ctx.kernel, &probe_block)) {
+                Ok(p) => p,
+                Err(_) => {
+                    StatsCollector::add(&stats.candidates_pruned, 1);
+                    return Verdict::Pruned;
+                }
+            };
+            let deps = (
+                probe.isdg().distances().to_vec(),
+                probe.mem_dep_distances(),
+                probe.anti_dep_distances(),
+            );
+            lock(&ctx.probe_cache).insert(probe_block, deps.clone());
+            deps
+        }
+    };
+    let (ranked, search_stats) = stats.timed(Stage::Search, || {
+        search_counted(&SearchConfig {
+            dims: ctx.kernel.dims(),
+            block: block.clone(),
+            vsa_rows: vsa.rows(),
+            vsa_cols: vsa.cols(),
+            mesh_deps,
+            mem_deps,
+            anti_deps,
+        })
+    });
+    StatsCollector::add(&stats.systolic_searches, 1);
+    StatsCollector::add(&stats.systolic_matrices_tried, search_stats.matrices_tried);
+    StatsCollector::add(&stats.systolic_maps_found, search_stats.valid);
+    if ranked.is_empty() {
+        StatsCollector::add(&stats.candidates_pruned, 1);
+        return Verdict::Pruned;
+    }
+    if abandon() {
+        return Verdict::Abandoned;
+    }
+    // Unroll the real block and re-validate the search against its exact
+    // dependence distances (probe ranges are subsets).
+    let dfg = match stats.timed(Stage::DfgBuild, || Dfg::build(ctx.kernel, block)) {
+        Ok(d) => d,
+        Err(e) => return Verdict::DfgError(e.to_string()),
+    };
+    let isdg = dfg.isdg();
+    let (ranked, search_stats) = stats.timed(Stage::Search, || {
+        search_counted(&SearchConfig {
+            dims: ctx.kernel.dims(),
+            block: block.clone(),
+            vsa_rows: vsa.rows(),
+            vsa_cols: vsa.cols(),
+            mesh_deps: isdg.distances().to_vec(),
+            mem_deps: dfg.mem_dep_distances(),
+            anti_deps: dfg.anti_dep_distances(),
+        })
+    });
+    StatsCollector::add(&stats.systolic_searches, 1);
+    StatsCollector::add(&stats.systolic_matrices_tried, search_stats.matrices_tried);
+    StatsCollector::add(&stats.systolic_maps_found, search_stats.valid);
+    if ranked.is_empty() {
+        StatsCollector::add(&stats.candidates_pruned, 1);
+        return Verdict::Pruned;
+    }
+    let mut route_failed = false;
+    for st in ranked.iter().take(ctx.options.max_systolic_candidates) {
+        if abandon() {
+            return Verdict::Abandoned;
+        }
+        StatsCollector::add(&stats.layouts_tried, 1);
+        let layout = Layout::new(&dfg, vsa.clone(), sub.clone(), st);
+        let classes = classify(&dfg, &layout);
+        // Replication-aware negotiation: replica conflicts feed back into
+        // representative routing as pre-seeded history costs.
+        let mut seed_history: Vec<himap_cgra::RNode> = Vec::new();
+        let mut routed = None;
+        for _attempt in 0..ctx.options.replication_feedback_rounds {
+            if abandon() {
+                return Verdict::Abandoned;
+            }
+            StatsCollector::add(&stats.route_attempts, 1);
+            let design = match stats.timed(Stage::Route, || {
+                route_representatives(&dfg, &layout, &classes, ctx.options, &seed_history)
+            }) {
+                Ok(design) => {
+                    StatsCollector::add(&stats.pathfinder_rounds, design.rounds);
+                    design
+                }
+                Err(_) => {
+                    // A failed negotiation exhausts its full round budget.
+                    StatsCollector::add(&stats.pathfinder_rounds, ctx.options.pathfinder_rounds);
+                    break;
+                }
+            };
+            StatsCollector::add(&stats.replication_rounds, 1);
+            match stats
+                .timed(Stage::Replicate, || replicate_and_verify(&dfg, &layout, &classes, &design))
+            {
+                Ok(routes) => {
+                    routed = Some(routes);
+                    break;
+                }
+                Err(crate::route::RouteError::ReplicaConflicts { rep_frame, .. }) => {
+                    seed_history.extend(rep_frame);
+                    continue;
+                }
+                Err(_) => break,
+            }
+        }
+        let Some(routes) = routed else {
+            route_failed = true;
+            continue;
+        };
+        // Success: materialize the mapping artifact.
+        let mut op_slots = HashMap::new();
+        for (node, w) in dfg.graph().nodes() {
+            if let NodeKind::Op { stmt, op, .. } = w.kind {
+                op_slots.insert(node, layout.op_slot(&dfg, w.iter, stmt, op));
+            }
+        }
+        let iib = layout.iib();
+        let mapping_stats = MappingStats {
+            sub_shape: (sub.s1, sub.s2, sub.t),
+            unique_iterations: classes.count(),
+            iterations_per_spe: layout.iterations_per_spe(),
+            iib,
+            max_config_slots: 0, // filled from the config image below
+            block: block.clone(),
+            pipeline: PipelineStats::default(), // snapshot attached by the caller
+        };
+        let mut mapping = Mapping::new(ctx.cgra.clone(), dfg, op_slots, routes, mapping_stats);
+        let image = crate::config::ConfigImage::from_mapping(&mapping);
+        mapping.set_max_config_slots(image.max_unique_instrs());
+        return Verdict::Mapped(Box::new(mapping));
+    }
+    debug_assert!(route_failed, "ranked searches are non-empty here");
+    Verdict::RouteFailed
 }
 
 /// Candidate assignments of loop dims to the VSA's space axes: `p` feeds the
@@ -196,14 +458,9 @@ impl HiMap {
 /// Floyd–Warshall's pivot step must advance time, so its `k` cannot be a
 /// space dim — and is settled by the systolic search; this just enumerates
 /// the options deterministically.
-fn space_assignments(
-    dims: usize,
-    rows: usize,
-    cols: usize,
-) -> Vec<(Option<usize>, Option<usize>)> {
+fn space_assignments(dims: usize, rows: usize, cols: usize) -> Vec<(Option<usize>, Option<usize>)> {
     let mut out = Vec::new();
-    let ps: Vec<Option<usize>> =
-        if rows > 1 { (0..dims).map(Some).collect() } else { vec![None] };
+    let ps: Vec<Option<usize>> = if rows > 1 { (0..dims).map(Some).collect() } else { vec![None] };
     for &p in &ps {
         let qs: Vec<Option<usize>> = if cols > 1 {
             (0..dims).filter(|&d| Some(d) != p).map(Some).collect()
@@ -291,10 +548,7 @@ mod tests {
             ),
         );
         let kernel = b.build().unwrap();
-        assert!(matches!(
-            map(&kernel, 4),
-            Err(HiMapError::UnsupportedKernel(_))
-        ));
+        assert!(matches!(map(&kernel, 4), Err(HiMapError::UnsupportedKernel(_))));
     }
 
     #[test]
@@ -344,5 +598,49 @@ mod tests {
                 assert!((0..=1).contains(&dt), "steps advance 0 or 1 cycles");
             }
         }
+    }
+
+    #[test]
+    fn pipeline_stats_populated_on_success() {
+        let m = map(&suite::gemm(), 4).expect("gemm maps");
+        let p = m.pipeline_stats();
+        assert_eq!(p.threads, 1);
+        assert!(p.candidates_enumerated > 0, "no candidates counted: {p:?}");
+        assert!(p.candidates_tried > 0);
+        assert!(p.systolic_searches > 0);
+        assert!(p.route_attempts > 0);
+        assert!(p.replication_rounds > 0);
+        assert!(p.times.total > std::time::Duration::ZERO);
+        assert_eq!(p.candidates_abandoned, 0, "sequential walk never abandons");
+        // The embedded snapshot is the same one map_with_stats returns.
+        let (again, stats) = HiMap::new(HiMapOptions::default())
+            .map_with_stats(&suite::gemm(), &CgraSpec::square(4));
+        let again = again.expect("gemm maps");
+        assert_eq!(again.pipeline_stats(), &stats);
+    }
+
+    #[test]
+    fn pipeline_stats_populated_on_failure() {
+        // GEMM cannot fit a 1x1 CGRA: the walk fails, but the stats must
+        // still describe what was tried.
+        let himap = HiMap::new(HiMapOptions::default());
+        let (result, stats) = himap.map_with_stats(&suite::gemm(), &CgraSpec::square(1));
+        assert!(result.is_err());
+        assert!(stats.times.total > std::time::Duration::ZERO);
+        assert!(stats.sub_shapes_tried > 0, "MAP() attempts uncounted: {stats:?}");
+    }
+
+    #[test]
+    fn parallel_walk_matches_sequential_on_gemm() {
+        let cgra = CgraSpec::square(4);
+        let seq = HiMap::new(HiMapOptions::default()).map(&suite::gemm(), &cgra).unwrap();
+        let par = HiMap::new(HiMapOptions { threads: 3, ..HiMapOptions::default() })
+            .map(&suite::gemm(), &cgra)
+            .unwrap();
+        assert_eq!(seq.stats().sub_shape, par.stats().sub_shape);
+        assert_eq!(seq.stats().block, par.stats().block);
+        assert_eq!(seq.stats().iib, par.stats().iib);
+        assert_eq!(seq.utilization(), par.utilization());
+        assert_eq!(par.pipeline_stats().threads, 3);
     }
 }

@@ -139,7 +139,7 @@ mod tests {
             vsa_cols: vsa.cols(),
             mesh_deps: isdg.distances().to_vec(),
             mem_deps: dfg.mem_dep_distances(),
-        anti_deps: dfg.anti_dep_distances(),
+            anti_deps: dfg.anti_dep_distances(),
         });
         let layout = Layout::new(&dfg, vsa, sub, &maps[0]);
         (dfg, layout)

@@ -36,19 +36,21 @@
 //! ```
 
 pub mod config;
-pub mod viz;
 mod himap;
 mod layout;
 mod mapping;
 mod options;
 pub mod route;
+mod stats;
 pub mod submap;
 pub mod unique;
+pub mod viz;
 
 pub use config::{ConfigImage, DstPort, Instr, Move, SrcPort};
 pub use himap::HiMap;
 pub use layout::{Layout, Slot};
 pub use mapping::{Mapping, MappingStats, RouteInstance};
 pub use options::{HiMapError, HiMapOptions};
-pub use submap::{map_idfg, SubMapping};
+pub use stats::{PipelineStats, StageTimes};
+pub use submap::{map_idfg, map_idfg_counted, SubMapStats, SubMapping};
 pub use unique::{ClassId, Classes, Descriptor};

@@ -8,6 +8,7 @@ use himap_graph::{EdgeId, NodeId};
 
 use crate::layout::Slot;
 use crate::route::FullRoute;
+use crate::stats::PipelineStats;
 
 /// One routed dependence: re-exported route representation.
 pub type RouteInstance = FullRoute;
@@ -29,6 +30,12 @@ pub struct MappingStats {
     pub max_config_slots: usize,
     /// Block size mapped.
     pub block: Vec<usize>,
+    /// Instrumentation of the pipeline run that produced this mapping:
+    /// per-stage times and candidate/cache counters. Unlike every other
+    /// field, this is **not** deterministic across runs or thread counts
+    /// (it contains wall times, and parallel walks may try extra
+    /// candidates) — compare the quality fields, not this one.
+    pub pipeline: PipelineStats,
 }
 
 /// A complete placed-and-routed mapping of a kernel block onto a CGRA.
@@ -83,6 +90,16 @@ impl Mapping {
     /// Mapping statistics.
     pub fn stats(&self) -> &MappingStats {
         &self.stats
+    }
+
+    /// Instrumentation of the pipeline run that produced this mapping
+    /// (shorthand for `stats().pipeline`).
+    pub fn pipeline_stats(&self) -> &PipelineStats {
+        &self.stats.pipeline
+    }
+
+    pub(crate) fn set_pipeline_stats(&mut self, pipeline: PipelineStats) {
+        self.stats.pipeline = pipeline;
     }
 
     /// CGRA resource utilization `U = |V_D| / |V_F_H|` — compute ops over FU

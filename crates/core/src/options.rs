@@ -32,6 +32,24 @@ pub struct HiMapOptions {
     /// Setting it to `false` reproduces the paper's exact utilization
     /// profile — see the `ablation` benchmark binary.
     pub depth_priority_scheduling: bool,
+    /// Worker threads for the candidate walk. `1` (the default) runs the
+    /// strictly sequential Algorithm-1 walk; `n > 1` evaluates candidates on
+    /// `n` scoped workers with first-verified-wins early exit; `0` uses
+    /// [`std::thread::available_parallelism`]. Every thread count produces
+    /// the same winning mapping — the walk is parallel but its result is
+    /// bit-identical to the sequential order (see `HiMap::map`).
+    pub threads: usize,
+}
+
+impl HiMapOptions {
+    /// The concrete worker count: `threads`, with `0` resolved to the
+    /// machine's available parallelism.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        }
+    }
 }
 
 impl Default for HiMapOptions {
@@ -44,6 +62,7 @@ impl Default for HiMapOptions {
             max_systolic_candidates: 4,
             replication_feedback_rounds: 6,
             depth_priority_scheduling: true,
+            threads: 1,
         }
     }
 }

@@ -38,6 +38,9 @@ pub struct ClassPattern {
 pub struct RoutedDesign {
     /// Per-class patterns, indexed by `ClassId`.
     pub patterns: Vec<ClassPattern>,
+    /// PathFinder negotiation rounds consumed before convergence (a failed
+    /// negotiation always consumes the full `pathfinder_rounds` budget).
+    pub rounds: usize,
 }
 
 /// Errors of the routing/replication stage.
@@ -132,10 +135,11 @@ pub fn route_representatives(
     }
 
     let mut last_err = RouteError::ForwardOrdering;
-    for _round in 0..options.pathfinder_rounds {
+    for round in 0..options.pathfinder_rounds {
         match route_round(dfg, layout, classes, &edges, &mut router) {
-            Ok(result) => {
+            Ok(mut result) => {
                 if router.oversubscribed().is_empty() {
+                    result.rounds = round + 1;
                     return Ok(result);
                 }
                 last_err = RouteError::Congested(router.oversubscribed().len());
@@ -192,8 +196,7 @@ fn route_round(
             if routed[idx] {
                 continue;
             }
-            let Some(source) = edge_source(dfg, layout, classes, &deliveries, &patterns, e)
-            else {
+            let Some(source) = edge_source(dfg, layout, classes, &deliveries, &patterns, e) else {
                 continue; // forwarding source not available yet
             };
             let (src, dst) = dfg.graph().edge_endpoints(e);
@@ -225,24 +228,15 @@ fn route_round(
             };
             // Record the net and the pattern.
             let abs_nodes = absolute_times(router.mrrg(), &path.nodes, dslot.abs);
-            let net: Vec<(RNode, i64)> = path
-                .nodes
-                .iter()
-                .zip(&abs_nodes)
-                .map(|(&n, &(_, _, abs))| (n, abs))
-                .collect();
-            deliveries
-                .entry((dst, root))
-                .or_default()
-                .extend(net_sources(&net));
+            let net: Vec<(RNode, i64)> =
+                path.nodes.iter().zip(&abs_nodes).map(|(&n, &(_, _, abs))| (n, abs)).collect();
+            deliveries.entry((dst, root)).or_default().extend(net_sources(&net));
             let class = classes.of[dfg.linear_index(dst_iter)] as usize;
             let (_, desc) = descriptor(dfg, layout, e, dst_iter);
             let pos = layout.position(dfg, dst_iter);
             let macro_start = pos.t as i64 * t;
-            let pattern: Pattern = abs_nodes
-                .iter()
-                .map(|&(pe, kind, abs)| (pe, kind, abs - macro_start))
-                .collect();
+            let pattern: Pattern =
+                abs_nodes.iter().map(|&(pe, kind, abs)| (pe, kind, abs - macro_start)).collect();
             patterns[class].routes.insert(desc, pattern);
             router.commit(&path);
             routed[idx] = true;
@@ -254,7 +248,7 @@ fn route_round(
         }
     }
     let _ = iib;
-    Ok(RoutedDesign { patterns })
+    Ok(RoutedDesign { patterns, rounds: 0 })
 }
 
 /// Recovers the absolute time of each path node from the target's absolute
@@ -306,10 +300,7 @@ fn edge_source(
     match (weight.kind, dfg.graph()[src].kind) {
         (EdgeKind::Flow, NodeKind::Op { stmt, op, .. }) => {
             let slot = layout.op_slot(dfg, src_iter, stmt, op);
-            Some(EdgeSource::Net(vec![(
-                RNode::new(slot.pe, slot.cycle_mod, RKind::Fu),
-                slot.abs,
-            )]))
+            Some(EdgeSource::Net(vec![(RNode::new(slot.pe, slot.cycle_mod, RKind::Fu), slot.abs)]))
         }
         (EdgeKind::Flow, NodeKind::Input { .. }) => {
             Some(EdgeSource::MemPorts(mem_sources(dfg, layout, src)))
@@ -321,10 +312,8 @@ fn edge_source(
             // Source consumer is not a representative: translate its class
             // pattern into the member frame.
             let class = classes.of[dfg.linear_index(src_iter)] as usize;
-            let carrier = dfg
-                .graph()
-                .in_edges(src)
-                .find(|ie| dfg.graph()[ie.id].signal(ie.src) == root)?;
+            let carrier =
+                dfg.graph().in_edges(src).find(|ie| dfg.graph()[ie.id].signal(ie.src) == root)?;
             let (_, desc) = descriptor(dfg, layout, carrier.id, src_iter);
             let pattern = patterns[class].routes.get(&desc)?;
             let rep_iter = dfg.iteration_at(classes.reps[class]);
@@ -480,10 +469,7 @@ pub fn replicate_and_verify(
         let mut steps = Vec::with_capacity(pattern.len());
         for (i, &step) in pattern.iter().enumerate() {
             let (node, abs) = translate_step(layout, dfg, rep_iter, dst_iter, step);
-            debug_assert!(
-                spec.contains(node.pe),
-                "translated route leaves the array at {node:?}"
-            );
+            debug_assert!(spec.contains(node.pe), "translated route leaves the array at {node:?}");
             let endpoint = i == 0 || i == pattern.len() - 1;
             if !(endpoint && node.kind == RKind::Fu) {
                 let occ = occupancy.entry(node).or_default();
@@ -590,10 +576,7 @@ mod tests {
     use himap_kernels::suite;
     use himap_systolic::{search, SearchConfig};
 
-    fn pipeline(
-        kernel: &himap_kernels::Kernel,
-        c: usize,
-    ) -> (Dfg, Layout, Classes) {
+    fn pipeline(kernel: &himap_kernels::Kernel, c: usize) -> (Dfg, Layout, Classes) {
         let spec = CgraSpec::square(c);
         let options = HiMapOptions::default();
         let sub = map_idfg(kernel, &spec, &options)[0].clone();
@@ -623,11 +606,7 @@ mod tests {
 
     /// The orchestrator's replication-aware negotiation loop, reproduced
     /// for direct testing of this module.
-    fn route_with_feedback(
-        dfg: &Dfg,
-        layout: &Layout,
-        classes: &Classes,
-    ) -> Vec<FullRoute> {
+    fn route_with_feedback(dfg: &Dfg, layout: &Layout, classes: &Classes) -> Vec<FullRoute> {
         let options = HiMapOptions::default();
         let mut seed: Vec<RNode> = Vec::new();
         for _ in 0..options.replication_feedback_rounds {
@@ -680,11 +659,7 @@ mod tests {
         // biases the search).
         let kernel = suite::gemm();
         let (dfg, layout, classes) = pipeline(&kernel, 4);
-        let seed = vec![RNode::new(
-            himap_cgra::PeId::new(0, 0),
-            0,
-            RKind::Out,
-        )];
+        let seed = vec![RNode::new(himap_cgra::PeId::new(0, 0), 0, RKind::Out)];
         let design =
             route_representatives(&dfg, &layout, &classes, &HiMapOptions::default(), &seed)
                 .expect("routes despite seeded history");
@@ -705,10 +680,7 @@ mod tests {
         for e in errors {
             let msg = e.to_string();
             assert!(!msg.is_empty());
-            assert!(
-                !msg.chars().next().is_some_and(|c| c.is_uppercase()),
-                "{msg}"
-            );
+            assert!(!msg.chars().next().is_some_and(|c| c.is_uppercase()), "{msg}");
         }
     }
 }

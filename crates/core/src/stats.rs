@@ -1,0 +1,283 @@
+//! Pipeline instrumentation: per-stage wall time and candidate/cache
+//! counters for every `HiMap::map` run, successful or not.
+//!
+//! The orchestrator threads one [`StatsCollector`] through every stage of
+//! the candidate walk; workers on the parallel path update it concurrently
+//! through atomics. [`PipelineStats`] is the immutable snapshot surfaced to
+//! callers via [`MappingStats`](crate::MappingStats) and
+//! [`HiMap::map_with_stats`](crate::HiMap::map_with_stats).
+//!
+//! Stage times are summed **across workers**, so with `threads > 1` they
+//! measure aggregate CPU time per stage, not wall time; `total` is always
+//! wall time. Counters are exact in both modes, but only the sequential walk
+//! (`threads == 1`) makes them run-to-run reproducible — parallel runs may
+//! try extra candidates past the winner before the early-exit flag
+//! propagates.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Wall time spent in each pipeline stage (summed across workers).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// `MAP()` — IDFG to sub-CGRA placement over all candidate shapes.
+    pub map: Duration,
+    /// Candidate enumeration: VSA construction and block dedup.
+    pub enumerate: Duration,
+    /// Dependence-distance probes (small-block DFG unrolls on cache misses).
+    pub probe: Duration,
+    /// Systolic `(H, S)` search, probe-filtered and exact passes.
+    pub search: Duration,
+    /// Full-block DFG unrolls.
+    pub dfg: Duration,
+    /// `ROUTE()` — PathFinder negotiation over class representatives.
+    pub route: Duration,
+    /// Replication of class patterns and full-array verification.
+    pub replicate: Duration,
+    /// End-to-end wall time of the whole `map` call.
+    pub total: Duration,
+}
+
+/// Counters and timings of one `HiMap::map` run.
+///
+/// Returned for successful *and* failed mapping attempts — see
+/// [`HiMap::map_with_stats`](crate::HiMap::map_with_stats).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Per-stage times.
+    pub times: StageTimes,
+    /// Worker threads used for the candidate walk.
+    pub threads: usize,
+    /// Sub-CGRA `(s1, s2, t)` shape/depth combinations `MAP()` attempted.
+    pub sub_shapes_tried: usize,
+    /// Relative sub-mappings `MAP()` produced (its candidate list).
+    pub sub_candidates: usize,
+    /// `(sub-candidate, block, space-assignment)` tuples enumerated.
+    pub candidates_enumerated: usize,
+    /// Tuples dropped during enumeration (no VSA tiling, duplicate block).
+    pub candidates_deduped: usize,
+    /// Tuples that entered evaluation.
+    pub candidates_tried: usize,
+    /// Tuples rejected before detailed routing (probe build failed, or no
+    /// valid systolic mapping on probe or exact distances).
+    pub candidates_pruned: usize,
+    /// Tuples abandoned by the early-exit flag after a better-or-equal
+    /// priority candidate fully verified (always 0 on the sequential walk).
+    pub candidates_abandoned: usize,
+    /// Systolic searches executed (up to two per tried tuple).
+    pub systolic_searches: usize,
+    /// Candidate `[H; S]` matrices validated across those searches.
+    pub systolic_matrices_tried: usize,
+    /// Valid ranked space-time maps found across those searches.
+    pub systolic_maps_found: usize,
+    /// `(tuple, ranked map)` layouts that entered detailed routing.
+    pub layouts_tried: usize,
+    /// `route_representatives` invocations (≥ 1 per layout: replication
+    /// conflicts feed back into repeated negotiation).
+    pub route_attempts: usize,
+    /// PathFinder negotiation rounds consumed inside those invocations.
+    pub pathfinder_rounds: usize,
+    /// `replicate_and_verify` invocations.
+    pub replication_rounds: usize,
+    /// Dependence-probe cache hits.
+    pub probe_cache_hits: usize,
+    /// Dependence-probe cache misses (a probe DFG was built).
+    pub probe_cache_misses: usize,
+}
+
+impl PipelineStats {
+    /// Hit rate of the shared dependence-probe cache in `[0, 1]`; 1.0 when
+    /// the cache was never consulted.
+    pub fn probe_cache_hit_rate(&self) -> f64 {
+        let total = self.probe_cache_hits + self.probe_cache_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.probe_cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Multi-line human-readable summary (what the bench binaries print).
+    pub fn summary(&self) -> String {
+        let t = &self.times;
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            "pipeline: {:.1} ms wall, {} thread{}\n\
+             \x20 stages   MAP {:.1} ms | enumerate {:.1} ms | probe {:.1} ms | \
+             search {:.1} ms | DFG {:.1} ms | ROUTE {:.1} ms | replicate {:.1} ms\n\
+             \x20 MAP      {} shapes tried -> {} sub-candidates\n\
+             \x20 walk     {} enumerated (+{} deduped), {} tried, {} pruned, {} abandoned\n\
+             \x20 systolic {} searches, {} matrices -> {} valid maps, {} layouts routed\n\
+             \x20 route    {} attempts, {} pathfinder rounds, {} replications\n\
+             \x20 probes   {} hits / {} misses ({:.0}% hit rate)",
+            ms(t.total),
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            ms(t.map),
+            ms(t.enumerate),
+            ms(t.probe),
+            ms(t.search),
+            ms(t.dfg),
+            ms(t.route),
+            ms(t.replicate),
+            self.sub_shapes_tried,
+            self.sub_candidates,
+            self.candidates_enumerated,
+            self.candidates_deduped,
+            self.candidates_tried,
+            self.candidates_pruned,
+            self.candidates_abandoned,
+            self.systolic_searches,
+            self.systolic_matrices_tried,
+            self.systolic_maps_found,
+            self.layouts_tried,
+            self.route_attempts,
+            self.pathfinder_rounds,
+            self.replication_rounds,
+            self.probe_cache_hits,
+            self.probe_cache_misses,
+            self.probe_cache_hit_rate() * 100.0,
+        )
+    }
+}
+
+impl fmt::Display for PipelineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Thread-safe accumulator behind [`PipelineStats`]. Workers update it
+/// concurrently; `snapshot` freezes it into the public struct.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    map_nanos: AtomicU64,
+    enumerate_nanos: AtomicU64,
+    probe_nanos: AtomicU64,
+    search_nanos: AtomicU64,
+    dfg_nanos: AtomicU64,
+    route_nanos: AtomicU64,
+    replicate_nanos: AtomicU64,
+    pub(crate) sub_shapes_tried: AtomicUsize,
+    pub(crate) sub_candidates: AtomicUsize,
+    pub(crate) candidates_enumerated: AtomicUsize,
+    pub(crate) candidates_deduped: AtomicUsize,
+    pub(crate) candidates_tried: AtomicUsize,
+    pub(crate) candidates_pruned: AtomicUsize,
+    pub(crate) candidates_abandoned: AtomicUsize,
+    pub(crate) systolic_searches: AtomicUsize,
+    pub(crate) systolic_matrices_tried: AtomicUsize,
+    pub(crate) systolic_maps_found: AtomicUsize,
+    pub(crate) layouts_tried: AtomicUsize,
+    pub(crate) route_attempts: AtomicUsize,
+    pub(crate) pathfinder_rounds: AtomicUsize,
+    pub(crate) replication_rounds: AtomicUsize,
+    pub(crate) probe_cache_hits: AtomicUsize,
+    pub(crate) probe_cache_misses: AtomicUsize,
+}
+
+/// The instrumented stages (each maps to one nanosecond accumulator).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Stage {
+    Map,
+    Enumerate,
+    Probe,
+    Search,
+    DfgBuild,
+    Route,
+    Replicate,
+}
+
+impl StatsCollector {
+    /// Runs `f`, charging its wall time to `stage`.
+    pub(crate) fn timed<R>(&self, stage: Stage, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let nanos = start.elapsed().as_nanos() as u64;
+        let cell = match stage {
+            Stage::Map => &self.map_nanos,
+            Stage::Enumerate => &self.enumerate_nanos,
+            Stage::Probe => &self.probe_nanos,
+            Stage::Search => &self.search_nanos,
+            Stage::DfgBuild => &self.dfg_nanos,
+            Stage::Route => &self.route_nanos,
+            Stage::Replicate => &self.replicate_nanos,
+        };
+        cell.fetch_add(nanos, Ordering::Relaxed);
+        out
+    }
+
+    /// Adds `n` to a counter (convenience for the orchestrator).
+    pub(crate) fn add(cell: &AtomicUsize, n: usize) {
+        cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Freezes the collector into the public snapshot.
+    pub(crate) fn snapshot(&self, total: Duration, threads: usize) -> PipelineStats {
+        let dur = |cell: &AtomicU64| Duration::from_nanos(cell.load(Ordering::Relaxed));
+        let count = |cell: &AtomicUsize| cell.load(Ordering::Relaxed);
+        PipelineStats {
+            times: StageTimes {
+                map: dur(&self.map_nanos),
+                enumerate: dur(&self.enumerate_nanos),
+                probe: dur(&self.probe_nanos),
+                search: dur(&self.search_nanos),
+                dfg: dur(&self.dfg_nanos),
+                route: dur(&self.route_nanos),
+                replicate: dur(&self.replicate_nanos),
+                total,
+            },
+            threads,
+            sub_shapes_tried: count(&self.sub_shapes_tried),
+            sub_candidates: count(&self.sub_candidates),
+            candidates_enumerated: count(&self.candidates_enumerated),
+            candidates_deduped: count(&self.candidates_deduped),
+            candidates_tried: count(&self.candidates_tried),
+            candidates_pruned: count(&self.candidates_pruned),
+            candidates_abandoned: count(&self.candidates_abandoned),
+            systolic_searches: count(&self.systolic_searches),
+            systolic_matrices_tried: count(&self.systolic_matrices_tried),
+            systolic_maps_found: count(&self.systolic_maps_found),
+            layouts_tried: count(&self.layouts_tried),
+            route_attempts: count(&self.route_attempts),
+            pathfinder_rounds: count(&self.pathfinder_rounds),
+            replication_rounds: count(&self.replication_rounds),
+            probe_cache_hits: count(&self.probe_cache_hits),
+            probe_cache_misses: count(&self.probe_cache_misses),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_charges_the_right_stage() {
+        let c = StatsCollector::default();
+        let v = c.timed(Stage::Route, || 7);
+        assert_eq!(v, 7);
+        let snap = c.snapshot(Duration::from_millis(1), 2);
+        assert_eq!(snap.times.map, Duration::ZERO);
+        assert_eq!(snap.threads, 2);
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_mixed() {
+        let mut s = PipelineStats::default();
+        assert_eq!(s.probe_cache_hit_rate(), 1.0);
+        s.probe_cache_hits = 3;
+        s.probe_cache_misses = 1;
+        assert!((s.probe_cache_hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_every_counter_family() {
+        let s = PipelineStats { threads: 4, ..PipelineStats::default() };
+        let text = s.summary();
+        for needle in ["MAP", "walk", "systolic", "route", "probes", "4 threads"] {
+            assert!(text.contains(needle), "summary missing {needle}: {text}");
+        }
+    }
+}

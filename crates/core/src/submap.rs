@@ -35,6 +35,15 @@ pub struct SubMapping {
     pub utilization: f64,
 }
 
+/// Enumeration counters of one `MAP()` run (see [`map_idfg_counted`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SubMapStats {
+    /// `(s1, s2, t)` shape/depth combinations attempted.
+    pub shapes_tried: usize,
+    /// Combinations that produced a relative mapping.
+    pub mapped: usize,
+}
+
 /// Runs `MAP()`: enumerates sub-CGRA shapes and time depths, returning all
 /// successful relative mappings sorted by utilization (best first).
 ///
@@ -43,10 +52,21 @@ pub struct SubMapping {
 /// iterations carry the full steady-state structure (all chains pass
 /// through them).
 pub fn map_idfg(kernel: &Kernel, cgra: &CgraSpec, options: &HiMapOptions) -> Vec<SubMapping> {
+    map_idfg_counted(kernel, cgra, options).0
+}
+
+/// [`map_idfg`], additionally reporting how many shape/depth combinations
+/// were attempted — the instrumentation feed for pipeline statistics.
+pub fn map_idfg_counted(
+    kernel: &Kernel,
+    cgra: &CgraSpec,
+    options: &HiMapOptions,
+) -> (Vec<SubMapping>, SubMapStats) {
+    let mut stats = SubMapStats::default();
     let probe_block: Vec<usize> = vec![3; kernel.dims()];
     let probe = match Dfg::build(kernel, &probe_block) {
         Ok(d) => d,
-        Err(_) => return Vec::new(),
+        Err(_) => return (Vec::new(), stats),
     };
     let interior = probe.interior_iteration();
     let idfg = probe.idfg(interior);
@@ -62,12 +82,14 @@ pub fn map_idfg(kernel: &Kernel, cgra: &CgraSpec, options: &HiMapOptions) -> Vec
             }
             let t_min = ops.div_ceil(s1 * s2).max(1);
             for t in t_min..=t_min + options.max_time_slack {
+                stats.shapes_tried += 1;
                 if let Some(sub) = try_shape(&probe, &idfg, cgra, s1, s2, t, options) {
                     out.push(sub);
                 }
             }
         }
     }
+    stats.mapped = out.len();
     out.sort_by(|a, b| {
         b.utilization
             .partial_cmp(&a.utilization)
@@ -76,7 +98,7 @@ pub fn map_idfg(kernel: &Kernel, cgra: &CgraSpec, options: &HiMapOptions) -> Vec
             .then((a.s1 * a.s2).cmp(&(b.s1 * b.s2)))
             .then(a.s1.cmp(&b.s1))
     });
-    out
+    (out, stats)
 }
 
 fn try_shape(
@@ -165,7 +187,7 @@ fn place_round(
                     let (ppe, ptau) = op_slots[&p];
                     let src = RNode::new(ppe, ptau % t as u32, RKind::Fu);
                     let sig = SignalId(
-                        order.iter().position(|&o| o == p).expect("parent ordered") as u32,
+                        order.iter().position(|&o| o == p).expect("parent ordered") as u32
                     );
                     match router.route_one(sig, src, target, Some(tau - ptau)) {
                         Some(path) => {
@@ -241,19 +263,14 @@ fn place_round(
     Some((ops, loads))
 }
 
-fn internal_topo_order(
-    probe: &Dfg,
-    idfg: &himap_dfg::Idfg,
-    depth_priority: bool,
-) -> Vec<NodeId> {
+fn internal_topo_order(probe: &Dfg, idfg: &himap_dfg::Idfg, depth_priority: bool) -> Vec<NodeId> {
     // List schedule over the ops of the iteration, using only internal
     // op->op edges. Ready ops are taken deepest-first (longest path to a
     // sink), which interleaves producers next to their consumers and keeps
     // register pressure low — a naive producer-first order parks every
     // operand of a long reduction chain in the RF simultaneously.
     let ops = &idfg.ops;
-    let index: HashMap<NodeId, usize> =
-        ops.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+    let index: HashMap<NodeId, usize> = ops.iter().enumerate().map(|(i, &n)| (n, i)).collect();
     let mut in_deg = vec![0usize; ops.len()];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); ops.len()];
     for &e in &idfg.internal_edges {
@@ -342,8 +359,7 @@ mod tests {
         // also produces 100 % candidates that ROUTE() later rejects.
         assert!((subs[0].utilization - 1.0).abs() < 1e-9, "best is 100 %");
         assert!(
-            subs.iter()
-                .any(|s| (s.s1, s.s2, s.t) == (2, 1, 3) || (s.s1, s.s2, s.t) == (1, 2, 3)),
+            subs.iter().any(|s| (s.s1, s.s2, s.t) == (2, 1, 3) || (s.s1, s.s2, s.t) == (1, 2, 3)),
             "the paper's fallback shape must be among the candidates: {:?}",
             subs.iter().map(|s| (s.s1, s.s2, s.t)).collect::<Vec<_>>()
         );
@@ -410,7 +426,8 @@ mod tests {
 
     #[test]
     fn shapes_tile_the_array() {
-        let subs = map_idfg(&suite::bicg(), &CgraSpec::mesh(8, 1).unwrap(), &HiMapOptions::default());
+        let subs =
+            map_idfg(&suite::bicg(), &CgraSpec::mesh(8, 1).unwrap(), &HiMapOptions::default());
         for sub in &subs {
             assert_eq!(8 % sub.s1, 0);
             assert_eq!(1 % sub.s2, 0);

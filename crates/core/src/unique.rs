@@ -100,11 +100,7 @@ pub(crate) fn descriptor(
         (EdgeDir::Out, dw.iter)
     };
     let other_pos = layout.position(dfg, other_iter);
-    let delta = (
-        other_pos.t - self_pos.t,
-        other_pos.x - self_pos.x,
-        other_pos.y - self_pos.y,
-    );
+    let delta = (other_pos.t - self_pos.t, other_pos.x - self_pos.x, other_pos.y - self_pos.y);
     (
         dir,
         Descriptor {
@@ -189,7 +185,7 @@ mod tests {
             vsa_cols: vsa.cols(),
             mesh_deps: isdg.distances().to_vec(),
             mem_deps: dfg.mem_dep_distances(),
-        anti_deps: dfg.anti_dep_distances(),
+            anti_deps: dfg.anti_dep_distances(),
         });
         assert!(!maps.is_empty(), "{} needs a systolic map", kernel.name());
         let layout = Layout::new(&dfg, vsa, sub, &maps[0]);
@@ -231,11 +227,8 @@ mod tests {
     fn reps_are_first_members() {
         let classes = classes_for(&suite::gemm(), 4, 4);
         for (class, &rep) in classes.reps.iter().enumerate() {
-            let first = classes
-                .of
-                .iter()
-                .position(|&c| c == class as ClassId)
-                .expect("class has members");
+            let first =
+                classes.of.iter().position(|&c| c == class as ClassId).expect("class has members");
             assert_eq!(first, rep);
         }
     }

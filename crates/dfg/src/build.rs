@@ -93,18 +93,17 @@ impl Dfg {
         let mut nets: Vec<(NodeId, Vec<(NodeId, u8)>)> = Vec::new();
         let mut cluster_nodes: Vec<Vec<NodeId>> = vec![Vec::new(); iteration_count];
 
-        let record_consumer =
-            |nets: &mut Vec<(NodeId, Vec<(NodeId, u8)>)>,
-             net_index: &mut HashMap<NodeId, usize>,
-             root: NodeId,
-             consumer: NodeId,
-             slot: u8| {
-                let idx = *net_index.entry(root).or_insert_with(|| {
-                    nets.push((root, Vec::new()));
-                    nets.len() - 1
-                });
-                nets[idx].1.push((consumer, slot));
-            };
+        let record_consumer = |nets: &mut Vec<(NodeId, Vec<(NodeId, u8)>)>,
+                               net_index: &mut HashMap<NodeId, usize>,
+                               root: NodeId,
+                               consumer: NodeId,
+                               slot: u8| {
+            let idx = *net_index.entry(root).or_insert_with(|| {
+                nets.push((root, Vec::new()));
+                nets.len() - 1
+            });
+            nets[idx].1.push((consumer, slot));
+        };
 
         for (linear, iter) in kernel.iteration_space(block).enumerate() {
             let iter4 = to_iter4(&iter);
@@ -116,7 +115,6 @@ impl Dfg {
                     .ops
                     .iter()
                     .map(|op| {
-                        
                         graph.add_node(DfgNode {
                             kind: NodeKind::Op {
                                 stmt: sid as u8,
@@ -180,9 +178,8 @@ impl Dfg {
                                 } else if let Some(&w) = producer {
                                     w
                                 } else {
-                                    *live_ins
-                                        .entry((sid as u8, ridx, elem.clone()))
-                                        .or_insert_with(|| {
+                                    *live_ins.entry((sid as u8, ridx, elem.clone())).or_insert_with(
+                                        || {
                                             let id = graph.add_node(DfgNode {
                                                 kind: NodeKind::Input {
                                                     stmt: sid as u8,
@@ -196,15 +193,10 @@ impl Dfg {
                                                 .or_default()
                                                 .push(id);
                                             id
-                                        })
+                                        },
+                                    )
                                 };
-                                record_consumer(
-                                    &mut nets,
-                                    &mut net_index,
-                                    root,
-                                    op_ids[oi],
-                                    slot,
-                                );
+                                record_consumer(&mut nets, &mut net_index, root, op_ids[oi], slot);
                             }
                         }
                     }
@@ -215,9 +207,7 @@ impl Dfg {
                 // before their loads issue).
                 let elem = stmt.target.element_at(&iter);
                 let writer = op_ids[schema.root_op() as usize];
-                if let Some(readers) =
-                    element_readers.remove(&(stmt.target.array, elem.clone()))
-                {
+                if let Some(readers) = element_readers.remove(&(stmt.target.array, elem.clone())) {
                     for reader in readers {
                         anti_deps.push((reader, writer));
                     }
@@ -255,11 +245,7 @@ fn l1(a: Iter4, b: Iter4) -> u32 {
 
 /// Links all consumers of one signal into a nearest-neighbour forwarding
 /// tree rooted at the producer.
-fn chain_net(
-    graph: &mut DiGraph<DfgNode, DfgEdge>,
-    root: NodeId,
-    consumers: &[(NodeId, u8)],
-) {
+fn chain_net(graph: &mut DiGraph<DfgNode, DfgEdge>, root: NodeId, consumers: &[(NodeId, u8)]) {
     let root_iter = graph[root].iter;
     // Group consumers by iteration, preserving first-seen order.
     let mut groups: Vec<(Iter4, Vec<(NodeId, u8)>)> = Vec::new();
@@ -341,11 +327,7 @@ mod tests {
         // Inputs: per-access live-ins. C read at k=0 only (later ks read the
         // accumulator): 4. A[i][k] chain heads at j=0: 4. B[k][j] chain heads
         // at i=0: 4.
-        let inputs = dfg
-            .graph()
-            .nodes()
-            .filter(|(_, w)| w.kind.is_input())
-            .count();
+        let inputs = dfg.graph().nodes().filter(|(_, w)| w.kind.is_input()).count();
         assert_eq!(inputs, 12);
     }
 
@@ -381,10 +363,7 @@ mod tests {
         let dfg = Dfg::build(&suite::floyd_warshall(), &[4, 4, 4]).unwrap();
         for e in dfg.graph().edge_ids() {
             let d = dfg.edge_distance(e);
-            assert!(
-                d == [0, 0, 0, 0] || d == [1, 0, 0, 0],
-                "unexpected mesh dependence {d:?}"
-            );
+            assert!(d == [0, 0, 0, 0] || d == [1, 0, 0, 0], "unexpected mesh dependence {d:?}");
         }
     }
 
@@ -410,11 +389,8 @@ mod tests {
         let dfg = Dfg::build(&suite::floyd_warshall(), &[3, 3, 3]).unwrap();
         for idx in 0..dfg.iteration_count() {
             let iter = dfg.iteration_at(idx);
-            let inputs = dfg
-                .cluster(iter)
-                .iter()
-                .filter(|&&n| dfg.graph()[n].kind.is_input())
-                .count();
+            let inputs =
+                dfg.cluster(iter).iter().filter(|&&n| dfg.graph()[n].kind.is_input()).count();
             assert!(inputs >= 2, "iteration {iter:?} has {inputs} inputs");
         }
     }
@@ -438,16 +414,13 @@ mod tests {
                 let NodeKind::Op { stmt, op, .. } = w.kind else { continue };
                 let schema = &dfg.schemas()[stmt as usize].ops[op as usize];
                 for slot in 0..2u8 {
-                    let is_const =
-                        matches!(schema.operand(slot), OperandSrc::Const(_));
-                    let covered = dfg
-                        .graph()
-                        .in_edges(id)
-                        .filter(|e| dfg.graph()[e.id].slot == slot)
-                        .count();
+                    let is_const = matches!(schema.operand(slot), OperandSrc::Const(_));
+                    let covered =
+                        dfg.graph().in_edges(id).filter(|e| dfg.graph()[e.id].slot == slot).count();
                     let expected = usize::from(!is_const);
                     assert_eq!(
-                        covered, expected,
+                        covered,
+                        expected,
                         "kernel {} node {id:?} slot {slot}",
                         kernel.name()
                     );

@@ -114,10 +114,7 @@ mod tests {
     fn gemm_isdg_distances() {
         let dfg = Dfg::build(&suite::gemm(), &[3, 3, 3]).unwrap();
         let isdg = dfg.isdg();
-        assert_eq!(
-            isdg.distances(),
-            &[[0, 0, 1, 0], [0, 1, 0, 0], [1, 0, 0, 0]]
-        );
+        assert_eq!(isdg.distances(), &[[0, 0, 1, 0], [0, 1, 0, 0], [1, 0, 0, 0]]);
     }
 
     #[test]
@@ -139,11 +136,7 @@ mod tests {
             let block: Vec<usize> = vec![3; kernel.dims()];
             let dfg = Dfg::build(&kernel, &block).unwrap();
             let isdg = dfg.isdg();
-            assert!(
-                !himap_graph::has_cycle(isdg.graph()),
-                "ISDG of {} has a cycle",
-                kernel.name()
-            );
+            assert!(!himap_graph::has_cycle(isdg.graph()), "ISDG of {} has a cycle", kernel.name());
         }
     }
 }

@@ -43,4 +43,4 @@ pub use build::DfgError;
 pub use dfg::{from_iter4, to_iter4, Dfg, DfgEdge, DfgNode, EdgeKind, Iter4, NodeKind, MAX_DIMS};
 pub use idfg::{BoundaryEdge, Idfg};
 pub use isdg::{DepVec, Isdg};
-pub use schema::{stmt_schemas, OperandSrc, OpSchema, StmtSchema};
+pub use schema::{stmt_schemas, OpSchema, OperandSrc, StmtSchema};

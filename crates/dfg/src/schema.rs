@@ -87,11 +87,7 @@ pub fn stmt_schemas(kernel: &Kernel) -> Vec<StmtSchema> {
                     kernel.name()
                 ),
             }
-            StmtSchema {
-                stmt: StmtId::from_index(sid),
-                ops,
-                read_count: read_idx as usize,
-            }
+            StmtSchema { stmt: StmtId::from_index(sid), ops, read_count: read_idx as usize }
         })
         .collect()
 }
@@ -155,7 +151,8 @@ mod tests {
 
     #[test]
     fn operand_accessor() {
-        let op = OpSchema { kind: OpKind::Add, lhs: OperandSrc::Read(0), rhs: OperandSrc::Const(3) };
+        let op =
+            OpSchema { kind: OpKind::Add, lhs: OperandSrc::Read(0), rhs: OperandSrc::Const(3) };
         assert_eq!(op.operand(0), OperandSrc::Read(0));
         assert_eq!(op.operand(1), OperandSrc::Const(3));
     }
@@ -163,7 +160,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "operand slots")]
     fn operand_slot_bounds() {
-        let op = OpSchema { kind: OpKind::Add, lhs: OperandSrc::Read(0), rhs: OperandSrc::Const(3) };
+        let op =
+            OpSchema { kind: OpKind::Add, lhs: OperandSrc::Read(0), rhs: OperandSrc::Const(3) };
         let _ = op.operand(2);
     }
 }

@@ -45,11 +45,8 @@ impl Error for CycleError {}
 pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, CycleError> {
     let mut in_deg: Vec<usize> = graph.node_ids().map(|n| graph.in_degree(n)).collect();
     // Min-heap on node index keeps the order deterministic.
-    let mut ready: BinaryHeap<Reverse<usize>> = graph
-        .node_ids()
-        .filter(|n| in_deg[n.index()] == 0)
-        .map(|n| Reverse(n.index()))
-        .collect();
+    let mut ready: BinaryHeap<Reverse<usize>> =
+        graph.node_ids().filter(|n| in_deg[n.index()] == 0).map(|n| Reverse(n.index())).collect();
     let mut order = Vec::with_capacity(graph.node_count());
     while let Some(Reverse(idx)) = ready.pop() {
         let node = NodeId::from_index(idx);

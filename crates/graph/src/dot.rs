@@ -38,13 +38,7 @@ impl<N: fmt::Display, E: fmt::Display> fmt::Display for Dot<'_, N, E> {
             writeln!(f, "    n{} [label=\"{}\"];", id.index(), w)?;
         }
         for e in self.graph.edge_refs() {
-            writeln!(
-                f,
-                "    n{} -> n{} [label=\"{}\"];",
-                e.src.index(),
-                e.dst.index(),
-                e.weight
-            )?;
+            writeln!(f, "    n{} -> n{} [label=\"{}\"];", e.src.index(), e.dst.index(), e.weight)?;
         }
         writeln!(f, "}}")
     }

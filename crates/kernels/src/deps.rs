@@ -137,8 +137,7 @@ fn analyze(kernel: &Kernel) -> DepAnalysis {
             for read in stmt.value.reads() {
                 let elem = read.element_at(&iter);
                 if let Some(writer) = last_writer.get(&(read.array, elem)) {
-                    let dist: IterVec =
-                        iter.iter().zip(writer).map(|(c, p)| c - p).collect();
+                    let dist: IterVec = iter.iter().zip(writer).map(|(c, p)| c - p).collect();
                     if dist.iter().any(|&x| x != 0) {
                         *flow_counts.entry((read.array, dist)).or_insert(0) += 1;
                     }
@@ -164,11 +163,7 @@ fn analyze(kernel: &Kernel) -> DepAnalysis {
             if let Some(level) = reuse_level(kernel, read) {
                 let mut distance = vec![0; dims];
                 distance[level] = 1;
-                dependences.push(Dependence {
-                    kind: DepKind::Reuse,
-                    distance,
-                    array: read.array,
-                });
+                dependences.push(Dependence { kind: DepKind::Reuse, distance, array: read.array });
             }
         }
     }
@@ -231,8 +226,7 @@ mod tests {
         // Accumulation of C along k.
         assert!(a.flow_distances().contains(&vec![0, 0, 1]));
         // A reused along j, B reused along i.
-        let reuse: Vec<_> =
-            a.dependences.iter().filter(|d| d.kind == DepKind::Reuse).collect();
+        let reuse: Vec<_> = a.dependences.iter().filter(|d| d.kind == DepKind::Reuse).collect();
         assert!(reuse.iter().any(|d| d.distance == vec![0, 1, 0]));
         assert!(reuse.iter().any(|d| d.distance == vec![1, 0, 0]));
         assert_eq!(a.carried_levels, vec![true, true, true]);
@@ -316,16 +310,12 @@ mod tests {
         let gemm = suite::gemm();
         // A[i][k] is invariant in j (level 1).
         let reads = gemm.stmts()[0].value.reads();
-        let a_read = reads
-            .iter()
-            .find(|r| gemm.arrays()[r.array.index()].name == "A")
-            .expect("A read");
+        let a_read =
+            reads.iter().find(|r| gemm.arrays()[r.array.index()].name == "A").expect("A read");
         assert_eq!(reuse_level(&gemm, a_read), Some(1));
         // C is written, so its reads never get a reuse chain.
-        let c_read = reads
-            .iter()
-            .find(|r| gemm.arrays()[r.array.index()].name == "C")
-            .expect("C read");
+        let c_read =
+            reads.iter().find(|r| gemm.arrays()[r.array.index()].name == "C").expect("C read");
         assert_eq!(reuse_level(&gemm, c_read), None);
     }
 }

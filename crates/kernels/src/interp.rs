@@ -169,24 +169,20 @@ mod tests {
             crate::ir::ArrayId(b_id as u32),
         );
         let mut expected = vec![vec![0i64; b2]; b1];
-        for i in 0..b1 {
-            for j in 0..b2 {
+        for (i, row) in expected.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
                 let mut acc = store.live_in(c_id, &[i as i64, j as i64]);
                 for k in 0..b3 {
                     acc += store.live_in(a_id, &[i as i64, k as i64])
                         * store.live_in(b_id, &[k as i64, j as i64]);
                 }
-                expected[i][j] = acc;
+                *cell = acc;
             }
         }
         interpret(&gemm, &[b1, b2, b3], &mut store).unwrap();
-        for i in 0..b1 {
-            for j in 0..b2 {
-                assert_eq!(
-                    store.read(c_id, &[i as i64, j as i64]),
-                    expected[i][j],
-                    "C[{i}][{j}]"
-                );
+        for (i, row) in expected.iter().enumerate() {
+            for (j, &want) in row.iter().enumerate() {
+                assert_eq!(store.read(c_id, &[i as i64, j as i64]), want, "C[{i}][{j}]");
             }
         }
     }
@@ -208,9 +204,9 @@ mod tests {
         d[2][3] = 1;
         d[0][3] = 100;
         // Seed version 0 of the versioned (Jacobi-form) kernel.
-        for i in 0..n {
-            for j in 0..n {
-                store.write(d_id, vec![0, i as i64, j as i64], d[i][j]);
+        for (i, row) in d.iter().enumerate() {
+            for (j, &dist) in row.iter().enumerate() {
+                store.write(d_id, vec![0, i as i64, j as i64], dist);
             }
         }
         interpret(&fw, &[n, n, n], &mut store).unwrap();

@@ -524,10 +524,8 @@ impl KernelBuilder {
             return Err(KernelError::EmptyBody);
         }
         let check_ref = |r: &ArrayRef| -> Result<(), KernelError> {
-            let decl = self
-                .arrays
-                .get(r.array.index())
-                .ok_or(KernelError::UnknownArray(r.array))?;
+            let decl =
+                self.arrays.get(r.array.index()).ok_or(KernelError::UnknownArray(r.array))?;
             if r.indices.len() != decl.rank {
                 return Err(KernelError::RankMismatch {
                     array: r.array,
@@ -643,11 +641,7 @@ mod tests {
         let idx = vec![AffineExpr::var(0, 2), AffineExpr::var(1, 2)];
         b.stmt(
             ArrayRef::new(a, idx.clone()),
-            Expr::binary(
-                OpKind::Add,
-                Expr::Read(ArrayRef::new(a, idx)),
-                Expr::Const(1),
-            ),
+            Expr::binary(OpKind::Add, Expr::Read(ArrayRef::new(a, idx)), Expr::Const(1)),
         );
         b.build().expect("valid kernel")
     }
@@ -656,10 +650,7 @@ mod tests {
     fn builder_validates_rank() {
         let mut b = KernelBuilder::new("bad", 2);
         let a = b.array("a", 2);
-        b.stmt(
-            ArrayRef::new(a, vec![AffineExpr::var(0, 2)]),
-            Expr::Const(0),
-        );
+        b.stmt(ArrayRef::new(a, vec![AffineExpr::var(0, 2)]), Expr::Const(0));
         match b.build() {
             Err(KernelError::RankMismatch { expected, found, .. }) => {
                 assert_eq!(expected, 2);
@@ -673,10 +664,7 @@ mod tests {
     fn builder_validates_arity() {
         let mut b = KernelBuilder::new("bad", 3);
         let a = b.array("a", 1);
-        b.stmt(
-            ArrayRef::new(a, vec![AffineExpr::var(0, 2)]),
-            Expr::Const(0),
-        );
+        b.stmt(ArrayRef::new(a, vec![AffineExpr::var(0, 2)]), Expr::Const(0));
         assert!(matches!(b.build(), Err(KernelError::ArityMismatch { expected: 3, found: 2 })));
     }
 

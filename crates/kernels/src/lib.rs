@@ -29,8 +29,8 @@ pub mod suite;
 
 pub use deps::{classify, DepAnalysis, DepKind, Dependence, KernelCategory};
 pub use interp::{interpret, ArrayStore, InterpError};
-pub use parse::{parse_kernel, ParseError};
 pub use ir::{
     AffineExpr, ArrayDecl, ArrayId, ArrayRef, Expr, IterVec, Kernel, KernelBuilder, KernelError,
     OpKind, Statement, StmtId,
 };
+pub use parse::{parse_kernel, ParseError};

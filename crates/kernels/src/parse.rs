@@ -232,8 +232,7 @@ impl Parser {
         let mut builder = std::mem::replace(&mut self.builder, KernelBuilder::new("", 0));
         for (sid, reads) in mem_reads.into_iter().enumerate() {
             for r in reads {
-                builder
-                    .route_read_via_memory(crate::ir::StmtId::from_index(sid), r);
+                builder.route_read_via_memory(crate::ir::StmtId::from_index(sid), r);
             }
         }
         builder.build().map_err(|e| ParseError { at: 0, message: e.to_string() })
@@ -311,7 +310,9 @@ impl Parser {
                 self.lexer.expect_sym(')')?;
                 Ok(e)
             }
-            other => Err(ParseError { at, message: format!("expected expression, found {other:?}") }),
+            other => {
+                Err(ParseError { at, message: format!("expected expression, found {other:?}") })
+            }
         }
     }
 
@@ -394,10 +395,10 @@ impl Parser {
     }
 
     fn iter_level(&self, ident: &str, at: usize) -> Result<usize, ParseError> {
-        self.iters.iter().position(|i| i == ident).ok_or_else(|| ParseError {
-            at,
-            message: format!("unknown iterator `{ident}`"),
-        })
+        self.iters
+            .iter()
+            .position(|i| i == ident)
+            .ok_or_else(|| ParseError { at, message: format!("unknown iterator `{ident}`") })
     }
 }
 

@@ -535,13 +535,7 @@ pub fn conv2d() -> Kernel {
             let tap = Expr::binary(
                 OpKind::Mul,
                 read(w, vec![AffineExpr::constant(r, d), AffineExpr::constant(s, d)]),
-                read(
-                    x,
-                    vec![
-                        AffineExpr::new(vec![1, 0], r),
-                        AffineExpr::new(vec![0, 1], s),
-                    ],
-                ),
+                read(x, vec![AffineExpr::new(vec![1, 0], r), AffineExpr::new(vec![0, 1], s)]),
             );
             acc = Some(match acc {
                 None => tap,
@@ -549,10 +543,7 @@ pub fn conv2d() -> Kernel {
             });
         }
     }
-    b.stmt(
-        ArrayRef::new(y, vec![i, j]),
-        acc.expect("window is non-empty"),
-    );
+    b.stmt(ArrayRef::new(y, vec![i, j]), acc.expect("window is non-empty"));
     b.build().expect("conv2d kernel is well-formed")
 }
 

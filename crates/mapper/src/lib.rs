@@ -33,4 +33,4 @@
 
 mod router;
 
-pub use router::{Elapsed, Router, RouterConfig, RoutedPath, SignalId};
+pub use router::{Elapsed, RoutedPath, Router, RouterConfig, SignalId};

@@ -202,8 +202,7 @@ impl Router {
         let mut heap = BinaryHeap::new();
         for &src in sources {
             debug_assert!(self.mrrg.contains(src), "source {src:?} outside MRRG");
-            let at_target =
-                src == target && intended_elapsed.is_none_or(|e| e == 0);
+            let at_target = src == target && intended_elapsed.is_none_or(|e| e == 0);
             if at_target {
                 return Some(RoutedPath { signal, nodes: vec![src], elapsed: 0, cost: 0.0 });
             }
@@ -579,9 +578,7 @@ mod tests {
         let sig_a = SignalId(7);
         let wire = RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East));
         r.place(wire, sig_a);
-        let p = r
-            .route_one(SignalId(8), fu(0, 0, 0), fu(0, 1, 1), Some(1))
-            .expect("route exists");
+        let p = r.route_one(SignalId(8), fu(0, 0, 0), fu(0, 1, 1), Some(1)).expect("route exists");
         // The only 1-cycle path uses that wire, so the router pays the
         // congestion penalty rather than failing.
         assert!(p.cost > r.config().base_cost * 2.0);
@@ -704,9 +701,7 @@ mod timed_tests {
     fn timed_route_ignores_sources_after_target() {
         let r = router(2, 4);
         let late = (fu(0, 0, 1), 200i64);
-        assert!(r
-            .route_timed(SignalId(1), &[late], fu(0, 1, 0), 150, |_| true)
-            .is_none());
+        assert!(r.route_timed(SignalId(1), &[late], fu(0, 1, 0), 150, |_| true).is_none());
     }
 
     #[test]
@@ -717,21 +712,10 @@ mod timed_tests {
             Mrrg::new(CgraSpec::mesh(1, 3).expect("valid"), 4),
             RouterConfig::default(),
         );
-        let blocked = r.route_timed(
-            SignalId(1),
-            &[(fu(0, 0, 0), 0)],
-            fu(0, 2, 2),
-            2,
-            |n| n.pe.y != 1,
-        );
+        let blocked =
+            r.route_timed(SignalId(1), &[(fu(0, 0, 0), 0)], fu(0, 2, 2), 2, |n| n.pe.y != 1);
         assert!(blocked.is_none(), "filter must block the transit PE");
-        let open = r.route_timed(
-            SignalId(1),
-            &[(fu(0, 0, 0), 0)],
-            fu(0, 2, 2),
-            2,
-            |_| true,
-        );
+        let open = r.route_timed(SignalId(1), &[(fu(0, 0, 0), 0)], fu(0, 2, 2), 2, |_| true);
         assert!(open.is_some());
     }
 
@@ -792,10 +776,8 @@ mod distance_tests {
         // Costs are monotone in congestion: occupying the east wire raises
         // the east route's cost.
         let mut congested = r.clone();
-        congested.place(
-            RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East)),
-            SignalId(9),
-        );
+        congested
+            .place(RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East)), SignalId(9));
         let new_costs = congested.fu_distances(SignalId(1), &[src], 4);
         assert!(new_costs[&(east, 1)] > costs[&(east, 1)]);
     }

@@ -101,8 +101,7 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
     let graph = dfg.graph();
     // Reference execution.
     let mut expected = ArrayStore::new(seed);
-    interpret(dfg.kernel(), dfg.block(), &mut expected)
-        .expect("mapping block matches kernel dims");
+    interpret(dfg.kernel(), dfg.block(), &mut expected).expect("mapping block matches kernel dims");
     // Route lookup per edge.
     let route_of: HashMap<EdgeId, &himap_core::RouteInstance> =
         mapping.routes().iter().map(|r| (r.edge, r)).collect();
@@ -144,8 +143,7 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
                     let route =
                         route_of.get(&edge.id).ok_or(SimError::RouteCorrupted { edge: edge.id })?;
                     let load_abs = route.steps[0].1;
-                    let (array, element) =
-                        dfg.input_element(root).expect("input has element");
+                    let (array, element) = dfg.input_element(root).expect("input has element");
                     memory_read(&memory, &live_ins, array, &element, load_abs)
                 }
                 NodeKind::Route => {

@@ -124,12 +124,7 @@ fn dfs(
 /// macro step and at most one hop.
 fn candidate_steps(map: &SpaceTimeMap, d: Iter4) -> Vec<Iter4> {
     let l = map.dims();
-    let bound: i16 = d
-        .iter()
-        .map(|&x| x.abs())
-        .max()
-        .unwrap_or(1)
-        .max(1);
+    let bound: i16 = d.iter().map(|&x| x.abs()).max().unwrap_or(1).max(1);
     let mut out = Vec::new();
     let mut push = |u: Iter4| {
         let (t, x, y) = map.apply_distance(u);
@@ -213,10 +208,7 @@ mod tests {
     fn long_time_zero_hop_dependence() {
         // τ = 2k + l, x = i, y = j (a TTM-style linearization): the
         // dependence (0,0,1,0) spans 2 macro steps with no hops.
-        let m = SpaceTimeMap::new(
-            vec![0, 0, 2, 1],
-            [vec![1, 0, 0, 0], vec![0, 1, 0, 0]],
-        );
+        let m = SpaceTimeMap::new(vec![0, 0, 2, 1], [vec![1, 0, 0, 0], vec![0, 1, 0, 0]]);
         let steps = decompose(&m, [0, 0, 1, 0]).unwrap();
         assert_eq!(steps.len(), 2);
         for s in &steps {

@@ -52,4 +52,4 @@ mod search;
 
 pub use forwarding::{decompose, DecomposeError};
 pub use map::{Position, SpaceTimeMap};
-pub use search::{search, RankedMap, SearchConfig};
+pub use search::{search, search_counted, RankedMap, SearchConfig, SearchStats};

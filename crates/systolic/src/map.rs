@@ -95,9 +95,7 @@ impl SpaceTimeMap {
 
     /// Applies `φ'` to an iteration vector.
     pub fn apply(&self, iter: Iter4) -> Position {
-        let dot = |row: &[i64]| -> i64 {
-            row.iter().zip(&iter).map(|(c, &v)| c * v as i64).sum()
-        };
+        let dot = |row: &[i64]| -> i64 { row.iter().zip(&iter).map(|(c, &v)| c * v as i64).sum() };
         Position {
             t: (dot(&self.h) + self.t_offset) as i32,
             x: (dot(&self.s[0]) + self.x_offset) as i32,
@@ -108,9 +106,7 @@ impl SpaceTimeMap {
     /// The image of a dependence *distance* vector: `(H·d, S·d)` — offsets
     /// cancel out.
     pub fn apply_distance(&self, d: Iter4) -> (i64, i64, i64) {
-        let dot = |row: &[i64]| -> i64 {
-            row.iter().zip(&d).map(|(c, &v)| c * v as i64).sum()
-        };
+        let dot = |row: &[i64]| -> i64 { row.iter().zip(&d).map(|(c, &v)| c * v as i64).sum() };
         (dot(&self.h), dot(&self.s[0]), dot(&self.s[1]))
     }
 
@@ -145,13 +141,7 @@ mod tests {
 
     #[test]
     fn offsets_shift_positions() {
-        let m = SpaceTimeMap::with_offsets(
-            vec![1, -1],
-            [vec![0, 1], vec![0, 0]],
-            3,
-            0,
-            0,
-        );
+        let m = SpaceTimeMap::with_offsets(vec![1, -1], [vec![0, 1], vec![0, 0]], 3, 0, 0);
         // τ = i - j + 3.
         assert_eq!(m.apply([0, 3, 0, 0]).t, 0);
         assert_eq!(m.apply([2, 0, 0, 0]).t, 5);
@@ -159,13 +149,7 @@ mod tests {
 
     #[test]
     fn distance_image_ignores_offsets() {
-        let m = SpaceTimeMap::with_offsets(
-            vec![1, 1],
-            [vec![1, 0], vec![0, 1]],
-            7,
-            5,
-            2,
-        );
+        let m = SpaceTimeMap::with_offsets(vec![1, 1], [vec![1, 0], vec![0, 1]], 7, 5, 2);
         assert_eq!(m.apply_distance([1, 0, 0, 0]), (1, 1, 0));
         assert_eq!(m.apply_distance([0, -1, 0, 0]), (-1, 0, -1));
     }

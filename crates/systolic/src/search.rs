@@ -54,6 +54,17 @@ pub struct RankedMap {
     pub latency_sum: i64,
 }
 
+/// Enumeration counters of one [`search`] run (see [`search_counted`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Signed space-selector pairs enumerated.
+    pub selectors: usize,
+    /// Candidate `[H; S]` matrices validated (selector × time-row pairs).
+    pub matrices_tried: usize,
+    /// Matrices that passed every necessary condition.
+    pub valid: usize,
+}
+
 /// Enumerates and ranks all valid space-time mappings for a configuration.
 ///
 /// Returns mappings sorted best-first: forwarding-free mappings before ones
@@ -62,33 +73,34 @@ pub struct RankedMap {
 /// exists (e.g. block extents incompatible with the VSA shape, or a
 /// dependence that no candidate time row can make causal).
 pub fn search(config: &SearchConfig) -> Vec<RankedMap> {
+    search_counted(config).0
+}
+
+/// [`search`], additionally reporting how much of the candidate family was
+/// enumerated — the instrumentation feed for pipeline statistics.
+pub fn search_counted(config: &SearchConfig) -> (Vec<RankedMap>, SearchStats) {
     let l = config.dims;
     assert!((1..=MAX_DIMS).contains(&l), "1..={MAX_DIMS} loop levels supported");
     assert_eq!(config.block.len(), l, "block arity mismatch");
     let mut out = Vec::new();
+    let mut stats = SearchStats::default();
     for selector in space_selectors(config) {
-        let free_dims: Vec<usize> =
-            (0..l).filter(|d| !selector.used_dims.contains(d)).collect();
+        stats.selectors += 1;
+        let free_dims: Vec<usize> = (0..l).filter(|d| !selector.used_dims.contains(d)).collect();
         for h in time_rows(config, &selector, &free_dims) {
+            stats.matrices_tried += 1;
             if let Some(ranked) = validate(config, &selector, &h, &free_dims) {
                 out.push(ranked);
             }
         }
     }
+    stats.valid = out.len();
     out.sort_by_key(|m| {
         let negatives = |row: &[i64]| row.iter().filter(|&&c| c < 0).count();
-        let neg_count = negatives(m.map.h())
-            + negatives(&m.map.s()[0])
-            + negatives(&m.map.s()[1]);
-        (
-            m.forwarding_count,
-            m.latency_sum,
-            neg_count,
-            m.map.h().to_vec(),
-            m.map.s().clone(),
-        )
+        let neg_count = negatives(m.map.h()) + negatives(&m.map.s()[0]) + negatives(&m.map.s()[1]);
+        (m.forwarding_count, m.latency_sum, neg_count, m.map.h().to_vec(), m.map.s().clone())
     });
-    out
+    (out, stats)
 }
 
 /// A pair of signed-selector space rows.
@@ -230,13 +242,7 @@ fn validate(
     let t_offset = -corner_min(h, &config.block);
     let x_offset = -corner_min(&s0, &config.block);
     let y_offset = -corner_min(&s1, &config.block);
-    let map = SpaceTimeMap::with_offsets(
-        h.to_vec(),
-        [s0, s1],
-        t_offset,
-        x_offset,
-        y_offset,
-    );
+    let map = SpaceTimeMap::with_offsets(h.to_vec(), [s0, s1], t_offset, x_offset, y_offset);
     // Causality and reachability of every dependence.
     let mut forwarding_count = 0usize;
     let mut latency_sum = 0i64;
@@ -262,8 +268,7 @@ fn validate(
             return None;
         }
     }
-    let iterations_per_spe: usize =
-        free_dims.iter().map(|&d| config.block[d]).product();
+    let iterations_per_spe: usize = free_dims.iter().map(|&d| config.block[d]).product();
     Some(RankedMap {
         forwarding_free: forwarding_count == 0,
         forwarding_count,
@@ -275,10 +280,7 @@ fn validate(
 
 /// Minimum of `row · CI` over the block (attained at a corner).
 fn corner_min(row: &[i64], block: &[usize]) -> i64 {
-    row.iter()
-        .zip(block)
-        .map(|(&c, &b)| if c < 0 { c * (b as i64 - 1) } else { 0 })
-        .sum()
+    row.iter().zip(block).map(|(&c, &b)| if c < 0 { c * (b as i64 - 1) } else { 0 }).sum()
 }
 
 #[cfg(test)]
@@ -402,10 +404,7 @@ mod tests {
                 *count.entry((p.x, p.y)).or_insert(0usize) += 1;
             }
             assert_eq!(count.len(), rows * cols, "all SPEs used");
-            assert!(
-                count.values().all(|&c| c == best.iterations_per_spe),
-                "uniform SPE load"
-            );
+            assert!(count.values().all(|&c| c == best.iterations_per_spe), "uniform SPE load");
         }
     }
 

@@ -44,7 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Full pipeline with validation.
     let mapping = HiMap::new(HiMapOptions::default()).map(&kernel, &spec)?;
-    println!("\nfull HiMap mapping: U = {:.0}%, sub-CGRA {:?}, IIB = {}",
+    println!(
+        "\nfull HiMap mapping: U = {:.0}%, sub-CGRA {:?}, IIB = {}",
         mapping.utilization() * 100.0,
         mapping.stats().sub_shape,
         mapping.stats().iib,

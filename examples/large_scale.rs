@@ -14,15 +14,9 @@ use himap_repro::core::{HiMap, HiMapOptions};
 use himap_repro::kernels::suite;
 
 fn main() {
-    let size: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(16);
+    let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let spec = CgraSpec::square(size);
-    println!(
-        "mapping all kernels onto a {size}x{size} CGRA ({} PEs)\n",
-        spec.pe_count()
-    );
+    println!("mapping all kernels onto a {size}x{size} CGRA ({} PEs)\n", spec.pe_count());
     println!(
         "{:<16} {:>10} {:>8} {:>14} {:>12} {:>10}",
         "kernel", "util", "classes", "block", "IIB", "time"

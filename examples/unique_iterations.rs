@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             vsa_cols: vsa.cols(),
             mesh_deps: isdg.distances().to_vec(),
             mem_deps: dfg.mem_dep_distances(),
-        anti_deps: dfg.anti_dep_distances(),
+            anti_deps: dfg.anti_dep_distances(),
         });
         let Some(best) = ranked.first() else {
             println!("{c}x{c}: no systolic mapping");

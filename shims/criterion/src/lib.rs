@@ -1,0 +1,248 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal wall-clock bench harness exposing the criterion surface its
+//! benches use: `Criterion::benchmark_group`, `bench_with_input` /
+//! `bench_function`, `Bencher::iter`, `BenchmarkId` and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each benchmark runs a short warm-up, then `sample_size` timed samples of
+//! an adaptively chosen iteration batch, and prints min / median / mean
+//! per-iteration times. No statistics beyond that — this harness exists to
+//! compare configurations of one binary run, not to archive baselines.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` (criterion-compatible).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { name: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { name: s }
+    }
+}
+
+/// Times closures handed to [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// Measured per-iteration durations, one per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: grow the batch until one batch takes at
+        // least ~5 ms, so cheap closures are not dominated by timer noise.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(f());
+            }
+            self.results.push(start.elapsed() / batch as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f` with `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher, input);
+        self.report(&id.name, &bencher);
+        self
+    }
+
+    /// Benchmarks a closure without input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher);
+        self.report(&id.name, &bencher);
+        self
+    }
+
+    fn report(&mut self, bench: &str, bencher: &Bencher) {
+        let mut sorted = bencher.results.clone();
+        sorted.sort();
+        if sorted.is_empty() {
+            println!("{}/{bench}: no samples", self.name);
+            return;
+        }
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        println!(
+            "{}/{bench}: min {} · median {} · mean {} ({} samples)",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(median),
+            fmt_duration(mean),
+            sorted.len()
+        );
+        self.criterion.reports.push(Report {
+            group: self.name.clone(),
+            bench: bench.to_string(),
+            median,
+        });
+    }
+
+    /// Ends the group (separator line in the output).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// One benchmark's summarized result.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Group name.
+    pub group: String,
+    /// Benchmark name within the group.
+    pub bench: String,
+    /// Median per-iteration time.
+    pub median: Duration,
+}
+
+/// The top-level bench context.
+#[derive(Default)]
+pub struct Criterion {
+    reports: Vec<Report>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group with default sample size 20.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Benchmarks a standalone closure (its own single-entry group).
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let owned = name.to_string();
+        self.benchmark_group(owned).bench_function(name, f);
+        self
+    }
+
+    /// All results recorded so far.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+}
+
+/// Declares a bench group function running each target against one
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+        assert_eq!(c.reports().len(), 2);
+        assert_eq!(c.reports()[0].bench, "noop");
+        assert_eq!(c.reports()[1].bench, "sum/10");
+    }
+}

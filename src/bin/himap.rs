@@ -117,10 +117,8 @@ fn run_map(args: Args) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let options = HiMapOptions {
-        depth_priority_scheduling: !args.paper_order,
-        ..HiMapOptions::default()
-    };
+    let options =
+        HiMapOptions { depth_priority_scheduling: !args.paper_order, ..HiMapOptions::default() };
     let started = std::time::Instant::now();
     let mapping = match HiMap::new(options).map(&kernel, &spec) {
         Ok(m) => m,

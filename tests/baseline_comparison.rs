@@ -36,14 +36,10 @@ fn himap_dominates_on_large_arrays() {
     // cannot fill 256 PEs, while HiMap's utilization stays flat.
     let kernel = suite::gemm();
     let spec = CgraSpec::square(16);
-    let himap_util = HiMap::new(HiMapOptions::default())
-        .map(&kernel, &spec)
-        .expect("maps")
-        .utilization();
-    let options = BaselineOptions {
-        timeout: Duration::from_secs(15),
-        ..BaselineOptions::default()
-    };
+    let himap_util =
+        HiMap::new(HiMapOptions::default()).map(&kernel, &spec).expect("maps").utilization();
+    let options =
+        BaselineOptions { timeout: Duration::from_secs(15), ..BaselineOptions::default() };
     let block = baseline_block(&kernel, &options);
     let dfg = Dfg::build(&kernel, &block).expect("builds");
     let bhc_util = bhc(&dfg, &spec, &options).best_utilization();
@@ -51,10 +47,7 @@ fn himap_dominates_on_large_arrays() {
     // filled even at II = 1.
     let ops_bound = dfg.op_count() as f64 / spec.pe_count() as f64;
     assert!(bhc_util <= ops_bound + 1e-9);
-    assert!(
-        himap_util > 2.0 * bhc_util,
-        "himap {himap_util} vs bhc {bhc_util}"
-    );
+    assert!(himap_util > 2.0 * bhc_util, "himap {himap_util} vs bhc {bhc_util}");
 }
 
 #[test]
@@ -72,10 +65,7 @@ fn baseline_mappings_respect_mem_causality() {
         let (_, pabs) = best.op_slots[&producer];
         for consumer in dfg.graph().out_neighbors(input) {
             let (_, cabs) = best.op_slots[&consumer];
-            assert!(
-                cabs >= pabs + 2,
-                "load consumer at {cabs} before store at {pabs} is visible"
-            );
+            assert!(cabs >= pabs + 2, "load consumer at {cabs} before store at {pabs} is visible");
         }
     }
 }
@@ -83,10 +73,8 @@ fn baseline_mappings_respect_mem_causality() {
 #[test]
 fn timeouts_are_honoured() {
     let dfg = Dfg::build(&suite::ttm(), &[3, 3, 3, 3]).expect("builds");
-    let options = BaselineOptions {
-        timeout: Duration::from_millis(1),
-        ..BaselineOptions::default()
-    };
+    let options =
+        BaselineOptions { timeout: Duration::from_millis(1), ..BaselineOptions::default() };
     let start = std::time::Instant::now();
     let result = bhc(&dfg, &CgraSpec::square(8), &options);
     assert!(start.elapsed() < Duration::from_secs(30));

@@ -1,0 +1,94 @@
+//! Parallel-walk determinism: for every kernel in the suite, on 4x4 and
+//! 8x8 CGRAs, the candidate walk must pick the *same* winning mapping at
+//! every thread count. The parallel walk may differ in wall time and in the
+//! non-deterministic `pipeline` instrumentation, but never in mapping
+//! quality — `HiMapOptions::threads` is a pure performance knob.
+
+use himap_repro::cgra::CgraSpec;
+use himap_repro::core::{HiMap, HiMapError, HiMapOptions, Mapping};
+use himap_repro::kernels::{suite, Kernel};
+
+/// The deterministic fingerprint of a mapping outcome: every quality field
+/// of `MappingStats` plus the derived utilization. Excludes `pipeline`
+/// (wall times; parallel walks may try extra candidates past the winner).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    sub_shape: (usize, usize, usize),
+    block: Vec<usize>,
+    unique_iterations: usize,
+    iterations_per_spe: usize,
+    iib: usize,
+    max_config_slots: usize,
+    utilization_bits: u64,
+}
+
+fn fingerprint(result: &Result<Mapping, HiMapError>) -> Result<Fingerprint, HiMapError> {
+    result.as_ref().map_err(Clone::clone).map(|m| {
+        let s = m.stats();
+        Fingerprint {
+            sub_shape: s.sub_shape,
+            block: s.block.clone(),
+            unique_iterations: s.unique_iterations,
+            iterations_per_spe: s.iterations_per_spe,
+            iib: s.iib,
+            max_config_slots: s.max_config_slots,
+            utilization_bits: m.utilization().to_bits(),
+        }
+    })
+}
+
+fn map_with(kernel: &Kernel, cgra: &CgraSpec, threads: usize) -> Result<Mapping, HiMapError> {
+    let options = HiMapOptions { threads, ..HiMapOptions::default() };
+    HiMap::new(options).map(kernel, cgra)
+}
+
+fn assert_thread_invariant(cgra_size: usize) {
+    let cgra = CgraSpec::square(cgra_size);
+    for kernel in suite::all() {
+        let sequential = fingerprint(&map_with(&kernel, &cgra, 1));
+        for threads in [2, 8] {
+            let parallel = fingerprint(&map_with(&kernel, &cgra, threads));
+            assert_eq!(
+                sequential,
+                parallel,
+                "{} on {c}x{c} with {threads} threads diverged from sequential",
+                kernel.name(),
+                c = cgra_size,
+            );
+        }
+    }
+}
+
+#[test]
+fn all_kernels_thread_invariant_on_4x4() {
+    assert_thread_invariant(4);
+}
+
+#[test]
+fn all_kernels_thread_invariant_on_8x8() {
+    assert_thread_invariant(8);
+}
+
+#[test]
+fn threads_zero_resolves_to_available_parallelism() {
+    let options = HiMapOptions { threads: 0, ..HiMapOptions::default() };
+    assert!(options.effective_threads() >= 1);
+    // And the resolved count still maps identically.
+    let cgra = CgraSpec::square(4);
+    let auto = fingerprint(&HiMap::new(options).map(&suite::gemm(), &cgra));
+    let seq = fingerprint(&map_with(&suite::gemm(), &cgra, 1));
+    assert_eq!(seq, auto);
+}
+
+#[test]
+fn parallel_failures_match_sequential_errors() {
+    // A kernel that cannot map must fail with the same error regardless of
+    // thread count (the "furthest stage" semantics survive the parallel
+    // walk). GEMM on 1x1 has no room for its three ops per iteration.
+    let cgra = CgraSpec::square(1);
+    let seq = map_with(&suite::gemm(), &cgra, 1).map(|_| ()).unwrap_err();
+    for threads in [2, 8] {
+        let par = map_with(&suite::gemm(), &cgra, threads).map(|_| ()).unwrap_err();
+        assert_eq!(seq, par, "error diverged at {threads} threads");
+    }
+}

@@ -9,9 +9,8 @@ use himap_repro::sim::simulate;
 #[test]
 fn syr2k_maps_and_validates() {
     let kernel = suite::by_name("syr2k").expect("extension kernel");
-    let mapping = HiMap::new(HiMapOptions::default())
-        .map(&kernel, &CgraSpec::square(4))
-        .expect("syr2k maps");
+    let mapping =
+        HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(4)).expect("syr2k maps");
     // Two GEMM-like streams: near-full utilization expected.
     assert!(mapping.utilization() >= 0.5, "U = {}", mapping.utilization());
     let report = simulate(&mapping, 11).expect("functionally correct");

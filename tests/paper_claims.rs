@@ -159,8 +159,5 @@ fn headline_64x64_in_under_15_minutes() {
         .expect("gemm maps on 64x64");
     let elapsed = started.elapsed();
     assert!((mapping.utilization() - 1.0).abs() < 1e-9);
-    assert!(
-        elapsed < std::time::Duration::from_secs(15 * 60),
-        "took {elapsed:?}"
-    );
+    assert!(elapsed < std::time::Duration::from_secs(15 * 60), "took {elapsed:?}");
 }

@@ -25,9 +25,8 @@ fn every_kernel_maps_and_validates_on_4x4_and_8x8() {
 fn linear_cgra_of_the_motivating_example() {
     // §II: BiCG on the 8x1 linear CGRA.
     let spec = CgraSpec::mesh(8, 1).expect("8x1 is valid");
-    let mapping = HiMap::new(HiMapOptions::default())
-        .map(&suite::bicg(), &spec)
-        .expect("bicg maps on 8x1");
+    let mapping =
+        HiMap::new(HiMapOptions::default()).map(&suite::bicg(), &spec).expect("bicg maps on 8x1");
     let report = simulate(&mapping, 21).expect("valid");
     assert!(report.elements_checked > 0);
     // Sub-CGRA columns must be 1 on a 1-wide array.
@@ -47,11 +46,7 @@ fn utilization_is_size_independent() {
             .map(&kernel, &CgraSpec::square(8))
             .expect("maps on 8x8")
             .utilization();
-        assert!(
-            (u4 - u8).abs() < 1e-9,
-            "{}: U(4x4) = {u4} vs U(8x8) = {u8}",
-            kernel.name()
-        );
+        assert!((u4 - u8).abs() < 1e-9, "{}: U(4x4) = {u4} vs U(8x8) = {u8}", kernel.name());
     }
 }
 
@@ -60,9 +55,8 @@ fn mapping_respects_config_memory() {
     // §VI: 32-entry configuration memory per PE; unique-instruction
     // compression must keep every mapping within it.
     for kernel in suite::all() {
-        let mapping = HiMap::new(HiMapOptions::default())
-            .map(&kernel, &CgraSpec::square(4))
-            .expect("maps");
+        let mapping =
+            HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(4)).expect("maps");
         assert!(
             mapping.stats().max_config_slots <= mapping.spec().config_mem_depth,
             "{}: {} config slots exceed the {}-entry config memory",
@@ -75,12 +69,10 @@ fn mapping_respects_config_memory() {
 
 #[test]
 fn deterministic_mapping() {
-    let a = HiMap::new(HiMapOptions::default())
-        .map(&suite::mvt(), &CgraSpec::square(4))
-        .expect("maps");
-    let b = HiMap::new(HiMapOptions::default())
-        .map(&suite::mvt(), &CgraSpec::square(4))
-        .expect("maps");
+    let a =
+        HiMap::new(HiMapOptions::default()).map(&suite::mvt(), &CgraSpec::square(4)).expect("maps");
+    let b =
+        HiMap::new(HiMapOptions::default()).map(&suite::mvt(), &CgraSpec::square(4)).expect("maps");
     assert_eq!(a.stats().sub_shape, b.stats().sub_shape);
     assert_eq!(a.utilization(), b.utilization());
     assert_eq!(a.routes().len(), b.routes().len());
@@ -89,9 +81,8 @@ fn deterministic_mapping() {
 #[test]
 fn rectangular_cgras_supported() {
     let spec = CgraSpec::mesh(8, 4).expect("valid");
-    let mapping = HiMap::new(HiMapOptions::default())
-        .map(&suite::gemm(), &spec)
-        .expect("gemm maps on 8x4");
+    let mapping =
+        HiMap::new(HiMapOptions::default()).map(&suite::gemm(), &spec).expect("gemm maps on 8x4");
     let report = simulate(&mapping, 3).expect("valid");
     assert!(report.elements_checked > 0);
 }
@@ -116,9 +107,8 @@ fn anti_dependent_kernel_simulates_correctly() {
         ),
     );
     let kernel = b.build().expect("well-formed");
-    let mapping = HiMap::new(HiMapOptions::default())
-        .map(&kernel, &CgraSpec::square(4))
-        .expect("maps");
+    let mapping =
+        HiMap::new(HiMapOptions::default()).map(&kernel, &CgraSpec::square(4)).expect("maps");
     let report = simulate(&mapping, 99).expect("anti-dependences honoured");
     assert!(report.elements_checked > 0);
 }
