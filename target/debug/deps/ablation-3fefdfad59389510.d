@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-3fefdfad59389510.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-3fefdfad59389510: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation-b5dd55cfbfa555c5.d: crates/bench/src/bin/ablation.rs
+
+/root/repo/target/debug/deps/ablation-b5dd55cfbfa555c5: crates/bench/src/bin/ablation.rs
+
+crates/bench/src/bin/ablation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baseline_comparison-a9ba7554a22e9278.d: tests/baseline_comparison.rs
+
+/root/repo/target/debug/deps/baseline_comparison-a9ba7554a22e9278: tests/baseline_comparison.rs
+
+tests/baseline_comparison.rs:

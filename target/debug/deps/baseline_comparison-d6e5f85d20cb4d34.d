@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baseline_comparison-d6e5f85d20cb4d34.d: tests/baseline_comparison.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaseline_comparison-d6e5f85d20cb4d34.rmeta: tests/baseline_comparison.rs Cargo.toml
+
+tests/baseline_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

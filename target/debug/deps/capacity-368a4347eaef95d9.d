@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity-368a4347eaef95d9.d: tests/capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity-368a4347eaef95d9.rmeta: tests/capacity.rs Cargo.toml
+
+tests/capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

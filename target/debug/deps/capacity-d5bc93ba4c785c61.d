@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity-d5bc93ba4c785c61.d: tests/capacity.rs
+
+/root/repo/target/debug/deps/capacity-d5bc93ba4c785c61: tests/capacity.rs
+
+tests/capacity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-ed9298b92365ea95.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-ed9298b92365ea95: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions-21828ebb50a5f8d7.d: tests/extensions.rs
+
+/root/repo/target/debug/deps/extensions-21828ebb50a5f8d7: tests/extensions.rs
+
+tests/extensions.rs:

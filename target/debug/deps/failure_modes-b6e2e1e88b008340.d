@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_modes-b6e2e1e88b008340.d: crates/core/tests/failure_modes.rs
+
+/root/repo/target/debug/deps/failure_modes-b6e2e1e88b008340: crates/core/tests/failure_modes.rs
+
+crates/core/tests/failure_modes.rs:

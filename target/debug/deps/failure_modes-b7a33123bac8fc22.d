@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/failure_modes-b7a33123bac8fc22.d: crates/core/tests/failure_modes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfailure_modes-b7a33123bac8fc22.rmeta: crates/core/tests/failure_modes.rs Cargo.toml
+
+crates/core/tests/failure_modes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-ac6ef84989ab6167.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-ac6ef84989ab6167: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

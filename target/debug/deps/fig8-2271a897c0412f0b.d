@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-2271a897c0412f0b.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-2271a897c0412f0b: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

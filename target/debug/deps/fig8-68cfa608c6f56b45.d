@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-68cfa608c6f56b45.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-68cfa608c6f56b45: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/himap-060ab970183fda76.d: src/bin/himap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap-060ab970183fda76.rmeta: src/bin/himap.rs Cargo.toml
+
+src/bin/himap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

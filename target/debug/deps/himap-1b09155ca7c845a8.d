@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/himap-1b09155ca7c845a8.d: src/bin/himap.rs
+
+/root/repo/target/debug/deps/himap-1b09155ca7c845a8: src/bin/himap.rs
+
+src/bin/himap.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/himap-73505dce8ebe6eca.d: src/bin/himap.rs
+
+/root/repo/target/debug/deps/himap-73505dce8ebe6eca: src/bin/himap.rs
+
+src/bin/himap.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/himap-c5903526beca818a.d: src/bin/himap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap-c5903526beca818a.rmeta: src/bin/himap.rs Cargo.toml
+
+src/bin/himap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/himap_baseline-36d3e7873d30b32b.d: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_baseline-36d3e7873d30b32b.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bhc.rs:
+crates/baseline/src/sa.rs:
+crates/baseline/src/spr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

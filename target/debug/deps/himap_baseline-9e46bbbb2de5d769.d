@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/himap_baseline-9e46bbbb2de5d769.d: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+/root/repo/target/debug/deps/himap_baseline-9e46bbbb2de5d769: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bhc.rs:
+crates/baseline/src/sa.rs:
+crates/baseline/src/spr.rs:

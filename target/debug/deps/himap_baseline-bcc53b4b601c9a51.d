@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/himap_baseline-bcc53b4b601c9a51.d: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_baseline-bcc53b4b601c9a51.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs Cargo.toml
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bhc.rs:
+crates/baseline/src/sa.rs:
+crates/baseline/src/spr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_baseline-ece56f2c9d6d5417.d: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+/root/repo/target/debug/deps/libhimap_baseline-ece56f2c9d6d5417.rlib: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+/root/repo/target/debug/deps/libhimap_baseline-ece56f2c9d6d5417.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bhc.rs:
+crates/baseline/src/sa.rs:
+crates/baseline/src/spr.rs:

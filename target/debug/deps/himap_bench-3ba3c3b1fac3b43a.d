@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/himap_bench-3ba3c3b1fac3b43a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/himap_bench-3ba3c3b1fac3b43a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

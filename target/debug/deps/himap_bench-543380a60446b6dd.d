@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/himap_bench-543380a60446b6dd.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_bench-543380a60446b6dd.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/himap_bench-7cbf1bbaefa568f7.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhimap_bench-7cbf1bbaefa568f7.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhimap_bench-7cbf1bbaefa568f7.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/himap_bench-c99077e101040f37.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_bench-c99077e101040f37.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/himap_cgra-5f20917f0d6a676e.d: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_cgra-5f20917f0d6a676e.rmeta: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs Cargo.toml
+
+crates/cgra/src/lib.rs:
+crates/cgra/src/arch.rs:
+crates/cgra/src/mrrg.rs:
+crates/cgra/src/power.rs:
+crates/cgra/src/vsa.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

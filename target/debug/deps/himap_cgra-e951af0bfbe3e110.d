@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/himap_cgra-e951af0bfbe3e110.d: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+/root/repo/target/debug/deps/libhimap_cgra-e951af0bfbe3e110.rlib: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+/root/repo/target/debug/deps/libhimap_cgra-e951af0bfbe3e110.rmeta: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+crates/cgra/src/lib.rs:
+crates/cgra/src/arch.rs:
+crates/cgra/src/mrrg.rs:
+crates/cgra/src/power.rs:
+crates/cgra/src/vsa.rs:

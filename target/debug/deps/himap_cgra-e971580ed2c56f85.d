@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/himap_cgra-e971580ed2c56f85.d: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+/root/repo/target/debug/deps/himap_cgra-e971580ed2c56f85: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+crates/cgra/src/lib.rs:
+crates/cgra/src/arch.rs:
+crates/cgra/src/mrrg.rs:
+crates/cgra/src/power.rs:
+crates/cgra/src/vsa.rs:

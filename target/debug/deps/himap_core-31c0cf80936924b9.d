@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/himap_core-31c0cf80936924b9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libhimap_core-31c0cf80936924b9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/libhimap_core-31c0cf80936924b9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/himap.rs:
+crates/core/src/layout.rs:
+crates/core/src/mapping.rs:
+crates/core/src/options.rs:
+crates/core/src/route.rs:
+crates/core/src/stats.rs:
+crates/core/src/submap.rs:
+crates/core/src/unique.rs:
+crates/core/src/viz.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/himap_core-91fcb7f7b8bdbba6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+/root/repo/target/debug/deps/himap_core-91fcb7f7b8bdbba6: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/himap.rs:
+crates/core/src/layout.rs:
+crates/core/src/mapping.rs:
+crates/core/src/options.rs:
+crates/core/src/route.rs:
+crates/core/src/stats.rs:
+crates/core/src/submap.rs:
+crates/core/src/unique.rs:
+crates/core/src/viz.rs:

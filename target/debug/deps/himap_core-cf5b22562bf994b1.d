@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/himap_core-cf5b22562bf994b1.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_core-cf5b22562bf994b1.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/himap.rs:
+crates/core/src/layout.rs:
+crates/core/src/mapping.rs:
+crates/core/src/options.rs:
+crates/core/src/route.rs:
+crates/core/src/stats.rs:
+crates/core/src/submap.rs:
+crates/core/src/unique.rs:
+crates/core/src/viz.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_dfg-2d27de800a3cb209.d: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+/root/repo/target/debug/deps/himap_dfg-2d27de800a3cb209: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+crates/dfg/src/lib.rs:
+crates/dfg/src/build.rs:
+crates/dfg/src/dfg.rs:
+crates/dfg/src/idfg.rs:
+crates/dfg/src/isdg.rs:
+crates/dfg/src/schema.rs:

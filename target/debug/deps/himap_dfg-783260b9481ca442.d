@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/himap_dfg-783260b9481ca442.d: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+/root/repo/target/debug/deps/libhimap_dfg-783260b9481ca442.rlib: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+/root/repo/target/debug/deps/libhimap_dfg-783260b9481ca442.rmeta: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+crates/dfg/src/lib.rs:
+crates/dfg/src/build.rs:
+crates/dfg/src/dfg.rs:
+crates/dfg/src/idfg.rs:
+crates/dfg/src/isdg.rs:
+crates/dfg/src/schema.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/himap_dfg-9386a9bb891aaa5d.d: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_dfg-9386a9bb891aaa5d.rmeta: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs Cargo.toml
+
+crates/dfg/src/lib.rs:
+crates/dfg/src/build.rs:
+crates/dfg/src/dfg.rs:
+crates/dfg/src/idfg.rs:
+crates/dfg/src/isdg.rs:
+crates/dfg/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/himap_graph-5b131354c6543ec8.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_graph-5b131354c6543ec8.rmeta: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

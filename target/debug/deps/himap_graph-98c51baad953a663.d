@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/himap_graph-98c51baad953a663.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+/root/repo/target/debug/deps/himap_graph-98c51baad953a663: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:

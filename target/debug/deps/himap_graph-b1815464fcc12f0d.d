@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_graph-b1815464fcc12f0d.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+/root/repo/target/debug/deps/libhimap_graph-b1815464fcc12f0d.rlib: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+/root/repo/target/debug/deps/libhimap_graph-b1815464fcc12f0d.rmeta: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/himap_kernels-65ebb1a4c1bb2d0b.d: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+/root/repo/target/debug/deps/libhimap_kernels-65ebb1a4c1bb2d0b.rlib: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+/root/repo/target/debug/deps/libhimap_kernels-65ebb1a4c1bb2d0b.rmeta: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/interp.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/parse.rs:
+crates/kernels/src/suite.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/himap_kernels-9752e2c6959da992.d: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_kernels-9752e2c6959da992.rmeta: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/interp.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/parse.rs:
+crates/kernels/src/suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

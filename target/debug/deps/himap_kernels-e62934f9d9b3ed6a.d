@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_kernels-e62934f9d9b3ed6a.d: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+/root/repo/target/debug/deps/himap_kernels-e62934f9d9b3ed6a: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/interp.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/parse.rs:
+crates/kernels/src/suite.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_mapper-7dac7e2817341e55.d: crates/mapper/src/lib.rs crates/mapper/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_mapper-7dac7e2817341e55.rmeta: crates/mapper/src/lib.rs crates/mapper/src/router.rs Cargo.toml
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

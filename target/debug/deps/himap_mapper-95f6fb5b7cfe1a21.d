@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/himap_mapper-95f6fb5b7cfe1a21.d: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+/root/repo/target/debug/deps/libhimap_mapper-95f6fb5b7cfe1a21.rlib: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+/root/repo/target/debug/deps/libhimap_mapper-95f6fb5b7cfe1a21.rmeta: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/router.rs:

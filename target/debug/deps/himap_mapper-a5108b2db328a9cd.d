@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_mapper-a5108b2db328a9cd.d: crates/mapper/src/lib.rs crates/mapper/src/router.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_mapper-a5108b2db328a9cd.rmeta: crates/mapper/src/lib.rs crates/mapper/src/router.rs Cargo.toml
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/router.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/himap_mapper-e37a107824be738c.d: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+/root/repo/target/debug/deps/himap_mapper-e37a107824be738c: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/router.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/himap_repro-4ccd9604e323044b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhimap_repro-4ccd9604e323044b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhimap_repro-4ccd9604e323044b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/himap_repro-82648cd501af53b3.d: src/lib.rs
+
+/root/repo/target/debug/deps/himap_repro-82648cd501af53b3: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_sim-6e914218a1cf4078.d: crates/sim/src/lib.rs crates/sim/src/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_sim-6e914218a1cf4078.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

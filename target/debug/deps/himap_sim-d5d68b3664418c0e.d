@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/himap_sim-d5d68b3664418c0e.d: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+/root/repo/target/debug/deps/libhimap_sim-d5d68b3664418c0e.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+/root/repo/target/debug/deps/libhimap_sim-d5d68b3664418c0e.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/himap_sim-e1b80f815e503f5d.d: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+/root/repo/target/debug/deps/himap_sim-e1b80f815e503f5d: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/himap_systolic-1fc8258b952962bc.d: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+/root/repo/target/debug/deps/himap_systolic-1fc8258b952962bc: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/forwarding.rs:
+crates/systolic/src/map.rs:
+crates/systolic/src/search.rs:

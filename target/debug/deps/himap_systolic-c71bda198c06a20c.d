@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/himap_systolic-c71bda198c06a20c.d: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhimap_systolic-c71bda198c06a20c.rmeta: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs Cargo.toml
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/forwarding.rs:
+crates/systolic/src/map.rs:
+crates/systolic/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/himap_systolic-d009fe609197ed72.d: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+/root/repo/target/debug/deps/libhimap_systolic-d009fe609197ed72.rlib: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+/root/repo/target/debug/deps/libhimap_systolic-d009fe609197ed72.rmeta: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/forwarding.rs:
+crates/systolic/src/map.rs:
+crates/systolic/src/search.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mapping_time-17da3daee09f9bf2.d: crates/bench/benches/mapping_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmapping_time-17da3daee09f9bf2.rmeta: crates/bench/benches/mapping_time.rs Cargo.toml
+
+crates/bench/benches/mapping_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

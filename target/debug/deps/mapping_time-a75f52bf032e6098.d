@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mapping_time-a75f52bf032e6098.d: crates/bench/benches/mapping_time.rs
+
+/root/repo/target/debug/deps/mapping_time-a75f52bf032e6098: crates/bench/benches/mapping_time.rs
+
+crates/bench/benches/mapping_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-d4096e1dad6b5024.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-d4096e1dad6b5024: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-cb744832559a1e95.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-cb744832559a1e95: tests/pipeline.rs
+
+tests/pipeline.rs:

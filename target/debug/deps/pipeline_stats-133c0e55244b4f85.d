@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_stats-133c0e55244b4f85.d: tests/pipeline_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_stats-133c0e55244b4f85.rmeta: tests/pipeline_stats.rs Cargo.toml
+
+tests/pipeline_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

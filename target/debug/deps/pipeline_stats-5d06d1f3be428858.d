@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_stats-5d06d1f3be428858.d: tests/pipeline_stats.rs
+
+/root/repo/target/debug/deps/pipeline_stats-5d06d1f3be428858: tests/pipeline_stats.rs
+
+tests/pipeline_stats.rs:

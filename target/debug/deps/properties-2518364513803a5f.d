@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2518364513803a5f.d: crates/dfg/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2518364513803a5f.rmeta: crates/dfg/tests/properties.rs Cargo.toml
+
+crates/dfg/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-79241c54c35b1747.d: crates/graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-79241c54c35b1747.rmeta: crates/graph/tests/properties.rs Cargo.toml
+
+crates/graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

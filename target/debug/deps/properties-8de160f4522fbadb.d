@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8de160f4522fbadb.d: crates/dfg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8de160f4522fbadb: crates/dfg/tests/properties.rs
+
+crates/dfg/tests/properties.rs:

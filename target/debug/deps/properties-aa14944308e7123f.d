@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-aa14944308e7123f.d: crates/graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-aa14944308e7123f: crates/graph/tests/properties.rs
+
+crates/graph/tests/properties.rs:

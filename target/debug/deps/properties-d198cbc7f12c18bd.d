@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d198cbc7f12c18bd.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d198cbc7f12c18bd: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-9b9542f3eae868b2.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9b9542f3eae868b2.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-9b9542f3eae868b2.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-edd4be63306cd19f.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-edd4be63306cd19f: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-390fa9ba2d6b44b5.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-390fa9ba2d6b44b5: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

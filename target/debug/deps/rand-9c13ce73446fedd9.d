@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-9c13ce73446fedd9.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9c13ce73446fedd9.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-9c13ce73446fedd9.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

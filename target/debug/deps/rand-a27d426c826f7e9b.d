@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-a27d426c826f7e9b.d: shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-a27d426c826f7e9b.rmeta: shims/rand/src/lib.rs Cargo.toml
+
+shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-0265aff1b91f49d0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-0265aff1b91f49d0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-61ba1a3940f9eb78.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-61ba1a3940f9eb78: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-26cee49a854073ea.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-26cee49a854073ea: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

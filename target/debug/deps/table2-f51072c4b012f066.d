@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-f51072c4b012f066.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-f51072c4b012f066: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threads-1f45d1e019e3d87e.d: crates/bench/src/bin/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreads-1f45d1e019e3d87e.rmeta: crates/bench/src/bin/threads.rs Cargo.toml
+
+crates/bench/src/bin/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

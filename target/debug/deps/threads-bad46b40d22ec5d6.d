@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-bad46b40d22ec5d6.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-bad46b40d22ec5d6: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

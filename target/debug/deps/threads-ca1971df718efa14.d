@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/threads-ca1971df718efa14.d: crates/bench/src/bin/threads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthreads-ca1971df718efa14.rmeta: crates/bench/src/bin/threads.rs Cargo.toml
+
+crates/bench/src/bin/threads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

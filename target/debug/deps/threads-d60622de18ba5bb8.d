@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/threads-d60622de18ba5bb8.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/debug/deps/threads-d60622de18ba5bb8: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dsl_frontend-76172b4d7eab0e83.d: examples/dsl_frontend.rs
+
+/root/repo/target/debug/examples/dsl_frontend-76172b4d7eab0e83: examples/dsl_frontend.rs
+
+examples/dsl_frontend.rs:

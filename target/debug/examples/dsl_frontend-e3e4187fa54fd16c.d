@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dsl_frontend-e3e4187fa54fd16c.d: examples/dsl_frontend.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdsl_frontend-e3e4187fa54fd16c.rmeta: examples/dsl_frontend.rs Cargo.toml
+
+examples/dsl_frontend.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gemm_systolic-1937a5024518f9a3.d: examples/gemm_systolic.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgemm_systolic-1937a5024518f9a3.rmeta: examples/gemm_systolic.rs Cargo.toml
+
+examples/gemm_systolic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

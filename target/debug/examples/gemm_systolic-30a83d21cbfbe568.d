@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemm_systolic-30a83d21cbfbe568.d: examples/gemm_systolic.rs
+
+/root/repo/target/debug/examples/gemm_systolic-30a83d21cbfbe568: examples/gemm_systolic.rs
+
+examples/gemm_systolic.rs:

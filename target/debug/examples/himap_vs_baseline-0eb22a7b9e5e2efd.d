@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/himap_vs_baseline-0eb22a7b9e5e2efd.d: examples/himap_vs_baseline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhimap_vs_baseline-0eb22a7b9e5e2efd.rmeta: examples/himap_vs_baseline.rs Cargo.toml
+
+examples/himap_vs_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/himap_vs_baseline-cbe43aac9326731d.d: examples/himap_vs_baseline.rs
+
+/root/repo/target/debug/examples/himap_vs_baseline-cbe43aac9326731d: examples/himap_vs_baseline.rs
+
+examples/himap_vs_baseline.rs:

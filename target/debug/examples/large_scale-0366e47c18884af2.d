@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_scale-0366e47c18884af2.d: examples/large_scale.rs
+
+/root/repo/target/debug/examples/large_scale-0366e47c18884af2: examples/large_scale.rs
+
+examples/large_scale.rs:

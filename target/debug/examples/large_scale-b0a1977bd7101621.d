@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_scale-b0a1977bd7101621.d: examples/large_scale.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_scale-b0a1977bd7101621.rmeta: examples/large_scale.rs Cargo.toml
+
+examples/large_scale.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-d272817873772ead.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-d272817873772ead: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/schedule_view-332d48e64d3addb5.d: examples/schedule_view.rs Cargo.toml
+
+/root/repo/target/debug/examples/libschedule_view-332d48e64d3addb5.rmeta: examples/schedule_view.rs Cargo.toml
+
+examples/schedule_view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

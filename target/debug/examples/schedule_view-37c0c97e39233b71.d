@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/schedule_view-37c0c97e39233b71.d: examples/schedule_view.rs
+
+/root/repo/target/debug/examples/schedule_view-37c0c97e39233b71: examples/schedule_view.rs
+
+examples/schedule_view.rs:

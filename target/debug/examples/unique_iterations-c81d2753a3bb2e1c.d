@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/unique_iterations-c81d2753a3bb2e1c.d: examples/unique_iterations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libunique_iterations-c81d2753a3bb2e1c.rmeta: examples/unique_iterations.rs Cargo.toml
+
+examples/unique_iterations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/unique_iterations-e80141c06d2808ec.d: examples/unique_iterations.rs
+
+/root/repo/target/debug/examples/unique_iterations-e80141c06d2808ec: examples/unique_iterations.rs
+
+examples/unique_iterations.rs:

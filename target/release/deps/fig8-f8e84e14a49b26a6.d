@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-f8e84e14a49b26a6.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-f8e84e14a49b26a6: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/himap-3d8a69edae9c374b.d: src/bin/himap.rs
+
+/root/repo/target/release/deps/himap-3d8a69edae9c374b: src/bin/himap.rs
+
+src/bin/himap.rs:

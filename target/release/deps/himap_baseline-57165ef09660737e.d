@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/himap_baseline-57165ef09660737e.d: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+/root/repo/target/release/deps/libhimap_baseline-57165ef09660737e.rlib: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+/root/repo/target/release/deps/libhimap_baseline-57165ef09660737e.rmeta: crates/baseline/src/lib.rs crates/baseline/src/bhc.rs crates/baseline/src/sa.rs crates/baseline/src/spr.rs
+
+crates/baseline/src/lib.rs:
+crates/baseline/src/bhc.rs:
+crates/baseline/src/sa.rs:
+crates/baseline/src/spr.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/himap_bench-9c903df979271283.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhimap_bench-9c903df979271283.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhimap_bench-9c903df979271283.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/himap_cgra-af3432d3b239ec81.d: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+/root/repo/target/release/deps/libhimap_cgra-af3432d3b239ec81.rlib: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+/root/repo/target/release/deps/libhimap_cgra-af3432d3b239ec81.rmeta: crates/cgra/src/lib.rs crates/cgra/src/arch.rs crates/cgra/src/mrrg.rs crates/cgra/src/power.rs crates/cgra/src/vsa.rs
+
+crates/cgra/src/lib.rs:
+crates/cgra/src/arch.rs:
+crates/cgra/src/mrrg.rs:
+crates/cgra/src/power.rs:
+crates/cgra/src/vsa.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/himap_core-68c9ee6a7543db3a.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libhimap_core-68c9ee6a7543db3a.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+/root/repo/target/release/deps/libhimap_core-68c9ee6a7543db3a.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/himap.rs crates/core/src/layout.rs crates/core/src/mapping.rs crates/core/src/options.rs crates/core/src/route.rs crates/core/src/stats.rs crates/core/src/submap.rs crates/core/src/unique.rs crates/core/src/viz.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/himap.rs:
+crates/core/src/layout.rs:
+crates/core/src/mapping.rs:
+crates/core/src/options.rs:
+crates/core/src/route.rs:
+crates/core/src/stats.rs:
+crates/core/src/submap.rs:
+crates/core/src/unique.rs:
+crates/core/src/viz.rs:

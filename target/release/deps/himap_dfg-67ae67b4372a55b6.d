@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/himap_dfg-67ae67b4372a55b6.d: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+/root/repo/target/release/deps/libhimap_dfg-67ae67b4372a55b6.rlib: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+/root/repo/target/release/deps/libhimap_dfg-67ae67b4372a55b6.rmeta: crates/dfg/src/lib.rs crates/dfg/src/build.rs crates/dfg/src/dfg.rs crates/dfg/src/idfg.rs crates/dfg/src/isdg.rs crates/dfg/src/schema.rs
+
+crates/dfg/src/lib.rs:
+crates/dfg/src/build.rs:
+crates/dfg/src/dfg.rs:
+crates/dfg/src/idfg.rs:
+crates/dfg/src/isdg.rs:
+crates/dfg/src/schema.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/himap_graph-3c01dbcc5e369366.d: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+/root/repo/target/release/deps/libhimap_graph-3c01dbcc5e369366.rlib: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+/root/repo/target/release/deps/libhimap_graph-3c01dbcc5e369366.rmeta: crates/graph/src/lib.rs crates/graph/src/algo.rs crates/graph/src/digraph.rs crates/graph/src/dot.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/algo.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/dot.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/himap_kernels-ac1a20b1fb6a5972.d: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+/root/repo/target/release/deps/libhimap_kernels-ac1a20b1fb6a5972.rlib: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+/root/repo/target/release/deps/libhimap_kernels-ac1a20b1fb6a5972.rmeta: crates/kernels/src/lib.rs crates/kernels/src/deps.rs crates/kernels/src/interp.rs crates/kernels/src/ir.rs crates/kernels/src/parse.rs crates/kernels/src/suite.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/deps.rs:
+crates/kernels/src/interp.rs:
+crates/kernels/src/ir.rs:
+crates/kernels/src/parse.rs:
+crates/kernels/src/suite.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/himap_mapper-185efcd5e79b8e2e.d: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+/root/repo/target/release/deps/libhimap_mapper-185efcd5e79b8e2e.rlib: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+/root/repo/target/release/deps/libhimap_mapper-185efcd5e79b8e2e.rmeta: crates/mapper/src/lib.rs crates/mapper/src/router.rs
+
+crates/mapper/src/lib.rs:
+crates/mapper/src/router.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/himap_repro-ffba2a12b44ab3b9.d: src/lib.rs
+
+/root/repo/target/release/deps/libhimap_repro-ffba2a12b44ab3b9.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhimap_repro-ffba2a12b44ab3b9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/himap_sim-3b990c60fb8ce4db.d: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+/root/repo/target/release/deps/libhimap_sim-3b990c60fb8ce4db.rlib: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+/root/repo/target/release/deps/libhimap_sim-3b990c60fb8ce4db.rmeta: crates/sim/src/lib.rs crates/sim/src/engine.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/engine.rs:

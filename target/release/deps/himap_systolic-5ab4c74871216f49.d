@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/himap_systolic-5ab4c74871216f49.d: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+/root/repo/target/release/deps/libhimap_systolic-5ab4c74871216f49.rlib: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+/root/repo/target/release/deps/libhimap_systolic-5ab4c74871216f49.rmeta: crates/systolic/src/lib.rs crates/systolic/src/forwarding.rs crates/systolic/src/map.rs crates/systolic/src/search.rs
+
+crates/systolic/src/lib.rs:
+crates/systolic/src/forwarding.rs:
+crates/systolic/src/map.rs:
+crates/systolic/src/search.rs:

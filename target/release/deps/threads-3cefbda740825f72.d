@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/threads-3cefbda740825f72.d: crates/bench/src/bin/threads.rs
+
+/root/repo/target/release/deps/threads-3cefbda740825f72: crates/bench/src/bin/threads.rs
+
+crates/bench/src/bin/threads.rs:
