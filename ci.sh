@@ -21,4 +21,10 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+# Static verification smoke: lint + map + re-derive legality from scratch.
+# The binary exits non-zero on any Error-severity diagnostic.
+echo "==> himap-verify smoke"
+target/release/himap-verify gemm --size 4
+target/release/himap-verify floyd-warshall --size 4 --baseline spr
+
 echo "CI green."

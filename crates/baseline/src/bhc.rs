@@ -62,6 +62,7 @@ pub fn baseline_block(kernel: &himap_kernels::Kernel, options: &BaselineOptions)
     best
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,11 +73,11 @@ fn anneal(
     rng: &mut StdRng,
     started: &Instant,
 ) -> Option<OpSlots> {
-    let order: Vec<NodeId> = topological_sort(dfg.graph())
-        .expect("DFGs are acyclic")
-        .into_iter()
-        .filter(|&n| dfg.graph()[n].kind.is_op())
-        .collect();
+    // `Dfg::build` only produces acyclic graphs; a cyclic one is unmappable.
+    let order: Vec<NodeId> = match topological_sort(dfg.graph()) {
+        Ok(order) => order.into_iter().filter(|&n| dfg.graph()[n].kind.is_op()).collect(),
+        Err(_) => return None,
+    };
     // Initial placement: ASAP levels round-robin over PEs.
     let mut slots: OpSlots = HashMap::new();
     let mut level: HashMap<NodeId, i64> = HashMap::new();
@@ -225,7 +225,7 @@ fn validate_routing(
 }
 
 fn route_all(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots, router: &mut Router) -> bool {
-    let order = topological_sort(dfg.graph()).expect("DFGs are acyclic");
+    let Ok(order) = topological_sort(dfg.graph()) else { return false };
     let mut deliveries: HashMap<(NodeId, NodeId), (RNode, i64)> = HashMap::new();
     let mut mem_producers: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
     for &(producer, input) in dfg.mem_deps() {
@@ -239,7 +239,7 @@ fn route_all(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots, router: &mu
         if !dfg.graph()[v].kind.is_op() {
             continue;
         }
-        let &(pe, abs) = slots.get(&v).expect("all ops placed");
+        let Some(&(pe, abs)) = slots.get(&v) else { return false };
         let target = RNode::new(pe, abs.rem_euclid(ii as i64) as u32, RKind::Fu);
         for e in dfg.graph().in_edges(v) {
             let weight = dfg.graph()[e.id];
@@ -247,7 +247,7 @@ fn route_all(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots, router: &mu
             let signal = SignalId(root.index() as u32);
             let path = match (weight.kind, dfg.graph()[e.src].kind) {
                 (EdgeKind::Flow, NodeKind::Op { .. }) => {
-                    let &(ppe, pabs) = slots.get(&e.src).expect("parent placed");
+                    let Some(&(ppe, pabs)) = slots.get(&e.src) else { return false };
                     let src = RNode::new(ppe, pabs.rem_euclid(ii as i64) as u32, RKind::Fu);
                     router.route_one(signal, src, target, Some((abs - pabs) as u32))
                 }
@@ -295,6 +295,7 @@ fn route_all(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots, router: &mu
     true
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -313,6 +313,7 @@ fn delivery_gap(mrrg: &Mrrg, nodes: &[RNode]) -> i64 {
     (last.t as i64 + ii - prev.t as i64) % ii
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

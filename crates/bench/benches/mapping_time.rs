@@ -5,6 +5,8 @@
 //! stages (DFG construction, systolic search, full HiMap runs, the SPR
 //! baseline) for regression purposes.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use himap_baseline::{BaselineOptions, SprMapper};
 use himap_cgra::CgraSpec;

@@ -11,6 +11,9 @@
 //!
 //! Run with `cargo run -p himap-bench --release --bin ablation`.
 
+// Bench drivers fail loudly on setup errors, like tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_bench::markdown_table;
 use himap_cgra::CgraSpec;
 use himap_core::{HiMap, HiMapOptions};

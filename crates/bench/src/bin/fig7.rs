@@ -5,6 +5,9 @@
 //! `--sizes 4,8` to restrict the sweep (a full run covers 4–32 and takes
 //! minutes because the baselines are slow by design).
 
+// Bench drivers fail loudly on setup errors, like tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_bench::{compare, figure_baseline_options, markdown_table, ComparisonPoint, FIG7_SIZES};
 use himap_core::HiMapOptions;
 use himap_kernels::suite;

@@ -6,6 +6,9 @@
 //! is capped by default (the fully unrolled 64^4 block does not fit in
 //! memory — see EXPERIMENTS.md).
 
+// Bench drivers fail loudly on setup errors, like tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::{Duration, Instant};
 
 use himap_baseline::{bhc, BaselineOptions};

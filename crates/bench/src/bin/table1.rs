@@ -5,6 +5,9 @@
 //! dependence analysis; the remaining inventory entries carry the paper's
 //! published category.
 
+// Bench drivers fail loudly on setup errors, like tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_bench::markdown_table;
 use himap_kernels::{suite, KernelCategory};
 

@@ -1,6 +1,9 @@
 //! Regenerates Table II: characteristics of the multi-dimensional kernels
 //! and their (measured) number of unique iterations.
 
+// Bench drivers fail loudly on setup errors, like tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_bench::markdown_table;
 use himap_cgra::CgraSpec;
 use himap_core::{HiMap, HiMapOptions};

@@ -12,6 +12,9 @@
 //! candidates precede the winner (BiCG walks past four failing candidates,
 //! GEMM's first candidate wins) and on the machine's core count.
 
+// Bench drivers fail loudly on setup errors, like tests.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_bench::{markdown_table, run_himap_with_stats};
 use himap_core::HiMapOptions;
 use himap_kernels::suite;

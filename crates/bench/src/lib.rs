@@ -159,6 +159,7 @@ pub fn figure_baseline_options() -> BaselineOptions {
     BaselineOptions { timeout: Duration::from_secs(20), ..BaselineOptions::default() }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -170,6 +170,8 @@ impl CgraSpec {
     /// # Panics
     ///
     /// Panics if `c == 0`.
+    // The panic is part of the documented contract.
+    #[allow(clippy::expect_used)]
     pub fn square(c: usize) -> Self {
         Self::mesh(c, c).expect("square CGRA size must be non-zero")
     }
@@ -209,6 +211,7 @@ impl CgraSpec {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -261,10 +261,13 @@ impl Mrrg {
             RKind::Wire(d) => {
                 // Value is at the neighbour `n` this cycle: feed n's FU now,
                 // or pass through n's crossbar (one more hop / RF write).
-                let n = self.spec.neighbor(pe, d).expect("wire implies neighbor");
-                out.push(RNode::new(n, node.t, RKind::Fu));
-                self.push_wires(n, t1, &mut out);
-                out.push(RNode::new(n, t1, RKind::RegWr));
+                // A wire node only exists when the neighbour does (see
+                // `contains`), so a dangling direction has no successors.
+                if let Some(n) = self.spec.neighbor(pe, d) {
+                    out.push(RNode::new(n, node.t, RKind::Fu));
+                    self.push_wires(n, t1, &mut out);
+                    out.push(RNode::new(n, t1, RKind::RegWr));
+                }
             }
             RKind::RegWr => {
                 // The write completes within the cycle: any register of this
@@ -338,6 +341,34 @@ impl Mrrg {
         out
     }
 
+    /// `true` if the MRRG has a directed edge `from → to`.
+    pub fn is_edge(&self, from: RNode, to: RNode) -> bool {
+        self.edge_latency(from, to).is_some()
+    }
+
+    /// The architectural latency in cycles of the MRRG edge `from → to`:
+    /// `Some(0)` for same-cycle crossbar feeds (`Out/Wire/RegRd/Mem → Fu`,
+    /// `RegWr → Reg`, `Reg → RegRd`), `Some(1)` for every clocked hop, or
+    /// `None` when no such edge exists.
+    ///
+    /// The latency cannot be recovered from the `t` fields alone: they wrap
+    /// mod `II`, so at `II = 1` a 0-cycle feed and a 1-cycle hop look
+    /// identical. The resource-kind pair disambiguates, which is what an
+    /// independent checker needs to re-derive a route's absolute timing
+    /// (see the 1-cycle-per-hop model in the module docs).
+    pub fn edge_latency(&self, from: RNode, to: RNode) -> Option<u32> {
+        if !self.contains(from) || !self.contains(to) || !self.successors(from).contains(&to) {
+            return None;
+        }
+        let same_cycle = matches!(
+            (from.kind, to.kind),
+            (RKind::Out | RKind::Wire(_) | RKind::RegRd | RKind::Mem, RKind::Fu)
+                | (RKind::RegWr, RKind::Reg(_))
+                | (RKind::Reg(_), RKind::RegRd)
+        );
+        Some(if same_cycle { 0 } else { 1 })
+    }
+
     fn push_wires(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
         for d in ALL_DIRS {
             if self.spec.neighbor(pe, d).is_some() {
@@ -363,6 +394,7 @@ impl Mrrg {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,5 +526,45 @@ mod tests {
     #[should_panic(expected = "initiation interval")]
     fn zero_ii_panics() {
         let _ = Mrrg::new(CgraSpec::square(2), 0);
+    }
+
+    #[test]
+    fn edge_latencies_match_timing_model() {
+        let m = mrrg(2, 4);
+        let pe = PeId::new(0, 0);
+        // Clocked hops cost one cycle.
+        let fu = RNode::new(pe, 0, RKind::Fu);
+        let out = RNode::new(pe, 1, RKind::Out);
+        assert_eq!(m.edge_latency(fu, out), Some(1));
+        assert_eq!(m.edge_latency(out, RNode::new(pe, 2, RKind::Out)), Some(1));
+        // Same-cycle crossbar feeds cost zero.
+        assert_eq!(m.edge_latency(out, RNode::new(pe, 1, RKind::Fu)), Some(0));
+        let wire = RNode::new(pe, 1, RKind::Wire(Dir::South));
+        assert_eq!(m.edge_latency(fu, wire), Some(1));
+        assert_eq!(m.edge_latency(wire, RNode::new(PeId::new(1, 0), 1, RKind::Fu)), Some(0));
+        let regwr = RNode::new(pe, 1, RKind::RegWr);
+        let reg = RNode::new(pe, 1, RKind::Reg(0));
+        let regrd = RNode::new(pe, 1, RKind::RegRd);
+        assert_eq!(m.edge_latency(fu, regwr), Some(1));
+        assert_eq!(m.edge_latency(regwr, reg), Some(0));
+        assert_eq!(m.edge_latency(reg, regrd), Some(0));
+        assert_eq!(m.edge_latency(regrd, RNode::new(pe, 1, RKind::Fu)), Some(0));
+        assert_eq!(m.edge_latency(reg, RNode::new(pe, 2, RKind::Reg(0))), Some(1));
+        // Non-edges and out-of-graph nodes report none.
+        assert_eq!(m.edge_latency(fu, RNode::new(pe, 3, RKind::Out)), None);
+        assert_eq!(m.edge_latency(fu, RNode::new(PeId::new(5, 5), 1, RKind::Out)), None);
+        assert!(!m.is_edge(fu, RNode::new(pe, 0, RKind::Fu)));
+    }
+
+    #[test]
+    fn at_ii_one_latency_is_kind_derived() {
+        // With II = 1 every t field is 0; only the kind pair can tell a
+        // 1-cycle hop from a same-cycle feed.
+        let m = Mrrg::new(CgraSpec::square(2), 1);
+        let pe = PeId::new(0, 0);
+        let fu = RNode::new(pe, 0, RKind::Fu);
+        let out = RNode::new(pe, 0, RKind::Out);
+        assert_eq!(m.edge_latency(fu, out), Some(1));
+        assert_eq!(m.edge_latency(out, fu), Some(0));
     }
 }

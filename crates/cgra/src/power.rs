@@ -117,6 +117,7 @@ impl Default for PowerModel {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

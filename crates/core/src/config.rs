@@ -95,7 +95,7 @@ impl ConfigImage {
         let dfg = mapping.dfg();
         for (node, w) in dfg.graph().nodes() {
             if let NodeKind::Op { kind, .. } = w.kind {
-                let slot = mapping.op_slot(node).expect("ops are placed");
+                let Some(slot) = mapping.op_slot(node) else { continue };
                 raw.entry((slot.pe, slot.cycle_mod)).or_default().op = Some(kind);
             }
         }
@@ -260,6 +260,7 @@ fn src_port(spec: &himap_cgra::CgraSpec, a: RNode, at: PeId) -> Option<SrcPort> 
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,7 +168,10 @@ impl HiMap {
         let mut route_failed = false;
         for verdict in verdicts {
             match verdict {
-                Verdict::Mapped(mapping) => return Ok(*mapping),
+                Verdict::Mapped(mapping) => {
+                    self.cross_check(&mapping)?;
+                    return Ok(*mapping);
+                }
                 Verdict::DfgError(why) => return Err(HiMapError::Dfg(why)),
                 Verdict::RouteFailed => route_failed = true,
                 Verdict::Pruned | Verdict::Abandoned => {}
@@ -178,6 +181,21 @@ impl HiMap {
             Err(HiMapError::RoutingFailed)
         } else {
             Err(HiMapError::NoSystolicMapping)
+        }
+    }
+
+    /// Runs the installed external verifier (see [`crate::set_verify_hook`])
+    /// over a winning mapping — always in debug builds, and in release
+    /// builds when `options.verify` is set. A rejection aborts the walk with
+    /// [`HiMapError::Verification`]: returning a mapping the independent
+    /// checker calls illegal would defeat the point of having one.
+    fn cross_check(&self, mapping: &Mapping) -> Result<(), HiMapError> {
+        if !(self.options.verify || cfg!(debug_assertions)) {
+            return Ok(());
+        }
+        match crate::verify_hook() {
+            Some(hook) => hook(mapping).map_err(HiMapError::Verification),
+            None => Ok(()),
         }
     }
 }
@@ -497,6 +515,7 @@ fn block_for_assignment(
         .collect()
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,13 +44,15 @@ pub mod route;
 mod stats;
 pub mod submap;
 pub mod unique;
+mod verify_hook;
 pub mod viz;
 
 pub use config::{ConfigImage, DstPort, Instr, Move, SrcPort};
 pub use himap::HiMap;
 pub use layout::{Layout, Slot};
-pub use mapping::{Mapping, MappingStats, RouteInstance};
+pub use mapping::{Mapping, MappingParts, MappingStats, RouteInstance};
 pub use options::{HiMapError, HiMapOptions};
 pub use stats::{PipelineStats, StageTimes};
 pub use submap::{map_idfg, map_idfg_counted, SubMapStats, SubMapping};
 pub use unique::{ClassId, Classes, Descriptor};
+pub use verify_hook::{set_verify_hook, verify_hook, VerifyHook};

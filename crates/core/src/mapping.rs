@@ -51,6 +51,23 @@ pub struct Mapping {
     stats: MappingStats,
 }
 
+/// The raw constituents of a [`Mapping`], exposed for external tooling
+/// (e.g. the `himap-verify` mutation tests) that needs to rebuild a mapping
+/// with a deliberate defect injected.
+#[derive(Clone, Debug)]
+pub struct MappingParts {
+    /// The target architecture.
+    pub spec: CgraSpec,
+    /// The unrolled DFG the mapping implements.
+    pub dfg: Dfg,
+    /// FU slot of every placed compute op.
+    pub op_slots: HashMap<NodeId, Slot>,
+    /// All routed dependences.
+    pub routes: Vec<RouteInstance>,
+    /// Quality and shape statistics.
+    pub stats: MappingStats,
+}
+
 impl Mapping {
     pub(crate) fn new(
         spec: CgraSpec,
@@ -60,6 +77,31 @@ impl Mapping {
         stats: MappingStats,
     ) -> Self {
         Mapping { spec, dfg, op_slots, routes, stats }
+    }
+
+    /// Reassemble a mapping from raw parts. No validation happens here —
+    /// that is the whole point: it lets tests build *illegal* mappings and
+    /// check that `himap-verify` rejects them.
+    pub fn from_parts(parts: MappingParts) -> Self {
+        Mapping {
+            spec: parts.spec,
+            dfg: parts.dfg,
+            op_slots: parts.op_slots,
+            routes: parts.routes,
+            stats: parts.stats,
+        }
+    }
+
+    /// Decompose the mapping into its raw parts (inverse of
+    /// [`from_parts`](Self::from_parts)).
+    pub fn into_parts(self) -> MappingParts {
+        MappingParts {
+            spec: self.spec,
+            dfg: self.dfg,
+            op_slots: self.op_slots,
+            routes: self.routes,
+            stats: self.stats,
+        }
     }
 
     /// The target architecture.
@@ -75,6 +117,11 @@ impl Mapping {
     /// The FU slot of a compute op, if placed.
     pub fn op_slot(&self, node: NodeId) -> Option<Slot> {
         self.op_slots.get(&node).copied()
+    }
+
+    /// The FU slots of all placed compute ops.
+    pub fn op_slots(&self) -> &HashMap<NodeId, Slot> {
+        &self.op_slots
     }
 
     /// All routed dependences.

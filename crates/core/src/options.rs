@@ -39,6 +39,12 @@ pub struct HiMapOptions {
     /// the same winning mapping — the walk is parallel but its result is
     /// bit-identical to the sequential order (see `HiMap::map`).
     pub threads: usize,
+    /// Run the installed static verifier (see `himap-verify`) over the
+    /// final mapping before returning it. Always on in debug builds; this
+    /// flag forces it in release builds too. A diagnostic of Error severity
+    /// turns into [`HiMapError::Verification`]. No-op unless a verifier has
+    /// been installed via [`set_verify_hook`](crate::set_verify_hook).
+    pub verify: bool,
 }
 
 impl HiMapOptions {
@@ -63,6 +69,7 @@ impl Default for HiMapOptions {
             replication_feedback_rounds: 6,
             depth_priority_scheduling: true,
             threads: 1,
+            verify: false,
         }
     }
 }
@@ -81,6 +88,11 @@ pub enum HiMapError {
     RoutingFailed,
     /// DFG construction failed.
     Dfg(String),
+    /// The independent static verifier rejected the produced mapping
+    /// (only reachable with a verify hook installed — see
+    /// [`set_verify_hook`](crate::set_verify_hook)). Carries the rendered
+    /// diagnostics.
+    Verification(String),
 }
 
 impl fmt::Display for HiMapError {
@@ -95,6 +107,9 @@ impl fmt::Display for HiMapError {
                 write!(f, "detailed routing failed for every candidate combination")
             }
             HiMapError::Dfg(why) => write!(f, "dfg construction failed: {why}"),
+            HiMapError::Verification(why) => {
+                write!(f, "static verification rejected the mapping: {why}")
+            }
         }
     }
 }

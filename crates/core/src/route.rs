@@ -68,6 +68,13 @@ pub enum RouteError {
     AntiDependence,
     /// A dependence does not advance absolute time (invalid layout).
     NonCausal(EdgeId),
+    /// A class is missing the routed pattern for one of its edge
+    /// descriptors — the classification and the routed design disagree,
+    /// which means a pipeline-internal invariant broke upstream.
+    MissingPattern {
+        /// The class whose pattern set is incomplete.
+        class: usize,
+    },
 }
 
 impl fmt::Display for RouteError {
@@ -84,6 +91,9 @@ impl fmt::Display for RouteError {
                 write!(f, "an element is overwritten before a pending load reads it")
             }
             RouteError::NonCausal(e) => write!(f, "edge {e:?} does not advance time"),
+            RouteError::MissingPattern { class } => {
+                write!(f, "class {class} is missing a routed pattern for one of its edges")
+            }
         }
     }
 }
@@ -460,10 +470,8 @@ pub fn replicate_and_verify(
         let dst_iter = dfg.graph()[dst].iter;
         let class = classes.of[dfg.linear_index(dst_iter)] as usize;
         let (_, desc) = descriptor(dfg, layout, e, dst_iter);
-        let pattern = design.patterns[class]
-            .routes
-            .get(&desc)
-            .unwrap_or_else(|| panic!("class {class} missing pattern for {desc:?}"));
+        let pattern =
+            design.patterns[class].routes.get(&desc).ok_or(RouteError::MissingPattern { class })?;
         let rep_iter = dfg.iteration_at(classes.reps[class]);
         let root = dfg.graph()[e].signal(src);
         let mut steps = Vec::with_capacity(pattern.len());
@@ -566,6 +574,7 @@ pub fn replicate_and_verify(
     Ok(routes)
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -625,9 +634,9 @@ mod tests {
     fn representatives_cover_every_descriptor() {
         let kernel = suite::gemm();
         let (dfg, layout, classes) = pipeline(&kernel, 4);
-        // Replication panics internally on any missing class pattern, so a
-        // clean pass proves descriptor coverage; the route count proves
-        // every edge is implemented.
+        // Replication fails with `MissingPattern` on any uncovered class
+        // descriptor, so a clean pass proves descriptor coverage; the route
+        // count proves every edge is implemented.
         let routes = route_with_feedback(&dfg, &layout, &classes);
         assert_eq!(routes.len(), dfg.graph().edge_count());
     }
@@ -676,6 +685,7 @@ mod tests {
             RouteError::MemCausality,
             RouteError::AntiDependence,
             RouteError::NonCausal(EdgeId::from_index(0)),
+            RouteError::MissingPattern { class: 2 },
         ];
         for e in errors {
             let msg = e.to_string();

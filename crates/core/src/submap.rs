@@ -92,8 +92,7 @@ pub fn map_idfg_counted(
     stats.mapped = out.len();
     out.sort_by(|a, b| {
         b.utilization
-            .partial_cmp(&a.utilization)
-            .expect("utilization is finite")
+            .total_cmp(&a.utilization)
             .then(a.t.cmp(&b.t))
             .then((a.s1 * a.s2).cmp(&(b.s1 * b.s2)))
             .then(a.s1.cmp(&b.s1))
@@ -186,9 +185,14 @@ fn place_round(
                 for &(p, _slot) in &op_parents {
                     let (ppe, ptau) = op_slots[&p];
                     let src = RNode::new(ppe, ptau % t as u32, RKind::Fu);
-                    let sig = SignalId(
-                        order.iter().position(|&o| o == p).expect("parent ordered") as u32
-                    );
+                    // Parents are placed before their children, so each has
+                    // a position in `order`; a missing one means the walk is
+                    // inconsistent and this candidate cannot be costed.
+                    let Some(sig) = order.iter().position(|&o| o == p) else {
+                        feasible = false;
+                        break;
+                    };
+                    let sig = SignalId(sig as u32);
                     match router.route_one(sig, src, target, Some(tau - ptau)) {
                         Some(path) => {
                             cost += path.cost;
@@ -306,15 +310,10 @@ fn internal_topo_order(probe: &Dfg, idfg: &himap_dfg::Idfg, depth_priority: bool
                 .enumerate()
                 .max_by_key(|&(_, &i)| (height[i], std::cmp::Reverse(i)))
                 .map(|(p, _)| p)
-                .expect("ready is non-empty")
         } else {
-            ready
-                .iter()
-                .enumerate()
-                .max_by_key(|&(_, &i)| i)
-                .map(|(p, _)| p)
-                .expect("ready is non-empty")
+            ready.iter().enumerate().max_by_key(|&(_, &i)| i).map(|(p, _)| p)
         };
+        let Some(pos) = pos else { break };
         let i = ready.swap_remove(pos);
         order.push(ops[i]);
         for &j in &succs[i] {
@@ -328,6 +327,7 @@ fn internal_topo_order(probe: &Dfg, idfg: &himap_dfg::Idfg, depth_priority: bool
     order
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

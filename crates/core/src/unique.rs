@@ -155,6 +155,7 @@ pub fn classify(dfg: &Dfg, layout: &Layout) -> Classes {
     Classes { of, reps }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,7 @@ pub fn render_schedule(mapping: &Mapping) -> String {
     let mut cells: HashMap<(PeId, u32), String> = HashMap::new();
     for (node, w) in dfg.graph().nodes() {
         if let NodeKind::Op { kind, .. } = w.kind {
-            let slot = mapping.op_slot(node).expect("ops are placed");
+            let Some(slot) = mapping.op_slot(node) else { continue };
             let iter: Vec<i16> = w.iter[..dfg.dims()].to_vec();
             let text = format!("{kind}{iter:?}");
             cells
@@ -67,7 +67,7 @@ pub fn render_utilization_map(mapping: &Mapping) -> String {
     let mut busy: HashMap<PeId, usize> = HashMap::new();
     for (node, w) in dfg.graph().nodes() {
         if w.kind.is_op() {
-            let slot = mapping.op_slot(node).expect("ops are placed");
+            let Some(slot) = mapping.op_slot(node) else { continue };
             *busy.entry(slot.pe).or_insert(0) += 1;
         }
     }
@@ -87,6 +87,7 @@ pub fn render_utilization_map(mapping: &Mapping) -> String {
     out
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,6 +1,8 @@
 //! Failure-injection tests: HiMap must fail loudly and precisely, never
 //! produce an invalid mapping.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_cgra::CgraSpec;
 use himap_core::{HiMap, HiMapError, HiMapOptions};
 use himap_kernels::{AffineExpr, ArrayRef, Expr, KernelBuilder, OpKind};

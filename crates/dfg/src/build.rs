@@ -290,6 +290,9 @@ fn chain_net(graph: &mut DiGraph<DfgNode, DfgEdge>, root: NodeId, consumers: &[(
         // every cross-iteration edge then points lex-forward, which keeps
         // the global graph acyclic even for dense halo-reuse patterns
         // (e.g. convolution windows shared in both mesh directions).
+        // Invariant: groups iterate in lexicographic order and the anchor
+        // is lex-first, so a feeder always exists.
+        #[allow(clippy::expect_used)]
         let (&(_, src, from_root), _) = attached
             .iter()
             .filter(|(a, _, _)| *a < iter)
@@ -313,6 +316,7 @@ fn chain_net(graph: &mut DiGraph<DfgNode, DfgEdge>, root: NodeId, consumers: &[(
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,6 +20,8 @@ pub type Iter4 = [i16; MAX_DIMS];
 ///
 /// Panics if `iter` has more than [`MAX_DIMS`] components or a component
 /// outside `i16` range.
+// The panic is part of the documented contract.
+#[allow(clippy::expect_used)]
 pub fn to_iter4(iter: &[i64]) -> Iter4 {
     assert!(iter.len() <= MAX_DIMS, "at most {MAX_DIMS} loop levels supported");
     let mut out = [0i16; MAX_DIMS];
@@ -339,6 +341,7 @@ impl Dfg {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,6 +108,7 @@ fn offset_of(other: Iter4, base: Iter4) -> Iter4 {
     out
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

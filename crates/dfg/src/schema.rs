@@ -110,6 +110,7 @@ fn flatten(expr: &Expr, ops: &mut Vec<OpSchema>, read_idx: &mut u8) -> OperandSr
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,7 @@
 //! Property-based tests of DFG construction over randomized affine kernels.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_dfg::{Dfg, EdgeKind, NodeKind, OperandSrc};
 use himap_graph::has_cycle;
 use himap_kernels::{AffineExpr, ArrayRef, Expr, Kernel, KernelBuilder, OpKind};

@@ -59,14 +59,11 @@ pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, Cycl
             }
         }
     }
-    if order.len() == graph.node_count() {
-        Ok(order)
-    } else {
-        let node = graph
-            .node_ids()
-            .find(|n| in_deg[n.index()] > 0)
-            .expect("cycle implies a node with remaining in-degree");
-        Err(CycleError { node })
+    // The sort is complete exactly when every node drained to in-degree 0;
+    // otherwise any node with remaining in-degree witnesses a cycle.
+    match graph.node_ids().find(|n| in_deg[n.index()] > 0) {
+        None => Ok(order),
+        Some(node) => Err(CycleError { node }),
     }
 }
 
@@ -116,12 +113,9 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap on cost; ties broken by node id for determinism.
-        other
-            .cost
-            .partial_cmp(&self.cost)
-            .expect("path costs must not be NaN")
-            .then_with(|| other.node.cmp(&self.node))
+        // Min-heap on cost; ties broken by node id for determinism. NaN
+        // costs order as greatest (total order), sinking to the heap's end.
+        other.cost.total_cmp(&self.cost).then_with(|| other.node.cmp(&self.node))
     }
 }
 
@@ -205,6 +199,7 @@ pub fn dijkstra<N, E>(
     None
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,8 @@ impl NodeId {
     /// # Panics
     ///
     /// Panics if `index` exceeds `u32::MAX`.
+    // The panic is part of the documented contract.
+    #[allow(clippy::expect_used)]
     #[inline]
     pub fn from_index(index: usize) -> Self {
         NodeId(u32::try_from(index).expect("node index overflows u32"))
@@ -46,6 +48,8 @@ impl EdgeId {
     /// # Panics
     ///
     /// Panics if `index` exceeds `u32::MAX`.
+    // The panic is part of the documented contract.
+    #[allow(clippy::expect_used)]
     #[inline]
     pub fn from_index(index: usize) -> Self {
         EdgeId(u32::try_from(index).expect("edge index overflows u32"))
@@ -172,6 +176,8 @@ impl<N, E> DiGraph<N, E> {
     /// # Panics
     ///
     /// Panics if the graph already holds `u32::MAX` nodes.
+    // The panic is part of the documented contract.
+    #[allow(clippy::expect_used)]
     pub fn add_node(&mut self, weight: N) -> NodeId {
         let id = u32::try_from(self.nodes.len()).expect("node count overflows u32");
         self.nodes.push(NodeSlot {
@@ -190,6 +196,8 @@ impl<N, E> DiGraph<N, E> {
     ///
     /// Panics if either endpoint is not a node of this graph, or if the graph
     /// already holds `u32::MAX` edges.
+    // The panic is part of the documented contract.
+    #[allow(clippy::expect_used)]
     pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
         assert!(src.index() < self.nodes.len(), "edge source {src:?} out of bounds");
         assert!(dst.index() < self.nodes.len(), "edge destination {dst:?} out of bounds");
@@ -415,6 +423,7 @@ impl<'a, N, E> Iterator for InEdges<'a, N, E> {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

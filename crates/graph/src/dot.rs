@@ -44,6 +44,7 @@ impl<N: fmt::Display, E: fmt::Display> fmt::Display for Dot<'_, N, E> {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,7 @@
 //! Property-based tests for the graph substrate.
 
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use himap_graph::{dijkstra, has_cycle, reachable_from, topological_sort, DiGraph, NodeId};
 use proptest::prelude::*;
 

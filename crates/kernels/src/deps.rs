@@ -213,6 +213,7 @@ pub fn classify(kernel: &Kernel) -> KernelCategory {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -149,6 +149,7 @@ fn eval(expr: &Expr, iter: &[i64], store: &ArrayStore) -> i64 {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

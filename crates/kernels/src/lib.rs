@@ -24,6 +24,7 @@
 mod deps;
 mod interp;
 mod ir;
+pub mod lint;
 mod parse;
 pub mod suite;
 
@@ -33,4 +34,5 @@ pub use ir::{
     AffineExpr, ArrayDecl, ArrayId, ArrayRef, Expr, IterVec, Kernel, KernelBuilder, KernelError,
     OpKind, Statement, StmtId,
 };
+pub use lint::{lint_kernel, lints_clean, Lint, LintCode, LintOptions, LintSeverity};
 pub use parse::{parse_kernel, ParseError};

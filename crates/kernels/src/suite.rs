@@ -11,6 +11,11 @@
 //! iteration"): BiCG has 4 ops, ADI 5 ops, FW 2 ops, GEMM/SYRK/TTM 2 ops,
 //! ATAX/MVT 4 ops.
 
+// Suite kernels are static data: `build()` failing on one is a programming
+// error this crate's tests catch, so constructors panic rather than return
+// `Result`.
+#![allow(clippy::expect_used)]
+
 use crate::deps::{classify, KernelCategory};
 use crate::ir::{AffineExpr, ArrayRef, Expr, Kernel, KernelBuilder, OpKind};
 
@@ -453,6 +458,7 @@ pub fn table1_inventory() -> Vec<InventoryEntry> {
         .collect()
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -584,6 +590,7 @@ pub fn syr2k() -> Kernel {
     b.build().expect("syr2k kernel is well-formed")
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod extension_tests {
     use super::*;

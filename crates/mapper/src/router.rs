@@ -92,10 +92,11 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp` orders NaN after every real cost, so a poisoned cost
+        // sinks to the bottom of the max-heap instead of aborting the route.
         other
             .cost
-            .partial_cmp(&self.cost)
-            .expect("routing costs are never NaN")
+            .total_cmp(&self.cost)
             .then_with(|| (other.node, other.elapsed).cmp(&(self.node, self.elapsed)))
     }
 }
@@ -518,6 +519,7 @@ impl Router {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -659,6 +661,7 @@ mod tests {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod timed_tests {
     use super::*;
@@ -756,6 +759,7 @@ mod timed_tests {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod distance_tests {
     use super::*;

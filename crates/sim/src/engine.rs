@@ -54,6 +54,13 @@ pub enum SimError {
         /// The DFG edge whose route broke.
         edge: EdgeId,
     },
+    /// The mapping left a compute op without an FU slot.
+    OpUnplaced {
+        /// The unplaced op.
+        node: NodeId,
+    },
+    /// The mapping's block extents do not match its kernel's loop nest.
+    BlockMismatch,
     /// The final memory differs from the reference interpreter.
     ResultMismatch {
         /// Array holding the element.
@@ -77,6 +84,8 @@ impl fmt::Display for SimError {
                 write!(f, "operand {slot} of {node:?} has no value")
             }
             SimError::RouteCorrupted { edge } => write!(f, "route of {edge:?} corrupted"),
+            SimError::OpUnplaced { node } => write!(f, "op {node:?} has no fu slot"),
+            SimError::BlockMismatch => write!(f, "block extents do not match the kernel"),
             SimError::ResultMismatch { array, element, expected, actual } => write!(
                 f,
                 "result mismatch at {array:?}{element:?}: expected {expected}, got {actual}"
@@ -101,7 +110,7 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
     let graph = dfg.graph();
     // Reference execution.
     let mut expected = ArrayStore::new(seed);
-    interpret(dfg.kernel(), dfg.block(), &mut expected).expect("mapping block matches kernel dims");
+    interpret(dfg.kernel(), dfg.block(), &mut expected).map_err(|_| SimError::BlockMismatch)?;
     // Route lookup per edge.
     let route_of: HashMap<EdgeId, &himap_core::RouteInstance> =
         mapping.routes().iter().map(|r| (r.edge, r)).collect();
@@ -112,11 +121,13 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
     let mut results: HashMap<NodeId, i64> = HashMap::new();
 
     // Execute ops in absolute schedule order.
-    let mut ops: Vec<(i64, NodeId)> = graph
-        .nodes()
-        .filter(|(_, w)| w.kind.is_op())
-        .map(|(n, _)| (mapping.op_slot(n).expect("ops are placed").abs, n))
-        .collect();
+    let mut ops: Vec<(i64, NodeId)> = Vec::new();
+    for (n, w) in graph.nodes() {
+        if w.kind.is_op() {
+            let slot = mapping.op_slot(n).ok_or(SimError::OpUnplaced { node: n })?;
+            ops.push((slot.abs, n));
+        }
+    }
     ops.sort();
     let schemas = dfg.schemas();
     for &(abs, node) in &ops {
@@ -143,7 +154,9 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
                     let route =
                         route_of.get(&edge.id).ok_or(SimError::RouteCorrupted { edge: edge.id })?;
                     let load_abs = route.steps[0].1;
-                    let (array, element) = dfg.input_element(root).expect("input has element");
+                    let (array, element) = dfg
+                        .input_element(root)
+                        .ok_or(SimError::RouteCorrupted { edge: edge.id })?;
                     memory_read(&memory, &live_ins, array, &element, load_abs)
                 }
                 NodeKind::Route => {
@@ -176,7 +189,8 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
         let value = match graph[root].kind {
             NodeKind::Op { .. } => results[&root],
             NodeKind::Input { .. } => {
-                let (array, element) = dfg.input_element(root).expect("input has element");
+                let (array, element) =
+                    dfg.input_element(root).ok_or(SimError::RouteCorrupted { edge: route.edge })?;
                 memory_read(&memory, &live_ins, array, &element, route.steps[0].1)
             }
             NodeKind::Route => return Err(SimError::RouteCorrupted { edge: route.edge }),
@@ -252,6 +266,7 @@ fn memory_read(
         .unwrap_or_else(|| live_ins.live_in(array, element))
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

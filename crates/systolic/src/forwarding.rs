@@ -167,6 +167,7 @@ fn candidate_steps(map: &SpaceTimeMap, d: Iter4) -> Vec<Iter4> {
     out
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

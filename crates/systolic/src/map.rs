@@ -124,6 +124,7 @@ impl fmt::Display for SpaceTimeMap {
     }
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

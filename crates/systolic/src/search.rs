@@ -283,6 +283,7 @@ fn corner_min(row: &[i64], block: &[usize]) -> i64 {
     row.iter().zip(block).map(|(&c, &b)| if c < 0 { c * (b as i64 - 1) } else { 0 }).sum()
 }
 
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 #[cfg(test)]
 mod tests {
     use super::*;

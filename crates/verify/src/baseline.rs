@@ -1,0 +1,186 @@
+//! Static verification of baseline (SPR / simulated-annealing) mappings.
+//!
+//! Baseline mappers emit placements only — no explicit routes — so the
+//! verifier checks what is checkable without them: FU exclusivity mod II
+//! (**V001**), placement bounds (**V002**), and schedule feasibility under
+//! architectural *lower bounds* (**V003**): a value produced on one PE
+//! physically needs at least `max(1, manhattan)` cycles to reach another,
+//! regardless of which path a router would pick. Configuration pressure is
+//! bounded by the per-PE instruction count (**V005**).
+
+use std::collections::HashMap;
+
+use himap_baseline::BaselineMapping;
+use himap_cgra::{CgraSpec, PeId, RKind, RNode};
+use himap_dfg::{Dfg, NodeKind};
+
+use crate::diag::{Code, Diagnostic, DiagnosticSink};
+
+/// Cycles between an op producing a value and that value being readable
+/// from local data memory (result registered, then written) — the same
+/// store latency the mappers schedule around.
+const STORE_LATENCY: i64 = 2;
+
+/// Statically verifies a baseline mapping against its DFG and architecture.
+pub fn verify_baseline(mapping: &BaselineMapping, dfg: &Dfg, spec: &CgraSpec) -> DiagnosticSink {
+    let mut sink = DiagnosticSink::new();
+    let ii = mapping.ii.max(1) as i64;
+
+    // V002: every compute op placed, inside the array.
+    for (node, w) in dfg.graph().nodes() {
+        if !matches!(w.kind, NodeKind::Op { .. }) {
+            continue;
+        }
+        match mapping.op_slots.get(&node) {
+            None => sink.push(
+                Diagnostic::error(
+                    Code::V002,
+                    format!("compute op n{} has no FU slot", node.index()),
+                )
+                .at_node(node),
+            ),
+            Some(&(pe, abs)) => {
+                if !spec.contains(pe) {
+                    sink.push(
+                        Diagnostic::error(
+                            Code::V002,
+                            format!("op n{} is placed outside the architecture", node.index()),
+                        )
+                        .at_pe(pe)
+                        .at_cycle(abs)
+                        .at_node(node),
+                    );
+                }
+            }
+        }
+    }
+
+    // V001: FU exclusivity mod II, recomputed from the slots.
+    let mut fu_claims: HashMap<(PeId, i64), Vec<u32>> = HashMap::new();
+    for (&node, &(pe, abs)) in &mapping.op_slots {
+        fu_claims.entry((pe, abs.rem_euclid(ii))).or_default().push(node.index() as u32);
+    }
+    let mut over: Vec<_> = fu_claims.into_iter().filter(|(_, claims)| claims.len() > 1).collect();
+    over.sort();
+    for ((pe, cycle), mut claims) in over {
+        claims.sort_unstable();
+        let listed: Vec<String> = claims.iter().map(|c| format!("n{c}")).collect();
+        sink.push(
+            Diagnostic::error(
+                Code::V001,
+                format!("fu@{pe} at cycle {cycle} (mod {ii}) executes {} ops", claims.len()),
+            )
+            .at_resource(RNode::new(pe, cycle as u32, RKind::Fu))
+            .note(format!("ops {}", listed.join(", "))),
+        );
+    }
+
+    // V003: schedule feasibility lower bounds. The signal a consumer reads
+    // originates at the edge's root (forward edges tap the root's net, not
+    // the forwarding consumer's result), so the bound is against the root.
+    for e in dfg.graph().edge_ids() {
+        let (src, dst) = dfg.graph().edge_endpoints(e);
+        let root = dfg.graph()[e].signal(src);
+        let (Some(&(pr, r_abs)), Some(&(pd, d_abs))) =
+            (mapping.op_slots.get(&root), mapping.op_slots.get(&dst))
+        else {
+            continue; // live-in roots load from memory; no producer bound
+        };
+        let min_arrival = r_abs + spec.distance(pr, pd).max(1) as i64;
+        if d_abs < min_arrival {
+            sink.push(
+                Diagnostic::error(
+                    Code::V003,
+                    format!(
+                        "consumer n{} at {pd} cycle {d_abs} cannot receive n{}'s value \
+                         (produced at {pr} cycle {r_abs}) before cycle {min_arrival}",
+                        dst.index(),
+                        root.index()
+                    ),
+                )
+                .at_pe(pd)
+                .at_cycle(d_abs)
+                .at_node(dst)
+                .at_edge(e),
+            );
+        }
+    }
+
+    // V003: memory causality — a consumer of a memory-routed live-in runs
+    // no earlier than STORE_LATENCY after the producing store.
+    for &(producer, input) in dfg.mem_deps() {
+        let Some(&(_, p_abs)) = mapping.op_slots.get(&producer) else { continue };
+        for consumer in dfg.graph().out_neighbors(input) {
+            if let Some(&(pe, c_abs)) = mapping.op_slots.get(&consumer) {
+                if c_abs < p_abs + STORE_LATENCY {
+                    sink.push(
+                        Diagnostic::error(
+                            Code::V003,
+                            format!(
+                                "op n{} consumes a memory-routed value at cycle {c_abs}, \
+                                 before its store (n{} at cycle {p_abs}) is readable at {}",
+                                consumer.index(),
+                                producer.index(),
+                                p_abs + STORE_LATENCY
+                            ),
+                        )
+                        .at_pe(pe)
+                        .at_cycle(c_abs)
+                        .at_node(consumer),
+                    );
+                }
+            }
+        }
+    }
+
+    // V003: anti-dependences — consumers of a live-in must not run after
+    // the overwriting store has become visible.
+    for &(reader, writer) in dfg.anti_deps() {
+        let Some(&(_, w_abs)) = mapping.op_slots.get(&writer) else { continue };
+        for consumer in dfg.graph().out_neighbors(reader) {
+            if let Some(&(pe, c_abs)) = mapping.op_slots.get(&consumer) {
+                if c_abs > w_abs + 1 {
+                    sink.push(
+                        Diagnostic::error(
+                            Code::V003,
+                            format!(
+                                "op n{} reads a live-in at cycle {c_abs}, after writer n{} \
+                                 (cycle {w_abs}) has overwritten the element",
+                                consumer.index(),
+                                writer.index()
+                            ),
+                        )
+                        .at_pe(pe)
+                        .at_cycle(c_abs)
+                        .at_node(consumer),
+                    );
+                }
+            }
+        }
+    }
+
+    // V005: each op on a PE is one instruction word; the repeating modulo
+    // schedule cannot need more words than the config memory holds.
+    let mut per_pe: HashMap<PeId, usize> = HashMap::new();
+    for &(pe, _) in mapping.op_slots.values() {
+        *per_pe.entry(pe).or_insert(0) += 1;
+    }
+    let mut pressured: Vec<_> =
+        per_pe.into_iter().filter(|&(_, n)| n > spec.config_mem_depth).collect();
+    pressured.sort();
+    for (pe, n) in pressured {
+        sink.push(
+            Diagnostic::error(
+                Code::V005,
+                format!(
+                    "pe {pe} executes {n} distinct instructions, but the configuration \
+                     memory holds {}",
+                    spec.config_mem_depth
+                ),
+            )
+            .at_pe(pe),
+        );
+    }
+
+    sink
+}

@@ -1,0 +1,93 @@
+//! `himap-verify` — an independent static verifier for CGRA mappings.
+//!
+//! HiMap's own soundness argument lives inside the mapper
+//! (`replicate_and_verify`): the prover audits itself. This crate is the
+//! external auditor. It takes any [`Mapping`] — produced by HiMap or, in
+//! placement-only form, by the `himap-baseline` mappers — together with the
+//! [`CgraSpec`](himap_cgra::CgraSpec) and [`Dfg`](himap_dfg::Dfg), and
+//! re-derives legality from first principles:
+//!
+//! | code | severity | proves |
+//! |------|----------|--------|
+//! | V001 | error    | modulo resource exclusivity, restamped from routes |
+//! | V002 | error    | every route is a real MRRG path with exact hop timing |
+//! | V003 | error    | operands arrive at the consuming FU's cycle; memory causality |
+//! | V004 | error    | register-file size and port limits |
+//! | V005 | error    | per-PE unique instructions fit the config memory |
+//! | W101 | warning  | no avoidable wire detours |
+//! | W102 | warning  | no route dwells longer than one modulo window |
+//! | W103 | warning  | mapper statistics match recomputed values |
+//! | K001–K003 | mixed | kernel-IR lints (adapted from `himap_kernels::lint`) |
+//!
+//! # Example
+//!
+//! ```
+//! use himap_cgra::CgraSpec;
+//! use himap_core::{HiMap, HiMapOptions};
+//! use himap_kernels::suite;
+//! use himap_verify::verify_mapping;
+//!
+//! let mapping = HiMap::new(HiMapOptions::default())
+//!     .map(&suite::gemm(), &CgraSpec::square(2))?;
+//! let report = verify_mapping(&mapping);
+//! assert!(!report.has_errors(), "{}", report.render_pretty());
+//! # Ok::<(), himap_core::HiMapError>(())
+//! ```
+//!
+//! To have every mapping the pipeline produces cross-checked automatically,
+//! call [`install`] once (tests and the CLI do): it registers the verifier
+//! with `himap-core`'s hook, which runs it in debug builds and whenever
+//! `HiMapOptions::verify` is set.
+
+mod baseline;
+mod diag;
+mod verify;
+
+pub use baseline::verify_baseline;
+pub use diag::{Code, Diagnostic, DiagnosticSink, Locus, Severity};
+pub use verify::verify_mapping;
+
+use himap_core::Mapping;
+use himap_kernels::{Kernel, Lint, LintOptions, LintSeverity};
+
+/// Adapts one kernel lint into the verifier's diagnostic representation.
+impl From<&Lint> for Diagnostic {
+    fn from(lint: &Lint) -> Self {
+        let code = match lint.code {
+            himap_kernels::LintCode::K001 => Code::K001,
+            himap_kernels::LintCode::K002 => Code::K002,
+            himap_kernels::LintCode::K003 => Code::K003,
+        };
+        match lint.severity {
+            LintSeverity::Error => Diagnostic::error(code, lint.message.clone()),
+            LintSeverity::Warning => Diagnostic::warning(code, lint.message.clone()),
+        }
+    }
+}
+
+/// Runs the kernel-IR lint pass (K001–K003) and returns the findings as
+/// diagnostics.
+pub fn verify_kernel(kernel: &Kernel, options: &LintOptions) -> DiagnosticSink {
+    let mut sink = DiagnosticSink::new();
+    for lint in himap_kernels::lint_kernel(kernel, options) {
+        sink.push(Diagnostic::from(&lint));
+    }
+    sink
+}
+
+/// Installs this verifier as `himap-core`'s process-wide verify hook, so
+/// [`HiMap::map`](himap_core::HiMap::map) cross-checks every mapping it
+/// returns (always in debug builds; behind `HiMapOptions::verify` in
+/// release builds). Idempotent.
+pub fn install() {
+    himap_core::set_verify_hook(hook);
+}
+
+fn hook(mapping: &Mapping) -> Result<(), String> {
+    let report = verify_mapping(mapping);
+    if report.has_errors() {
+        Err(report.render_pretty())
+    } else {
+        Ok(())
+    }
+}

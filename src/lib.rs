@@ -21,3 +21,4 @@ pub use himap_kernels as kernels;
 pub use himap_mapper as mapper;
 pub use himap_sim as sim;
 pub use himap_systolic as systolic;
+pub use himap_verify as verify;
