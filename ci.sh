@@ -21,6 +21,9 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 # Static verification smoke: lint + map + re-derive legality from scratch.
 # The binary exits non-zero on any Error-severity diagnostic.
 echo "==> himap-verify smoke"

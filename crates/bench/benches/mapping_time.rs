@@ -7,12 +7,13 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use himap_baseline::{BaselineOptions, SprMapper};
-use himap_cgra::CgraSpec;
+use himap_cgra::{CgraSpec, Mrrg, MrrgIndex, PeId, RKind, RNode};
 use himap_core::{HiMap, HiMapOptions};
 use himap_dfg::Dfg;
 use himap_kernels::suite;
+use himap_mapper::{ReferenceRouter, Router, RouterConfig, SignalId};
 use himap_systolic::{search, SearchConfig};
 
 fn bench_dfg_build(c: &mut Criterion) {
@@ -102,6 +103,72 @@ fn bench_parallel_walk(c: &mut Criterion) {
     group.finish();
 }
 
+/// The `route_timed` query sweep both router benchmarks replay: three
+/// source corners to every PE of an 8x8 array, each at its shortest
+/// feasible absolute deadline plus one wait cycle.
+fn router_queries(rows: usize, cols: usize, ii: usize) -> Vec<(RNode, RNode, i64)> {
+    let mut queries = Vec::new();
+    for (sx, sy) in [(0usize, 0usize), (rows / 2, cols / 2), (rows - 1, cols - 1)] {
+        let src = RNode::new(PeId::new(sx, sy), 0, RKind::Fu);
+        for dx in 0..rows {
+            for dy in 0..cols {
+                let dist = sx.abs_diff(dx) + sy.abs_diff(dy);
+                let abs = dist as i64 + 1;
+                let dst = RNode::new(PeId::new(dx, dy), (abs % ii as i64) as u32, RKind::Fu);
+                queries.push((src, dst, abs));
+            }
+        }
+    }
+    queries
+}
+
+fn bench_route_timed(c: &mut Criterion) {
+    // The dense flat-array router against the HashMap reference on an 8x8
+    // array — the headline number of the resource-index refactor. Both
+    // replay the identical query sweep on a clean (uncongested) router, the
+    // dominant routing regime of the candidate walk.
+    let mut group = c.benchmark_group("route_timed");
+    let spec = CgraSpec::square(8);
+    let ii = 4usize;
+    let queries = router_queries(8, 8, ii);
+    group.bench_function("indexed_8x8", |b| {
+        let mut router = Router::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
+        b.iter(|| {
+            for (i, &(src, dst, abs)) in queries.iter().enumerate() {
+                let path = router.route_timed(SignalId(i as u32), &[(src, 0)], dst, abs, |_| true);
+                black_box(path);
+            }
+        });
+    });
+    group.bench_function("hashmap_8x8", |b| {
+        let router = ReferenceRouter::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
+        b.iter(|| {
+            for (i, &(src, dst, abs)) in queries.iter().enumerate() {
+                let path = router.route_timed(SignalId(i as u32), &[(src, 0)], dst, abs, |_| true);
+                black_box(path);
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_index_build(c: &mut Criterion) {
+    // Cold CSR compilation cost per (spec, II) — paid once per pair thanks
+    // to the shared cache, amortized across every candidate thread.
+    let mut group = c.benchmark_group("mrrg_index_build");
+    for size in [4usize, 8, 16] {
+        let spec = CgraSpec::square(size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{size}x{size}_ii4")),
+            &spec,
+            |b, spec| {
+                b.iter(|| black_box(MrrgIndex::new(spec.clone(), 4)));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_spr_baseline(c: &mut Criterion) {
     let mut group = c.benchmark_group("spr_baseline");
     group.sample_size(10);
@@ -119,6 +186,8 @@ criterion_group!(
     bench_systolic_search,
     bench_himap_end_to_end,
     bench_parallel_walk,
+    bench_route_timed,
+    bench_index_build,
     bench_spr_baseline
 );
 criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Machine-readable benchmark evidence for the dense resource-index
+//! refactor: route throughput of the flat-array router vs the HashMap
+//! reference, cold index-build time, end-to-end mapping medians, and peak
+//! RSS, written to `BENCH_pr3.json`.
+//!
+//! Run with `cargo run -p himap-bench --release --bin bench_summary`. All
+//! workloads are deterministic; only the timings vary run to run, which is
+//! why every number reported is a median over repeated samples.
+
+use std::time::{Duration, Instant};
+
+use himap_bench::run_himap;
+use himap_cgra::{CgraSpec, Mrrg, MrrgIndex, PeId, RKind, RNode};
+use himap_core::HiMapOptions;
+use himap_kernels::suite;
+use himap_mapper::{ReferenceRouter, Router, RouterConfig, SignalId};
+
+/// The `route_timed` query sweep (same shape as the criterion bench):
+/// three source corners to every PE, each at its shortest feasible
+/// absolute deadline plus one wait cycle.
+fn router_queries(rows: usize, cols: usize, ii: usize) -> Vec<(RNode, RNode, i64)> {
+    let mut queries = Vec::new();
+    for (sx, sy) in [(0usize, 0usize), (rows / 2, cols / 2), (rows - 1, cols - 1)] {
+        let src = RNode::new(PeId::new(sx, sy), 0, RKind::Fu);
+        for dx in 0..rows {
+            for dy in 0..cols {
+                let dist = sx.abs_diff(dx) + sy.abs_diff(dy);
+                let abs = dist as i64 + 1;
+                let dst = RNode::new(PeId::new(dx, dy), (abs % ii as i64) as u32, RKind::Fu);
+                queries.push((src, dst, abs));
+            }
+        }
+    }
+    queries
+}
+
+fn median(mut samples: Vec<Duration>) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Times `f` over `samples` runs, returning the median duration.
+fn sample(samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut out = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        out.push(start.elapsed());
+    }
+    median(out)
+}
+
+/// Peak resident set size in kilobytes from `/proc/self/status` (`VmHWM`).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    const SAMPLES: usize = 15;
+    let spec = CgraSpec::square(8);
+    let ii = 4usize;
+    let queries = router_queries(8, 8, ii);
+
+    // Route throughput: the full sweep on a clean persistent router.
+    let mut dense = Router::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
+    // One warm-up sweep so scratch allocation happens outside the timing.
+    let sweep_dense = |router: &mut Router| {
+        for (i, &(src, dst, abs)) in queries.iter().enumerate() {
+            let p = router.route_timed(SignalId(i as u32), &[(src, 0)], dst, abs, |_| true);
+            std::hint::black_box(p);
+        }
+    };
+    sweep_dense(&mut dense);
+    let indexed_time = sample(SAMPLES, || sweep_dense(&mut dense));
+
+    let legacy = ReferenceRouter::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
+    let sweep_legacy = |router: &ReferenceRouter| {
+        for (i, &(src, dst, abs)) in queries.iter().enumerate() {
+            let p = router.route_timed(SignalId(i as u32), &[(src, 0)], dst, abs, |_| true);
+            std::hint::black_box(p);
+        }
+    };
+    sweep_legacy(&legacy);
+    let hashmap_time = sample(SAMPLES, || sweep_legacy(&legacy));
+
+    let per_query = |total: Duration| total.as_secs_f64() / queries.len() as f64;
+    let throughput = |total: Duration| queries.len() as f64 / total.as_secs_f64();
+    let speedup = hashmap_time.as_secs_f64() / indexed_time.as_secs_f64();
+
+    // Cold CSR compilation per (spec, II).
+    let index_build_8 = sample(10, || {
+        std::hint::black_box(MrrgIndex::new(spec.clone(), ii));
+    });
+    let spec16 = CgraSpec::square(16);
+    let index_build_16 = sample(5, || {
+        std::hint::black_box(MrrgIndex::new(spec16.clone(), ii));
+    });
+
+    // End-to-end mapping medians on 8x8 (sequential and 4-thread walk).
+    let mut walk = Vec::new();
+    for (kernel_name, threads) in [("gemm", 1usize), ("gemm", 4), ("bicg", 1), ("bicg", 4)] {
+        let kernel = match suite::by_name(kernel_name) {
+            Some(k) => k,
+            None => continue,
+        };
+        let options = HiMapOptions { threads, ..HiMapOptions::default() };
+        let t = sample(3, || {
+            let (mapping, _) = run_himap(&kernel, 8, &options);
+            std::hint::black_box(&mapping);
+        });
+        walk.push(format!(
+            "    {{\"kernel\": \"{kernel_name}\", \"cgra\": \"8x8\", \"threads\": {threads}, \
+             \"median_ms\": {:.3}}}",
+            t.as_secs_f64() * 1e3
+        ));
+    }
+
+    let rss = peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"pr3_dense_resource_index\",\n\
+         \x20 \"workload\": {{\"array\": \"8x8\", \"ii\": {ii}, \"route_timed_queries\": {}}},\n\
+         \x20 \"route_timed\": {{\n\
+         \x20   \"indexed_sweep_ms\": {:.3},\n\
+         \x20   \"hashmap_sweep_ms\": {:.3},\n\
+         \x20   \"indexed_us_per_route\": {:.3},\n\
+         \x20   \"hashmap_us_per_route\": {:.3},\n\
+         \x20   \"indexed_routes_per_sec\": {:.0},\n\
+         \x20   \"hashmap_routes_per_sec\": {:.0},\n\
+         \x20   \"speedup\": {:.2}\n\
+         \x20 }},\n\
+         \x20 \"index_build\": {{\"cold_8x8_ii4_ms\": {:.3}, \"cold_16x16_ii4_ms\": {:.3}}},\n\
+         \x20 \"parallel_walk\": [\n{}\n  ],\n\
+         \x20 \"peak_rss_kb\": {rss}\n\
+         }}\n",
+        queries.len(),
+        indexed_time.as_secs_f64() * 1e3,
+        hashmap_time.as_secs_f64() * 1e3,
+        per_query(indexed_time) * 1e6,
+        per_query(hashmap_time) * 1e6,
+        throughput(indexed_time),
+        throughput(hashmap_time),
+        speedup,
+        index_build_8.as_secs_f64() * 1e3,
+        index_build_16.as_secs_f64() * 1e3,
+        walk.join(",\n"),
+    );
+
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH_pr3.json", &json) {
+        eprintln!("could not write BENCH_pr3.json: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote BENCH_pr3.json (route_timed speedup: {speedup:.2}x)");
+}

@@ -35,6 +35,6 @@ pub mod power;
 mod vsa;
 
 pub use arch::{CgraSpec, Dir, PeId, SpecError, ALL_DIRS};
-pub use mrrg::{Mrrg, RKind, RNode};
+pub use mrrg::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
 pub use power::PowerModel;
 pub use vsa::{SpeId, Vsa, VsaError};

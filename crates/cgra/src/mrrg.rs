@@ -13,6 +13,12 @@
 //! *implicit*: [`Mrrg::successors`] and [`Mrrg::predecessors`] enumerate
 //! adjacent resources on demand.
 //!
+//! For hot paths the implicit graph is compiled once into an [`MrrgIndex`]:
+//! every node gets a dense [`RIdx`] id and the full adjacency (with per-edge
+//! latencies) is laid out in CSR form, so routers index flat arrays instead
+//! of hashing [`RNode`] keys. The implicit enumeration stays as the
+//! reference implementation the index is differentially tested against.
+//!
 //! ## Timing model (1 cycle per hop)
 //!
 //! * An operation executing on `Fu(pe, t)` consumes operands that are
@@ -31,6 +37,7 @@
 //!   PE's local memory (see `DESIGN.md`).
 
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::arch::{CgraSpec, Dir, PeId, ALL_DIRS};
 
@@ -126,6 +133,19 @@ impl fmt::Display for RNode {
     }
 }
 
+/// `true` when the MRRG edge `from → to` completes within one cycle (a
+/// crossbar feed), `false` for a clocked hop. Shared by
+/// [`Mrrg::edge_latency`] and the [`MrrgIndex`] CSR builder so the two can
+/// never drift apart.
+fn same_cycle(from: RKind, to: RKind) -> bool {
+    matches!(
+        (from, to),
+        (RKind::Out | RKind::Wire(_) | RKind::RegRd | RKind::Mem, RKind::Fu)
+            | (RKind::RegWr, RKind::Reg(_))
+            | (RKind::Reg(_), RKind::RegRd)
+    )
+}
+
 /// The implicit time-extended MRRG of a CGRA.
 ///
 /// # Example
@@ -209,54 +229,61 @@ impl Mrrg {
         }
     }
 
-    /// Enumerates all resource nodes (for tests and small explicit uses).
+    /// Iterates all resource nodes in ascending [`RNode`] order without
+    /// materializing them — the allocation-free form of [`Mrrg::nodes`].
+    pub fn nodes_iter(&self) -> impl Iterator<Item = RNode> + '_ {
+        let ii = self.ii;
+        let rf = self.spec.rf_size;
+        self.spec.pes().flat_map(move |pe| {
+            (0..ii).flat_map(move |t| {
+                [RKind::Fu, RKind::Out]
+                    .into_iter()
+                    .chain(
+                        ALL_DIRS
+                            .into_iter()
+                            .filter(move |&d| self.spec.neighbor(pe, d).is_some())
+                            .map(RKind::Wire),
+                    )
+                    .chain((0..rf).map(|r| RKind::Reg(r as u8)))
+                    .chain([RKind::RegWr, RKind::RegRd, RKind::Mem])
+                    .map(move |kind| RNode::new(pe, t, kind))
+            })
+        })
+    }
+
+    /// Enumerates all resource nodes (for tests and small explicit uses;
+    /// hot paths should prefer [`Mrrg::nodes_iter`] or an [`MrrgIndex`]).
     pub fn nodes(&self) -> Vec<RNode> {
         let mut out = Vec::with_capacity(self.node_count());
-        for pe in self.spec.pes() {
-            for t in 0..self.ii {
-                out.push(RNode::new(pe, t, RKind::Fu));
-                out.push(RNode::new(pe, t, RKind::Out));
-                for d in ALL_DIRS {
-                    if self.spec.neighbor(pe, d).is_some() {
-                        out.push(RNode::new(pe, t, RKind::Wire(d)));
-                    }
-                }
-                for r in 0..self.spec.rf_size {
-                    out.push(RNode::new(pe, t, RKind::Reg(r as u8)));
-                }
-                out.push(RNode::new(pe, t, RKind::RegWr));
-                out.push(RNode::new(pe, t, RKind::RegRd));
-                out.push(RNode::new(pe, t, RKind::Mem));
-            }
-        }
+        out.extend(self.nodes_iter());
         out
     }
 
-    /// The resources a value sitting on `node` can move to next.
+    /// Calls `f` with each resource a value sitting on `node` can move to
+    /// next, in the same deterministic order as [`Mrrg::successors`].
     ///
     /// # Panics
     ///
     /// Panics (in debug builds) if `node` is not part of this MRRG.
-    pub fn successors(&self, node: RNode) -> Vec<RNode> {
+    pub fn for_each_successor(&self, node: RNode, mut f: impl FnMut(RNode)) {
         debug_assert!(self.contains(node), "{node:?} outside MRRG");
         let pe = node.pe;
         let t1 = self.t_next(node.t);
-        let mut out = Vec::with_capacity(8);
         match node.kind {
             RKind::Fu => {
                 // Result produced at the end of cycle t: output register,
                 // outgoing links, RF write port — all available at t+1.
-                out.push(RNode::new(pe, t1, RKind::Out));
-                self.push_wires(pe, t1, &mut out);
-                out.push(RNode::new(pe, t1, RKind::RegWr));
+                f(RNode::new(pe, t1, RKind::Out));
+                self.each_wire(pe, t1, &mut f);
+                f(RNode::new(pe, t1, RKind::RegWr));
             }
             RKind::Out => {
                 // Feedback to own FU this cycle; re-drive links/RF next cycle;
                 // hold in the output register.
-                out.push(RNode::new(pe, node.t, RKind::Fu));
-                out.push(RNode::new(pe, t1, RKind::Out));
-                self.push_wires(pe, t1, &mut out);
-                out.push(RNode::new(pe, t1, RKind::RegWr));
+                f(RNode::new(pe, node.t, RKind::Fu));
+                f(RNode::new(pe, t1, RKind::Out));
+                self.each_wire(pe, t1, &mut f);
+                f(RNode::new(pe, t1, RKind::RegWr));
             }
             RKind::Wire(d) => {
                 // Value is at the neighbour `n` this cycle: feed n's FU now,
@@ -264,80 +291,115 @@ impl Mrrg {
                 // A wire node only exists when the neighbour does (see
                 // `contains`), so a dangling direction has no successors.
                 if let Some(n) = self.spec.neighbor(pe, d) {
-                    out.push(RNode::new(n, node.t, RKind::Fu));
-                    self.push_wires(n, t1, &mut out);
-                    out.push(RNode::new(n, t1, RKind::RegWr));
+                    f(RNode::new(n, node.t, RKind::Fu));
+                    self.each_wire(n, t1, &mut f);
+                    f(RNode::new(n, t1, RKind::RegWr));
                 }
             }
             RKind::RegWr => {
                 // The write completes within the cycle: any register of this
                 // PE becomes readable now.
-                self.push_regs(pe, node.t, &mut out);
+                self.each_reg(pe, node.t, &mut f);
             }
             RKind::Reg(r) => {
                 // Hold in place, or leave through a read port.
-                out.push(RNode::new(pe, t1, RKind::Reg(r)));
-                out.push(RNode::new(pe, node.t, RKind::RegRd));
+                f(RNode::new(pe, t1, RKind::Reg(r)));
+                f(RNode::new(pe, node.t, RKind::RegRd));
             }
             RKind::RegRd => {
                 // Read into own FU this cycle, or drive out next cycle.
-                out.push(RNode::new(pe, node.t, RKind::Fu));
-                self.push_wires(pe, t1, &mut out);
+                f(RNode::new(pe, node.t, RKind::Fu));
+                self.each_wire(pe, t1, &mut f);
             }
             RKind::Mem => {
                 // Loaded value: feed own FU this cycle, or move it out.
-                out.push(RNode::new(pe, node.t, RKind::Fu));
-                self.push_wires(pe, t1, &mut out);
-                out.push(RNode::new(pe, t1, RKind::RegWr));
+                f(RNode::new(pe, node.t, RKind::Fu));
+                self.each_wire(pe, t1, &mut f);
+                f(RNode::new(pe, t1, RKind::RegWr));
             }
         }
-        out
     }
 
-    /// The resources a value could have come from to reach `node` — the
-    /// exact inverse of [`Mrrg::successors`].
-    pub fn predecessors(&self, node: RNode) -> Vec<RNode> {
+    /// Calls `f` with each resource a value could have come from to reach
+    /// `node` — the exact inverse of [`Mrrg::for_each_successor`].
+    pub fn for_each_predecessor(&self, node: RNode, mut f: impl FnMut(RNode)) {
         debug_assert!(self.contains(node), "{node:?} outside MRRG");
         let pe = node.pe;
         let t0 = self.t_prev(node.t);
-        let mut out = Vec::with_capacity(10);
         match node.kind {
             RKind::Fu => {
                 // Operands arrive from own Out/RegRd/Mem this cycle, or from
                 // incoming wires this cycle.
-                out.push(RNode::new(pe, node.t, RKind::Out));
-                out.push(RNode::new(pe, node.t, RKind::RegRd));
-                out.push(RNode::new(pe, node.t, RKind::Mem));
-                self.push_incoming_wires(pe, node.t, &mut out);
+                f(RNode::new(pe, node.t, RKind::Out));
+                f(RNode::new(pe, node.t, RKind::RegRd));
+                f(RNode::new(pe, node.t, RKind::Mem));
+                self.each_incoming_wire(pe, node.t, &mut f);
             }
             RKind::Out => {
-                out.push(RNode::new(pe, t0, RKind::Fu));
-                out.push(RNode::new(pe, t0, RKind::Out));
+                f(RNode::new(pe, t0, RKind::Fu));
+                f(RNode::new(pe, t0, RKind::Out));
             }
             RKind::Wire(_) => {
                 // Driven by this PE at t-1: FU result, Out re-drive, RF read,
                 // Mem load, or a pass-through of a value that arrived at t-1.
-                out.push(RNode::new(pe, t0, RKind::Fu));
-                out.push(RNode::new(pe, t0, RKind::Out));
-                out.push(RNode::new(pe, t0, RKind::RegRd));
-                out.push(RNode::new(pe, t0, RKind::Mem));
-                self.push_incoming_wires(pe, t0, &mut out);
+                f(RNode::new(pe, t0, RKind::Fu));
+                f(RNode::new(pe, t0, RKind::Out));
+                f(RNode::new(pe, t0, RKind::RegRd));
+                f(RNode::new(pe, t0, RKind::Mem));
+                self.each_incoming_wire(pe, t0, &mut f);
             }
             RKind::RegWr => {
-                out.push(RNode::new(pe, t0, RKind::Fu));
-                out.push(RNode::new(pe, t0, RKind::Out));
-                out.push(RNode::new(pe, t0, RKind::Mem));
-                self.push_incoming_wires(pe, t0, &mut out);
+                f(RNode::new(pe, t0, RKind::Fu));
+                f(RNode::new(pe, t0, RKind::Out));
+                f(RNode::new(pe, t0, RKind::Mem));
+                self.each_incoming_wire(pe, t0, &mut f);
             }
             RKind::Reg(r) => {
-                out.push(RNode::new(pe, node.t, RKind::RegWr));
-                out.push(RNode::new(pe, t0, RKind::Reg(r)));
+                f(RNode::new(pe, node.t, RKind::RegWr));
+                f(RNode::new(pe, t0, RKind::Reg(r)));
             }
             RKind::RegRd => {
-                self.push_regs(pe, node.t, &mut out);
+                self.each_reg(pe, node.t, &mut f);
             }
             RKind::Mem => {}
         }
+    }
+
+    /// Clears `out` and fills it with the successors of `node`, reusing the
+    /// buffer's allocation — the buffer-reuse form of [`Mrrg::successors`].
+    pub fn successors_into(&self, node: RNode, out: &mut Vec<RNode>) {
+        out.clear();
+        self.for_each_successor(node, |n| out.push(n));
+    }
+
+    /// Clears `out` and fills it with the predecessors of `node`, reusing
+    /// the buffer's allocation.
+    pub fn predecessors_into(&self, node: RNode, out: &mut Vec<RNode>) {
+        out.clear();
+        self.for_each_predecessor(node, |n| out.push(n));
+    }
+
+    /// The resources a value sitting on `node` can move to next.
+    ///
+    /// Allocates a fresh `Vec` per call — kept for tests and one-off
+    /// queries; hot paths should use [`Mrrg::successors_into`],
+    /// [`Mrrg::for_each_successor`] or an [`MrrgIndex`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` is not part of this MRRG.
+    pub fn successors(&self, node: RNode) -> Vec<RNode> {
+        let mut out = Vec::with_capacity(8);
+        self.for_each_successor(node, |n| out.push(n));
+        out
+    }
+
+    /// The resources a value could have come from to reach `node` — the
+    /// exact inverse of [`Mrrg::successors`]. Allocates per call; hot paths
+    /// should use [`Mrrg::predecessors_into`] or an [`MrrgIndex`].
+    pub fn predecessors(&self, node: RNode) -> Vec<RNode> {
+        let mut out = Vec::with_capacity(10);
+        self.for_each_predecessor(node, |n| out.push(n));
         out
     }
 
@@ -357,40 +419,314 @@ impl Mrrg {
     /// independent checker needs to re-derive a route's absolute timing
     /// (see the 1-cycle-per-hop model in the module docs).
     pub fn edge_latency(&self, from: RNode, to: RNode) -> Option<u32> {
-        if !self.contains(from) || !self.contains(to) || !self.successors(from).contains(&to) {
+        if !self.contains(from) || !self.contains(to) {
             return None;
         }
-        let same_cycle = matches!(
-            (from.kind, to.kind),
-            (RKind::Out | RKind::Wire(_) | RKind::RegRd | RKind::Mem, RKind::Fu)
-                | (RKind::RegWr, RKind::Reg(_))
-                | (RKind::Reg(_), RKind::RegRd)
-        );
-        Some(if same_cycle { 0 } else { 1 })
+        let mut found = false;
+        self.for_each_successor(from, |s| found |= s == to);
+        if !found {
+            return None;
+        }
+        Some(if same_cycle(from.kind, to.kind) { 0 } else { 1 })
     }
 
-    fn push_wires(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
+    fn each_wire(&self, pe: PeId, t: u32, f: &mut impl FnMut(RNode)) {
         for d in ALL_DIRS {
             if self.spec.neighbor(pe, d).is_some() {
-                out.push(RNode::new(pe, t, RKind::Wire(d)));
+                f(RNode::new(pe, t, RKind::Wire(d)));
             }
         }
     }
 
-    fn push_regs(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
+    fn each_reg(&self, pe: PeId, t: u32, f: &mut impl FnMut(RNode)) {
         for r in 0..self.spec.rf_size {
-            out.push(RNode::new(pe, t, RKind::Reg(r as u8)));
+            f(RNode::new(pe, t, RKind::Reg(r as u8)));
         }
     }
 
     /// Wires whose value is present *at* `pe` at cycle `t` (links from
     /// neighbours toward `pe`).
-    fn push_incoming_wires(&self, pe: PeId, t: u32, out: &mut Vec<RNode>) {
+    fn each_incoming_wire(&self, pe: PeId, t: u32, f: &mut impl FnMut(RNode)) {
         for d in ALL_DIRS {
             if let Some(n) = self.spec.neighbor(pe, d) {
-                out.push(RNode::new(n, t, RKind::Wire(d.opposite())));
+                f(RNode::new(n, t, RKind::Wire(d.opposite())));
             }
         }
+    }
+}
+
+/// Dense id of an MRRG node within an [`MrrgIndex`]: `0 ≤ RIdx.0 <
+/// MrrgIndex::len()`. Ids are assigned in ascending [`RNode`] order, so
+/// comparing two `RIdx` is equivalent to comparing the nodes they denote —
+/// routers can tie-break on the id without reconstructing the node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RIdx(pub u32);
+
+impl RIdx {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Marks an absent entry in the padded node table.
+const INVALID: u32 = u32::MAX;
+/// Bit of a packed CSR edge word holding the edge's latency (0 or 1).
+const LAT_BIT: u32 = 1 << 31;
+
+/// The [`Mrrg`] compiled to dense ids and CSR adjacency.
+///
+/// Built once per `(spec, II)` — see [`MrrgIndex::shared`] — and then read
+/// concurrently by every router, candidate-walk worker and verifier that
+/// needs the graph. Per edge the CSR stores the target id plus the
+/// architectural latency (one bit: crossbar feed or clocked hop), so
+/// routing and hop-timing checks never re-enumerate neighbour sets.
+///
+/// The dense order is the ascending [`RNode`] order of [`Mrrg::nodes`];
+/// adjacency rows preserve the enumeration order of [`Mrrg::successors`] /
+/// [`Mrrg::predecessors`] exactly. Both properties are what make an indexed
+/// search bit-identical to one over the implicit graph (same tie-breaks,
+/// same relaxation order) — and they are locked in by differential tests.
+#[derive(Debug)]
+pub struct MrrgIndex {
+    mrrg: Mrrg,
+    /// Padded `(pe, t, slot) → dense id` table; `INVALID` where no node
+    /// exists (mesh-border wire slots).
+    idx_of: Vec<u32>,
+    /// Dense id → node.
+    node_of: Vec<RNode>,
+    /// Dense id → signal capacity of the resource.
+    cap_of: Vec<u32>,
+    /// CSR row offsets into `fwd`, one per node plus a final sentinel.
+    fwd_off: Vec<u32>,
+    /// Packed forward edges: low 31 bits target id, high bit latency.
+    fwd: Vec<u32>,
+    /// CSR row offsets into `bwd`.
+    bwd_off: Vec<u32>,
+    /// Packed backward edges.
+    bwd: Vec<u32>,
+    /// Slots per `(pe, t)` in the padded table: `9 + rf_size`.
+    slot_count: usize,
+}
+
+impl MrrgIndex {
+    /// Builds the index of `spec` time-extended to `ii` cycles. Prefer
+    /// [`MrrgIndex::shared`], which memoizes builds process-wide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ii == 0`, if `rf_size > 256` (the `Reg(u8)` id space), or
+    /// if the graph exceeds `2^31` nodes (the packed-edge id space).
+    pub fn new(spec: CgraSpec, ii: usize) -> Self {
+        assert!(spec.rf_size <= 256, "register file exceeds the Reg(u8) id space");
+        let mrrg = Mrrg::new(spec, ii);
+        let slot_count = 9 + mrrg.spec().rf_size;
+        let padded = mrrg.spec().pe_count() * ii * slot_count;
+        let node_count = mrrg.node_count();
+        assert!((node_count as u64) < LAT_BIT as u64, "MRRG exceeds the 2^31 packed-edge id space");
+        let mut idx_of = vec![INVALID; padded];
+        let mut node_of = Vec::with_capacity(node_count);
+        let mut cap_of = Vec::with_capacity(node_count);
+        let mut index = MrrgIndex {
+            mrrg,
+            idx_of: Vec::new(),
+            node_of: Vec::new(),
+            cap_of: Vec::new(),
+            fwd_off: Vec::new(),
+            fwd: Vec::new(),
+            bwd_off: Vec::new(),
+            bwd: Vec::new(),
+            slot_count,
+        };
+        // `nodes_iter` yields ascending RNode order, which is exactly the
+        // padded (pe, t, slot) order — dense ids inherit the node order.
+        for node in index.mrrg.nodes_iter() {
+            idx_of[index.padded_index(node)] = node_of.len() as u32;
+            cap_of.push(index.mrrg.spec().capacity(node.kind) as u32);
+            node_of.push(node);
+        }
+        index.idx_of = idx_of;
+        index.node_of = node_of;
+        index.cap_of = cap_of;
+        let (fwd_off, fwd) = index.build_csr(true);
+        let (bwd_off, bwd) = index.build_csr(false);
+        index.fwd_off = fwd_off;
+        index.fwd = fwd;
+        index.bwd_off = bwd_off;
+        index.bwd = bwd;
+        index
+    }
+
+    /// Rows of packed edges in legacy enumeration order, forward or
+    /// backward. Latency is derived from the kind pair (`same_cycle`), the
+    /// same rule [`Mrrg::edge_latency`] applies.
+    fn build_csr(&self, forward: bool) -> (Vec<u32>, Vec<u32>) {
+        let mut off = Vec::with_capacity(self.node_of.len() + 1);
+        let mut edges = Vec::with_capacity(self.node_of.len() * 6);
+        off.push(0u32);
+        for &node in &self.node_of {
+            let mut push = |other: RNode| {
+                let padded = self.padded_index(other);
+                let id = self.idx_of[padded];
+                debug_assert_ne!(id, INVALID, "{node:?} edge to unindexed {other:?}");
+                let (from, to) = if forward { (node, other) } else { (other, node) };
+                let lat = if same_cycle(from.kind, to.kind) { 0 } else { LAT_BIT };
+                edges.push(id | lat);
+            };
+            if forward {
+                self.mrrg.for_each_successor(node, &mut push);
+            } else {
+                self.mrrg.for_each_predecessor(node, &mut push);
+            }
+            off.push(edges.len() as u32);
+        }
+        (off, edges)
+    }
+
+    /// The process-wide shared index for `(spec, ii)`, building it on first
+    /// use. All candidate-walk threads, the replication pass and the
+    /// verifier end up borrowing one build through this cache.
+    pub fn shared(spec: CgraSpec, ii: usize) -> Arc<MrrgIndex> {
+        // `CgraSpec` holds an `f64`, so no `Hash`/`Eq`: the cache is a small
+        // LRU vector scanned linearly. Builds happen under the lock so a
+        // thundering herd of candidate threads triggers exactly one build.
+        static CACHE: OnceLock<Mutex<Vec<Arc<MrrgIndex>>>> = OnceLock::new();
+        const CACHE_CAP: usize = 32;
+        let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+        let mut entries = match cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some(pos) = entries.iter().position(|e| e.mrrg.ii() == ii && *e.mrrg.spec() == spec)
+        {
+            let hit = entries.remove(pos);
+            entries.push(Arc::clone(&hit)); // most-recently-used at the back
+            return hit;
+        }
+        let built = Arc::new(MrrgIndex::new(spec, ii));
+        if entries.len() >= CACHE_CAP {
+            entries.remove(0);
+        }
+        entries.push(Arc::clone(&built));
+        built
+    }
+
+    /// The implicit graph this index was compiled from.
+    pub fn mrrg(&self) -> &Mrrg {
+        &self.mrrg
+    }
+
+    /// The architecture.
+    pub fn spec(&self) -> &CgraSpec {
+        self.mrrg.spec()
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> usize {
+        self.mrrg.ii()
+    }
+
+    /// Number of indexed nodes (equals [`Mrrg::node_count`]).
+    pub fn len(&self) -> usize {
+        self.node_of.len()
+    }
+
+    /// `true` when the graph has no nodes (never for a valid CGRA).
+    pub fn is_empty(&self) -> bool {
+        self.node_of.is_empty()
+    }
+
+    #[inline]
+    fn slot(&self, kind: RKind) -> usize {
+        let rf = self.mrrg.spec().rf_size;
+        match kind {
+            RKind::Fu => 0,
+            RKind::Out => 1,
+            RKind::Wire(d) => 2 + d.index(),
+            RKind::Reg(r) => 6 + r as usize,
+            RKind::RegWr => 6 + rf,
+            RKind::RegRd => 7 + rf,
+            RKind::Mem => 8 + rf,
+        }
+    }
+
+    /// Padded table position of a node known to lie inside the array.
+    #[inline]
+    fn padded_index(&self, node: RNode) -> usize {
+        let spec = self.mrrg.spec();
+        let pe = node.pe.x as usize * spec.cols + node.pe.y as usize;
+        (pe * self.mrrg.ii() + node.t as usize) * self.slot_count + self.slot(node.kind)
+    }
+
+    /// The dense id of `node`, or `None` when it is not part of the graph.
+    #[inline]
+    pub fn index_of(&self, node: RNode) -> Option<RIdx> {
+        if !self.mrrg.spec().contains(node.pe) || node.t as usize >= self.mrrg.ii() {
+            return None;
+        }
+        if let RKind::Reg(r) = node.kind {
+            if r as usize >= self.mrrg.spec().rf_size {
+                return None;
+            }
+        }
+        match self.idx_of[self.padded_index(node)] {
+            INVALID => None,
+            id => Some(RIdx(id)),
+        }
+    }
+
+    /// `true` if `node` is part of the graph (equals [`Mrrg::contains`]).
+    #[inline]
+    pub fn contains(&self, node: RNode) -> bool {
+        self.index_of(node).is_some()
+    }
+
+    /// The node a dense id denotes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn node(&self, i: RIdx) -> RNode {
+        self.node_of[i.index()]
+    }
+
+    /// All nodes in dense-id (= ascending [`RNode`]) order.
+    pub fn nodes(&self) -> &[RNode] {
+        &self.node_of
+    }
+
+    /// Signal capacity of the resource `i`.
+    #[inline]
+    pub fn capacity(&self, i: RIdx) -> usize {
+        self.cap_of[i.index()] as usize
+    }
+
+    /// Forward edges of `i` as `(successor, latency)`, in the enumeration
+    /// order of [`Mrrg::successors`].
+    #[inline]
+    pub fn successors(&self, i: RIdx) -> impl Iterator<Item = (RIdx, u32)> + '_ {
+        let lo = self.fwd_off[i.index()] as usize;
+        let hi = self.fwd_off[i.index() + 1] as usize;
+        self.fwd[lo..hi].iter().map(|&w| (RIdx(w & !LAT_BIT), (w >> 31) & 1))
+    }
+
+    /// Backward edges of `i` as `(predecessor, latency)`, in the
+    /// enumeration order of [`Mrrg::predecessors`].
+    #[inline]
+    pub fn predecessors(&self, i: RIdx) -> impl Iterator<Item = (RIdx, u32)> + '_ {
+        let lo = self.bwd_off[i.index()] as usize;
+        let hi = self.bwd_off[i.index() + 1] as usize;
+        self.bwd[lo..hi].iter().map(|&w| (RIdx(w & !LAT_BIT), (w >> 31) & 1))
+    }
+
+    /// CSR lookup of the latency of edge `from → to` — the indexed form of
+    /// [`Mrrg::edge_latency`], used by the hop-timing verifier.
+    pub fn edge_latency(&self, from: RNode, to: RNode) -> Option<u32> {
+        let fi = self.index_of(from)?;
+        let ti = self.index_of(to)?;
+        self.successors(fi).find(|&(s, _)| s == ti).map(|(_, lat)| lat)
     }
 }
 
@@ -423,6 +759,29 @@ mod tests {
         let m = mrrg(2, 3);
         for n in m.nodes() {
             assert!(m.contains(n), "{n:?}");
+        }
+    }
+
+    #[test]
+    fn nodes_are_sorted_and_iter_matches() {
+        let m = mrrg(3, 2);
+        let nodes = m.nodes();
+        let mut sorted = nodes.clone();
+        sorted.sort();
+        assert_eq!(nodes, sorted, "enumeration must follow RNode order");
+        let from_iter: Vec<_> = m.nodes_iter().collect();
+        assert_eq!(nodes, from_iter);
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers() {
+        let m = mrrg(2, 2);
+        let mut buf = Vec::new();
+        for n in m.nodes() {
+            m.successors_into(n, &mut buf);
+            assert_eq!(buf, m.successors(n), "{n:?}");
+            m.predecessors_into(n, &mut buf);
+            assert_eq!(buf, m.predecessors(n), "{n:?}");
         }
     }
 
@@ -566,5 +925,71 @@ mod tests {
         let out = RNode::new(pe, 0, RKind::Out);
         assert_eq!(m.edge_latency(fu, out), Some(1));
         assert_eq!(m.edge_latency(out, fu), Some(0));
+    }
+
+    #[test]
+    fn index_ids_follow_node_order() {
+        let idx = MrrgIndex::new(CgraSpec::square(3), 2);
+        let nodes = idx.mrrg().nodes();
+        assert_eq!(idx.len(), nodes.len());
+        assert_eq!(idx.nodes(), &nodes[..]);
+        for (i, &n) in nodes.iter().enumerate() {
+            assert_eq!(idx.index_of(n), Some(RIdx(i as u32)), "{n:?}");
+            assert_eq!(idx.node(RIdx(i as u32)), n);
+            assert_eq!(idx.capacity(RIdx(i as u32)), idx.spec().capacity(n.kind));
+        }
+    }
+
+    #[test]
+    fn index_rejects_foreign_nodes() {
+        let idx = MrrgIndex::new(CgraSpec::square(2), 2);
+        // Outside the array, outside the window, dangling wire, missing reg.
+        assert_eq!(idx.index_of(RNode::new(PeId::new(9, 0), 0, RKind::Fu)), None);
+        assert_eq!(idx.index_of(RNode::new(PeId::new(0, 0), 2, RKind::Fu)), None);
+        assert_eq!(idx.index_of(RNode::new(PeId::new(0, 0), 0, RKind::Wire(Dir::North))), None);
+        assert_eq!(idx.index_of(RNode::new(PeId::new(0, 0), 0, RKind::Reg(200))), None);
+        assert!(!idx.contains(RNode::new(PeId::new(9, 0), 0, RKind::Fu)));
+        assert!(idx.contains(RNode::new(PeId::new(0, 0), 0, RKind::Fu)));
+    }
+
+    #[test]
+    fn index_adjacency_matches_legacy() {
+        let m = mrrg(2, 3);
+        let idx = MrrgIndex::new(m.spec().clone(), m.ii());
+        for n in m.nodes() {
+            let i = idx.index_of(n).unwrap();
+            let fwd: Vec<RNode> = idx.successors(i).map(|(s, _)| idx.node(s)).collect();
+            assert_eq!(fwd, m.successors(n), "successors of {n:?}");
+            let bwd: Vec<RNode> = idx.predecessors(i).map(|(p, _)| idx.node(p)).collect();
+            assert_eq!(bwd, m.predecessors(n), "predecessors of {n:?}");
+            for (s, lat) in idx.successors(i) {
+                assert_eq!(Some(lat), m.edge_latency(n, idx.node(s)), "{n:?}");
+            }
+            for (p, lat) in idx.predecessors(i) {
+                assert_eq!(Some(lat), m.edge_latency(idx.node(p), n), "{n:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn index_edge_latency_matches_legacy_at_ii_one() {
+        // II = 1 is the case where latency cannot be derived from t fields.
+        let m = Mrrg::new(CgraSpec::square(2), 1);
+        let idx = MrrgIndex::new(m.spec().clone(), 1);
+        let pe = PeId::new(0, 0);
+        let fu = RNode::new(pe, 0, RKind::Fu);
+        let out = RNode::new(pe, 0, RKind::Out);
+        assert_eq!(idx.edge_latency(fu, out), Some(1));
+        assert_eq!(idx.edge_latency(out, fu), Some(0));
+        assert_eq!(idx.edge_latency(fu, fu), None);
+    }
+
+    #[test]
+    fn shared_cache_returns_same_build() {
+        let a = MrrgIndex::shared(CgraSpec::square(2), 3);
+        let b = MrrgIndex::shared(CgraSpec::square(2), 3);
+        assert!(Arc::ptr_eq(&a, &b), "same (spec, II) must share one build");
+        let c = MrrgIndex::shared(CgraSpec::square(2), 4);
+        assert!(!Arc::ptr_eq(&a, &c), "different II is a different graph");
     }
 }

@@ -23,7 +23,7 @@ use himap_systolic::{search_counted, SearchConfig};
 use crate::layout::Layout;
 use crate::mapping::{Mapping, MappingStats};
 use crate::options::{HiMapError, HiMapOptions};
-use crate::route::{replicate_and_verify, route_representatives};
+use crate::route::{replicate_and_verify, route_representatives_counted};
 use crate::stats::{PipelineStats, Stage, StatsCollector};
 use crate::submap::{map_idfg_counted, SubMapping};
 use crate::unique::classify;
@@ -144,6 +144,7 @@ impl HiMap {
             stats.timed(Stage::Map, || map_idfg_counted(kernel, cgra, &self.options));
         StatsCollector::add(&stats.sub_shapes_tried, sub_stats.shapes_tried);
         StatsCollector::add(&stats.sub_candidates, subs.len());
+        stats.add_router(sub_stats.router);
         if subs.is_empty() {
             return Err(HiMapError::NoSubMapping);
         }
@@ -412,9 +413,12 @@ fn evaluate(ctx: &EvalCtx<'_>, candidate: &Candidate, abandon: &dyn Fn() -> bool
                 return Verdict::Abandoned;
             }
             StatsCollector::add(&stats.route_attempts, 1);
-            let design = match stats.timed(Stage::Route, || {
-                route_representatives(&dfg, &layout, &classes, ctx.options, &seed_history)
-            }) {
+            let (design, counters) = stats.timed(Stage::Route, || {
+                route_representatives_counted(&dfg, &layout, &classes, ctx.options, &seed_history)
+            });
+            stats.add_router(counters.router);
+            stats.add_index_time(counters.index_build);
+            let design = match design {
                 Ok(design) => {
                     StatsCollector::add(&stats.pathfinder_rounds, design.rounds);
                     design

@@ -9,11 +9,12 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::time::{Duration, Instant};
 
-use himap_cgra::{Mrrg, PeId, RKind, RNode};
+use himap_cgra::{Mrrg, MrrgIndex, PeId, RKind, RNode};
 use himap_dfg::{Dfg, EdgeKind, Iter4, NodeKind};
 use himap_graph::{EdgeId, NodeId};
-use himap_mapper::{Router, RouterConfig, SignalId};
+use himap_mapper::{Router, RouterConfig, RouterStats, SignalId};
 
 use crate::layout::Layout;
 use crate::options::HiMapOptions;
@@ -100,6 +101,18 @@ impl fmt::Display for RouteError {
 
 impl Error for RouteError {}
 
+/// Instrumentation of one [`route_representatives_counted`] call: the
+/// router's search-effort counters plus the time spent acquiring the shared
+/// dense MRRG index (a cache hit after the first build, so ~zero in steady
+/// state).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RouteCounters {
+    /// Dijkstra search effort across every `route*` call of the attempt.
+    pub router: RouterStats,
+    /// Wall time of the `MrrgIndex::shared` acquisition.
+    pub index_build: Duration,
+}
+
 /// Routes the representatives' in-edges with PathFinder negotiation and
 /// extracts the per-class patterns.
 pub fn route_representatives(
@@ -109,9 +122,40 @@ pub fn route_representatives(
     options: &HiMapOptions,
     seed_history: &[RNode],
 ) -> Result<RoutedDesign, RouteError> {
+    route_representatives_counted(dfg, layout, classes, options, seed_history).0
+}
+
+/// [`route_representatives`], additionally reporting the router's search
+/// effort and the index-acquisition time — the instrumentation feed for
+/// pipeline statistics (mirrors `map_idfg`/`map_idfg_counted`).
+pub fn route_representatives_counted(
+    dfg: &Dfg,
+    layout: &Layout,
+    classes: &Classes,
+    options: &HiMapOptions,
+    seed_history: &[RNode],
+) -> (Result<RoutedDesign, RouteError>, RouteCounters) {
     let spec = layout.vsa().spec().clone();
-    let mrrg = Mrrg::new(spec, layout.iib());
-    let mut router = Router::new(mrrg, RouterConfig::default());
+    // One dense index per (spec, II) serves every negotiation attempt, every
+    // candidate thread and the replication pass below.
+    let index_start = Instant::now();
+    let index = MrrgIndex::shared(spec, layout.iib());
+    let index_build = index_start.elapsed();
+    let mut router = Router::with_index(index, RouterConfig::default());
+    let result = negotiate(dfg, layout, classes, options, seed_history, &mut router);
+    let counters = RouteCounters { router: router.take_search_stats(), index_build };
+    (result, counters)
+}
+
+/// The negotiation loop proper, on a caller-provided router.
+fn negotiate(
+    dfg: &Dfg,
+    layout: &Layout,
+    classes: &Classes,
+    options: &HiMapOptions,
+    seed_history: &[RNode],
+    router: &mut Router,
+) -> Result<RoutedDesign, RouteError> {
     // Replica conflicts from a previous replication attempt enter the
     // negotiation as pre-seeded history costs.
     for &node in seed_history {
@@ -146,7 +190,7 @@ pub fn route_representatives(
 
     let mut last_err = RouteError::ForwardOrdering;
     for round in 0..options.pathfinder_rounds {
-        match route_round(dfg, layout, classes, &edges, &mut router) {
+        match route_round(dfg, layout, classes, &edges, router) {
             Ok(mut result) => {
                 if router.oversubscribed().is_empty() {
                     result.rounds = round + 1;
@@ -154,12 +198,12 @@ pub fn route_representatives(
                 }
                 last_err = RouteError::Congested(router.oversubscribed().len());
                 router.bump_history();
-                clear_routes(dfg, layout, classes, &mut router);
+                clear_routes(dfg, layout, classes, router);
             }
             Err(e) => {
                 last_err = e;
                 router.bump_history();
-                clear_routes(dfg, layout, classes, &mut router);
+                clear_routes(dfg, layout, classes, router);
             }
         }
     }
@@ -454,14 +498,22 @@ pub fn replicate_and_verify(
 ) -> Result<Vec<FullRoute>, RouteError> {
     let iib = layout.iib();
     let spec = layout.vsa().spec();
-    let mut occupancy: HashMap<RNode, Vec<u32>> = HashMap::new();
+    // Full-array occupancy is dense: one slot vector per MRRG resource id.
+    // The shared index is the same build the representative negotiation used,
+    // so replication adds no per-call graph construction.
+    let index = MrrgIndex::shared(spec.clone(), iib);
+    let mut occupancy: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
     let mut routes = Vec::with_capacity(dfg.graph().edge_count());
     // Stamp every op's FU slot.
     for (node, w) in dfg.graph().nodes() {
         if let NodeKind::Op { stmt, op, .. } = w.kind {
             let slot = layout.op_slot(dfg, w.iter, stmt, op);
             let fu = RNode::new(slot.pe, slot.cycle_mod, RKind::Fu);
-            occupancy.entry(fu).or_default().push(node.index() as u32);
+            if let Some(ri) = index.index_of(fu) {
+                occupancy[ri.index()].push(node.index() as u32);
+            } else {
+                debug_assert!(false, "op slot outside the array at {fu:?}");
+            }
         }
     }
     // Stamp every in-edge's translated route.
@@ -480,9 +532,11 @@ pub fn replicate_and_verify(
             debug_assert!(spec.contains(node.pe), "translated route leaves the array at {node:?}");
             let endpoint = i == 0 || i == pattern.len() - 1;
             if !(endpoint && node.kind == RKind::Fu) {
-                let occ = occupancy.entry(node).or_default();
-                if !occ.contains(&(root.index() as u32)) {
-                    occ.push(root.index() as u32);
+                if let Some(ri) = index.index_of(node) {
+                    let occ = &mut occupancy[ri.index()];
+                    if !occ.contains(&(root.index() as u32)) {
+                        occ.push(root.index() as u32);
+                    }
                 }
             }
             steps.push((node, abs));
@@ -492,12 +546,15 @@ pub fn replicate_and_verify(
     // Capacity check. On conflicts, translate the offending steps back into
     // their representatives' frames so the caller can penalize them in the
     // next negotiation round.
-    let conflicted: std::collections::HashSet<RNode> = occupancy
-        .iter()
-        .filter(|(node, sigs)| sigs.len() > spec.capacity(node.kind))
-        .map(|(&node, _)| node)
-        .collect();
-    if !conflicted.is_empty() {
+    let mut conflicted = vec![false; index.len()];
+    let mut conflict_count = 0usize;
+    for (i, sigs) in occupancy.iter().enumerate() {
+        if sigs.len() > index.capacity(himap_cgra::RIdx(i as u32)) {
+            conflicted[i] = true;
+            conflict_count += 1;
+        }
+    }
+    if conflict_count > 0 {
         let mut rep_frame = Vec::new();
         let t = layout.sub().t as i64;
         for route in &routes {
@@ -508,7 +565,7 @@ pub fn replicate_and_verify(
             let rep_pos = layout.position(dfg, rep_iter);
             let member_pos = layout.position(dfg, dst_iter);
             for &(node, abs) in &route.steps {
-                if conflicted.contains(&node) {
+                if index.index_of(node).is_some_and(|ri| conflicted[ri.index()]) {
                     // Same step in the representative frame.
                     let rep_abs = abs - (member_pos.t - rep_pos.t) as i64 * t;
                     let dx = (member_pos.x - rep_pos.x) * layout.sub().s1 as i32;
@@ -524,7 +581,7 @@ pub fn replicate_and_verify(
         }
         rep_frame.sort();
         rep_frame.dedup();
-        return Err(RouteError::ReplicaConflicts { count: conflicted.len(), rep_frame });
+        return Err(RouteError::ReplicaConflicts { count: conflict_count, rep_frame });
     }
     // Anti-dependences: a live-in load must issue before the overwriting
     // store becomes visible (load_abs <= writer_abs + 1; the store is

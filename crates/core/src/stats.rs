@@ -18,6 +18,8 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
+use himap_mapper::RouterStats;
+
 /// Wall time spent in each pipeline stage (summed across workers).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StageTimes {
@@ -35,6 +37,11 @@ pub struct StageTimes {
     pub route: Duration,
     /// Replication of class patterns and full-array verification.
     pub replicate: Duration,
+    /// Dense MRRG index acquisition (`MrrgIndex::shared`). The first
+    /// acquisition per `(spec, II)` compiles the CSR adjacency; later ones
+    /// are cache hits, so this stays near zero in steady state. Included in
+    /// `route`, broken out to expose the one-time build cost.
+    pub index: Duration,
     /// End-to-end wall time of the whole `map` call.
     pub total: Duration,
 }
@@ -84,6 +91,16 @@ pub struct PipelineStats {
     pub probe_cache_hits: usize,
     /// Dependence-probe cache misses (a probe DFG was built).
     pub probe_cache_misses: usize,
+    /// Dijkstra searches executed by the dense router across `MAP()` and
+    /// `ROUTE()` (every `route*` call is one search).
+    pub router_searches: u64,
+    /// Heap entries popped across all router searches.
+    pub router_nodes_popped: u64,
+    /// Heap entries pushed across all router searches.
+    pub router_heap_pushes: u64,
+    /// Full clears of the router's epoch-stamped scratch (reallocation on
+    /// growth or epoch wraparound) — stays tiny when scratch reuse works.
+    pub router_epoch_resets: u64,
 }
 
 impl PipelineStats {
@@ -105,11 +122,13 @@ impl PipelineStats {
         format!(
             "pipeline: {:.1} ms wall, {} thread{}\n\
              \x20 stages   MAP {:.1} ms | enumerate {:.1} ms | probe {:.1} ms | \
-             search {:.1} ms | DFG {:.1} ms | ROUTE {:.1} ms | replicate {:.1} ms\n\
+             search {:.1} ms | DFG {:.1} ms | ROUTE {:.1} ms | replicate {:.1} ms | \
+             index {:.1} ms\n\
              \x20 MAP      {} shapes tried -> {} sub-candidates\n\
              \x20 walk     {} enumerated (+{} deduped), {} tried, {} pruned, {} abandoned\n\
              \x20 systolic {} searches, {} matrices -> {} valid maps, {} layouts routed\n\
              \x20 route    {} attempts, {} pathfinder rounds, {} replications\n\
+             \x20 router   {} searches, {} nodes popped, {} heap pushes, {} epoch resets\n\
              \x20 probes   {} hits / {} misses ({:.0}% hit rate)",
             ms(t.total),
             self.threads,
@@ -121,6 +140,7 @@ impl PipelineStats {
             ms(t.dfg),
             ms(t.route),
             ms(t.replicate),
+            ms(t.index),
             self.sub_shapes_tried,
             self.sub_candidates,
             self.candidates_enumerated,
@@ -135,6 +155,10 @@ impl PipelineStats {
             self.route_attempts,
             self.pathfinder_rounds,
             self.replication_rounds,
+            self.router_searches,
+            self.router_nodes_popped,
+            self.router_heap_pushes,
+            self.router_epoch_resets,
             self.probe_cache_hits,
             self.probe_cache_misses,
             self.probe_cache_hit_rate() * 100.0,
@@ -159,6 +183,7 @@ pub(crate) struct StatsCollector {
     dfg_nanos: AtomicU64,
     route_nanos: AtomicU64,
     replicate_nanos: AtomicU64,
+    index_nanos: AtomicU64,
     pub(crate) sub_shapes_tried: AtomicUsize,
     pub(crate) sub_candidates: AtomicUsize,
     pub(crate) candidates_enumerated: AtomicUsize,
@@ -175,6 +200,10 @@ pub(crate) struct StatsCollector {
     pub(crate) replication_rounds: AtomicUsize,
     pub(crate) probe_cache_hits: AtomicUsize,
     pub(crate) probe_cache_misses: AtomicUsize,
+    router_searches: AtomicU64,
+    router_nodes_popped: AtomicU64,
+    router_heap_pushes: AtomicU64,
+    router_epoch_resets: AtomicU64,
 }
 
 /// The instrumented stages (each maps to one nanosecond accumulator).
@@ -213,6 +242,19 @@ impl StatsCollector {
         cell.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Folds one router's search-effort counters into the run totals.
+    pub(crate) fn add_router(&self, r: RouterStats) {
+        self.router_searches.fetch_add(r.searches, Ordering::Relaxed);
+        self.router_nodes_popped.fetch_add(r.nodes_popped, Ordering::Relaxed);
+        self.router_heap_pushes.fetch_add(r.heap_pushes, Ordering::Relaxed);
+        self.router_epoch_resets.fetch_add(r.epoch_resets, Ordering::Relaxed);
+    }
+
+    /// Charges one `MrrgIndex::shared` acquisition to the index stage.
+    pub(crate) fn add_index_time(&self, d: Duration) {
+        self.index_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Freezes the collector into the public snapshot.
     pub(crate) fn snapshot(&self, total: Duration, threads: usize) -> PipelineStats {
         let dur = |cell: &AtomicU64| Duration::from_nanos(cell.load(Ordering::Relaxed));
@@ -226,6 +268,7 @@ impl StatsCollector {
                 dfg: dur(&self.dfg_nanos),
                 route: dur(&self.route_nanos),
                 replicate: dur(&self.replicate_nanos),
+                index: dur(&self.index_nanos),
                 total,
             },
             threads,
@@ -245,6 +288,10 @@ impl StatsCollector {
             replication_rounds: count(&self.replication_rounds),
             probe_cache_hits: count(&self.probe_cache_hits),
             probe_cache_misses: count(&self.probe_cache_misses),
+            router_searches: self.router_searches.load(Ordering::Relaxed),
+            router_nodes_popped: self.router_nodes_popped.load(Ordering::Relaxed),
+            router_heap_pushes: self.router_heap_pushes.load(Ordering::Relaxed),
+            router_epoch_resets: self.router_epoch_resets.load(Ordering::Relaxed),
         }
     }
 }
@@ -277,8 +324,34 @@ mod tests {
     fn summary_mentions_every_counter_family() {
         let s = PipelineStats { threads: 4, ..PipelineStats::default() };
         let text = s.summary();
-        for needle in ["MAP", "walk", "systolic", "route", "probes", "4 threads"] {
+        for needle in
+            ["MAP", "walk", "systolic", "route", "router", "epoch resets", "probes", "4 threads"]
+        {
             assert!(text.contains(needle), "summary missing {needle}: {text}");
         }
+    }
+
+    #[test]
+    fn router_counters_flow_into_snapshot() {
+        let c = StatsCollector::default();
+        c.add_router(RouterStats {
+            searches: 3,
+            nodes_popped: 100,
+            heap_pushes: 250,
+            epoch_resets: 1,
+        });
+        c.add_router(RouterStats {
+            searches: 2,
+            nodes_popped: 50,
+            heap_pushes: 75,
+            epoch_resets: 0,
+        });
+        c.add_index_time(Duration::from_micros(40));
+        let snap = c.snapshot(Duration::from_millis(1), 1);
+        assert_eq!(snap.router_searches, 5);
+        assert_eq!(snap.router_nodes_popped, 150);
+        assert_eq!(snap.router_heap_pushes, 325);
+        assert_eq!(snap.router_epoch_resets, 1);
+        assert_eq!(snap.times.index, Duration::from_micros(40));
     }
 }

@@ -13,7 +13,7 @@ use himap_cgra::{CgraSpec, Mrrg, PeId, RKind, RNode};
 use himap_dfg::{Dfg, NodeKind};
 use himap_graph::NodeId;
 use himap_kernels::Kernel;
-use himap_mapper::{Router, RouterConfig, SignalId};
+use himap_mapper::{Router, RouterConfig, RouterStats, SignalId};
 
 use crate::options::HiMapOptions;
 
@@ -42,6 +42,8 @@ pub struct SubMapStats {
     pub shapes_tried: usize,
     /// Combinations that produced a relative mapping.
     pub mapped: usize,
+    /// Router search effort summed across every attempted shape.
+    pub router: RouterStats,
 }
 
 /// Runs `MAP()`: enumerates sub-CGRA shapes and time depths, returning all
@@ -83,7 +85,9 @@ pub fn map_idfg_counted(
             let t_min = ops.div_ceil(s1 * s2).max(1);
             for t in t_min..=t_min + options.max_time_slack {
                 stats.shapes_tried += 1;
-                if let Some(sub) = try_shape(&probe, &idfg, cgra, s1, s2, t, options) {
+                if let Some(sub) =
+                    try_shape(&probe, &idfg, cgra, s1, s2, t, options, &mut stats.router)
+                {
                     out.push(sub);
                 }
             }
@@ -100,6 +104,7 @@ pub fn map_idfg_counted(
     (out, stats)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn try_shape(
     probe: &Dfg,
     idfg: &himap_dfg::Idfg,
@@ -108,18 +113,22 @@ fn try_shape(
     s2: usize,
     t: usize,
     options: &HiMapOptions,
+    router_stats: &mut RouterStats,
 ) -> Option<SubMapping> {
     let sub_spec = CgraSpec { rows: s1, cols: s2, ..cgra.clone() };
+    // `Router::new` resolves the (sub-spec, t) pair through the shared dense
+    // index cache, so repeated probes of the same shape reuse one build.
     let mrrg = Mrrg::new(sub_spec.clone(), t);
     let mut router = Router::new(mrrg, RouterConfig::default());
     // Topological order over the internal edges of the IDFG.
     let order = internal_topo_order(probe, idfg, options.depth_priority_scheduling);
+    let mut result = None;
     for _round in 0..options.pathfinder_rounds {
         router.clear_present();
         if let Some(sub) = place_round(probe, idfg, &order, &sub_spec, t, &mut router) {
             if router.oversubscribed().is_empty() {
                 let ops_count = idfg.op_count() as f64;
-                return Some(SubMapping {
+                result = Some(SubMapping {
                     s1,
                     s2,
                     t,
@@ -127,13 +136,15 @@ fn try_shape(
                     loads: sub.1,
                     utilization: ops_count / (s1 * s2 * t) as f64,
                 });
+                break;
             }
             router.bump_history();
         } else {
             router.bump_history();
         }
     }
-    None
+    router_stats.merge(&router.take_search_stats());
+    result
 }
 
 type Slots = (HashMap<(u8, u8), (PeId, u32)>, HashMap<(u8, u8), (PeId, u32)>);

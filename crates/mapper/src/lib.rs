@@ -31,6 +31,8 @@
 //! router.commit(&path);
 //! ```
 
+mod reference;
 mod router;
 
-pub use router::{Elapsed, RoutedPath, Router, RouterConfig, SignalId};
+pub use reference::ReferenceRouter;
+pub use router::{Elapsed, RoutedPath, Router, RouterConfig, RouterStats, SignalId};

@@ -2,8 +2,9 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
 
-use himap_cgra::{Mrrg, RKind, RNode};
+use himap_cgra::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
 
 /// Identifier of a routed signal — typically the DFG node index of the value
 /// producer. Two routes with the same `SignalId` may share resources
@@ -75,10 +76,36 @@ impl RoutedPath {
     }
 }
 
-#[derive(PartialEq)]
+/// Counters of the router's Dijkstra machinery, cumulative since creation
+/// (or the last [`Router::take_search_stats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Search invocations (`route*` / `fu_distances` entering Dijkstra).
+    pub searches: u64,
+    /// Heap entries popped, including stale ones.
+    pub nodes_popped: u64,
+    /// Heap entries pushed (source seeds and relaxations).
+    pub heap_pushes: u64,
+    /// Full stamp-array resets: scratch (re)allocation on growth plus the
+    /// one-in-`u32::MAX` epoch wraparound. Searches only bump the epoch, so
+    /// this staying near zero is the "no per-route allocation" invariant.
+    pub epoch_resets: u64,
+}
+
+impl RouterStats {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &RouterStats) {
+        self.searches += other.searches;
+        self.nodes_popped += other.nodes_popped;
+        self.heap_pushes += other.heap_pushes;
+        self.epoch_resets += other.epoch_resets;
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
 struct HeapEntry {
     cost: f64,
-    node: RNode,
+    idx: u32,
     elapsed: u32,
 }
 
@@ -94,35 +121,178 @@ impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // `total_cmp` orders NaN after every real cost, so a poisoned cost
         // sinks to the bottom of the max-heap instead of aborting the route.
+        // Ties break on the dense id, which is the node's `RNode` order —
+        // identical tie-breaking to the reference router.
         other
             .cost
             .total_cmp(&self.cost)
-            .then_with(|| (other.node, other.elapsed).cmp(&(self.node, self.elapsed)))
+            .then_with(|| (other.idx, other.elapsed).cmp(&(self.idx, self.elapsed)))
     }
 }
 
-/// PathFinder router over an implicit MRRG.
+/// Sentinel for "no predecessor" in the packed `prev` array.
+const NO_PREV: u32 = u32::MAX;
+
+/// Epoch-stamped Dijkstra state reused across `route*` calls.
+///
+/// A search over states `(node, elapsed ≤ cap)` addresses flat arrays at
+/// `node_id * (cap + 1) + elapsed`. Entries are valid only when their stamp
+/// equals the current epoch, so starting a search is one integer increment
+/// — no clearing, no hashing, no allocation once the arrays have grown to
+/// the session's largest search.
+#[derive(Clone, Debug, Default)]
+struct SearchScratch {
+    epoch: u32,
+    stride: usize,
+    stamp: Vec<u32>,
+    dist: Vec<f64>,
+    /// Packed predecessor state key; `NO_PREV` for source seeds.
+    prev: Vec<u32>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl SearchScratch {
+    /// Opens a new search epoch sized for `nodes * stride` states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state space exceeds the `u32` packed-key range (an
+    /// elapsed cap in the billions — far beyond any schedule).
+    fn begin(&mut self, nodes: usize, stride: usize, stats: &mut RouterStats) {
+        let want = nodes * stride;
+        assert!(want < u32::MAX as usize, "router search state exceeds the u32 key space");
+        if want > self.stamp.len() {
+            self.stamp.clear();
+            self.stamp.resize(want, 0);
+            self.dist.resize(want, 0.0);
+            self.prev.resize(want, NO_PREV);
+            self.epoch = 0;
+            stats.epoch_resets += 1;
+        }
+        if self.epoch == u32::MAX {
+            self.stamp.fill(0);
+            self.epoch = 0;
+            stats.epoch_resets += 1;
+        }
+        self.epoch += 1;
+        self.stride = stride;
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn key(&self, idx: u32, elapsed: u32) -> usize {
+        idx as usize * self.stride + elapsed as usize
+    }
+
+    /// The settled distance of a state, if visited this epoch.
+    #[inline]
+    fn get(&self, key: usize) -> Option<f64> {
+        if self.stamp[key] == self.epoch {
+            Some(self.dist[key])
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, key: usize, dist: f64, prev: u32) {
+        self.stamp[key] = self.epoch;
+        self.dist[key] = dist;
+        self.prev[key] = prev;
+    }
+
+    /// Predecessor key of a state visited this epoch (`NO_PREV` for seeds).
+    #[inline]
+    fn prev_of(&self, key: usize) -> u32 {
+        debug_assert_eq!(self.stamp[key], self.epoch);
+        self.prev[key]
+    }
+
+    /// Walks `prev` links from `key` back to a seed, appending nodes, and
+    /// returns the seed's packed key. `nodes` arrives holding the endpoint.
+    fn reconstruct(&self, index: &MrrgIndex, key: usize, nodes: &mut Vec<RNode>) -> usize {
+        let mut cur = key;
+        while self.prev[cur] != NO_PREV {
+            cur = self.prev[cur] as usize;
+            nodes.push(index.node(RIdx((cur / self.stride) as u32)));
+        }
+        nodes.reverse();
+        cur
+    }
+}
+
+/// Cost of `signal` entering the resource `idx` under the present/history
+/// congestion state. Free function so search loops can price successors
+/// while the scratch arrays are mutably borrowed.
+#[inline]
+fn cost_dense(
+    index: &MrrgIndex,
+    present: &[Vec<SignalId>],
+    history: &[f64],
+    config: &RouterConfig,
+    idx: u32,
+    signal: SignalId,
+) -> f64 {
+    let occupants = &present[idx as usize];
+    if occupants.contains(&signal) {
+        return config.same_signal_cost;
+    }
+    let over = (occupants.len() + 1).saturating_sub(index.capacity(RIdx(idx)));
+    config.base_cost + history[idx as usize] + over as f64 * config.present_factor
+}
+
+/// PathFinder router over a dense-indexed MRRG.
+///
+/// All search and congestion state lives in flat arrays keyed by
+/// [`RIdx`] — `present`/`history` are dense vectors and the Dijkstra
+/// `dist`/`prev` arrays are epoch-stamped scratch reused across `route*`
+/// calls, so the hot path neither hashes nor allocates. The search order,
+/// tie-breaking and results are bit-identical to
+/// [`ReferenceRouter`](crate::ReferenceRouter), the retained hash-map
+/// implementation it is differentially tested against.
 ///
 /// See the crate docs for the congestion model and an example.
 #[derive(Clone, Debug)]
 pub struct Router {
-    mrrg: Mrrg,
-    /// Distinct signals currently claiming each resource.
-    present: HashMap<RNode, Vec<SignalId>>,
-    /// Accumulated history cost per resource.
-    history: HashMap<RNode, f64>,
+    index: Arc<MrrgIndex>,
+    /// Distinct signals currently claiming each resource, by dense id.
+    present: Vec<Vec<SignalId>>,
+    /// Accumulated history cost per resource, by dense id.
+    history: Vec<f64>,
     config: RouterConfig,
+    scratch: SearchScratch,
+    stats: RouterStats,
 }
 
 impl Router {
-    /// Creates a router over an MRRG.
+    /// Creates a router over an MRRG, sharing the process-wide
+    /// [`MrrgIndex`] for the MRRG's `(spec, II)`.
     pub fn new(mrrg: Mrrg, config: RouterConfig) -> Self {
-        Router { mrrg, present: HashMap::new(), history: HashMap::new(), config }
+        let index = MrrgIndex::shared(mrrg.spec().clone(), mrrg.ii());
+        Self::with_index(index, config)
+    }
+
+    /// Creates a router over an already-built shared index.
+    pub fn with_index(index: Arc<MrrgIndex>, config: RouterConfig) -> Self {
+        let n = index.len();
+        Router {
+            index,
+            present: vec![Vec::new(); n],
+            history: vec![0.0; n],
+            config,
+            scratch: SearchScratch::default(),
+            stats: RouterStats::default(),
+        }
     }
 
     /// The routing-resource graph.
     pub fn mrrg(&self) -> &Mrrg {
-        &self.mrrg
+        self.index.mrrg()
+    }
+
+    /// The dense resource index the router searches over.
+    pub fn index(&self) -> &Arc<MrrgIndex> {
+        &self.index
     }
 
     /// The configuration.
@@ -130,18 +300,25 @@ impl Router {
         &self.config
     }
 
+    /// Search counters accumulated so far.
+    pub fn search_stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Returns the accumulated search counters and resets them to zero.
+    pub fn take_search_stats(&mut self) -> RouterStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// Cost of `signal` entering `node` under the current congestion state.
     pub fn node_cost(&self, node: RNode, signal: SignalId) -> f64 {
-        let occupants = self.present.get(&node);
-        if occupants.is_some_and(|o| o.contains(&signal)) {
-            return self.config.same_signal_cost;
+        match self.index.index_of(node) {
+            Some(i) => {
+                cost_dense(&self.index, &self.present, &self.history, &self.config, i.0, signal)
+            }
+            // An unindexed resource carries no occupancy or history.
+            None => self.config.base_cost,
         }
-        let distinct = occupants.map_or(0, |o| o.len());
-        let capacity = self.mrrg.spec().capacity(node.kind);
-        let over = (distinct + 1).saturating_sub(capacity);
-        self.config.base_cost
-            + self.history.get(&node).copied().unwrap_or(0.0)
-            + over as f64 * self.config.present_factor
     }
 
     /// Searches a least-cost route for `signal` from any of `sources` to
@@ -154,7 +331,7 @@ impl Router {
     ///
     /// Returns `None` if no route exists within the budget.
     pub fn route(
-        &self,
+        &mut self,
         signal: SignalId,
         sources: &[RNode],
         target: RNode,
@@ -170,7 +347,7 @@ impl Router {
     /// producing and consuming sub-CGRAs, so that replicating a route
     /// pattern across the array can never push it out of bounds.
     pub fn route_filtered(
-        &self,
+        &mut self,
         signal: SignalId,
         sources: &[RNode],
         target: RNode,
@@ -187,7 +364,7 @@ impl Router {
     /// The most general routing entry point: explicit elapsed constraint
     /// plus a resource filter.
     pub fn route_constrained(
-        &self,
+        &mut self,
         signal: SignalId,
         sources: &[RNode],
         target: RNode,
@@ -198,33 +375,38 @@ impl Router {
             Elapsed::Exact(e) => (e, Some(e)),
             Elapsed::AtMost(m) => (m, None),
         };
-        let mut dist: HashMap<(RNode, u32), f64> = HashMap::new();
-        let mut prev: HashMap<(RNode, u32), (RNode, u32)> = HashMap::new();
-        let mut heap = BinaryHeap::new();
+        let Router { index, present, history, config, scratch, stats } = self;
+        scratch.begin(index.len(), cap as usize + 1, stats);
+        stats.searches += 1;
+        let tgt = index.index_of(target).map_or(NO_PREV, |i| i.0);
         for &src in sources {
-            debug_assert!(self.mrrg.contains(src), "source {src:?} outside MRRG");
+            debug_assert!(index.contains(src), "source {src:?} outside MRRG");
             let at_target = src == target && intended_elapsed.is_none_or(|e| e == 0);
             if at_target {
                 return Some(RoutedPath { signal, nodes: vec![src], elapsed: 0, cost: 0.0 });
             }
-            dist.insert((src, 0), 0.0);
-            heap.push(HeapEntry { cost: 0.0, node: src, elapsed: 0 });
+            let Some(si) = index.index_of(src) else { continue };
+            let key = scratch.key(si.0, 0);
+            scratch.set(key, 0.0, NO_PREV);
+            scratch.heap.push(HeapEntry { cost: 0.0, idx: si.0, elapsed: 0 });
+            stats.heap_pushes += 1;
         }
-        let ii = self.mrrg.ii() as u32;
-        while let Some(HeapEntry { cost, node, elapsed }) = heap.pop() {
-            if dist.get(&(node, elapsed)).is_some_and(|&d| cost > d) {
+        // At II = 1 every clocked hop wraps back to t = 0, so the reference
+        // elapsed arithmetic (t deltas mod II) advances by 0, not by the
+        // architectural latency.
+        let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
+        while let Some(HeapEntry { cost, idx, elapsed }) = scratch.heap.pop() {
+            stats.nodes_popped += 1;
+            let key = scratch.key(idx, elapsed);
+            if scratch.get(key).is_some_and(|d| cost > d) {
                 continue;
             }
-            if node == target && (elapsed > 0 || !sources.contains(&node)) {
+            let node = index.node(RIdx(idx));
+            if idx == tgt && (elapsed > 0 || !sources.contains(&node)) {
                 // Popped the target: minimal cost confirmed (exact-elapsed
                 // filtering happened at insertion).
                 let mut nodes = vec![node];
-                let mut cur = (node, elapsed);
-                while let Some(&p) = prev.get(&cur) {
-                    nodes.push(p.0);
-                    cur = p;
-                }
-                nodes.reverse();
+                scratch.reconstruct(index, key, &mut nodes);
                 return Some(RoutedPath { signal, nodes, elapsed, cost });
             }
             // Never expand out of a consumer FU; producer FUs (sources) were
@@ -232,21 +414,21 @@ impl Router {
             if node.kind == RKind::Fu && elapsed > 0 {
                 continue;
             }
-            for succ in self.mrrg.successors(node) {
-                let dt = (succ.t + ii - node.t) % ii;
-                let next_elapsed = elapsed + dt;
+            for (succ, lat) in index.successors(RIdx(idx)) {
+                let next_elapsed = elapsed + lat_to_dt(lat);
                 if next_elapsed > cap {
                     continue;
                 }
+                let succ_node = index.node(succ);
                 // FU nodes only terminate a path; Mem nodes only start one.
-                if succ.kind == RKind::Mem {
+                if succ_node.kind == RKind::Mem {
                     continue;
                 }
-                let is_target = succ == target;
-                if succ.kind == RKind::Fu && !is_target {
+                let is_target = succ.0 == tgt;
+                if succ_node.kind == RKind::Fu && !is_target {
                     continue;
                 }
-                if !is_target && !allowed(succ) {
+                if !is_target && !allowed(succ_node) {
                     continue;
                 }
                 if is_target {
@@ -256,13 +438,21 @@ impl Router {
                         }
                     }
                 }
-                let step = if is_target { 0.0 } else { self.node_cost(succ, signal) };
+                let step = if is_target {
+                    0.0
+                } else {
+                    cost_dense(index, present, history, config, succ.0, signal)
+                };
                 let next_cost = cost + step;
-                let key = (succ, next_elapsed);
-                if dist.get(&key).is_none_or(|&d| next_cost < d) {
-                    dist.insert(key, next_cost);
-                    prev.insert(key, (node, elapsed));
-                    heap.push(HeapEntry { cost: next_cost, node: succ, elapsed: next_elapsed });
+                let succ_key = scratch.key(succ.0, next_elapsed);
+                if scratch.get(succ_key).is_none_or(|d| next_cost < d) {
+                    scratch.set(succ_key, next_cost, key as u32);
+                    scratch.heap.push(HeapEntry {
+                        cost: next_cost,
+                        idx: succ.0,
+                        elapsed: next_elapsed,
+                    });
+                    stats.heap_pushes += 1;
                 }
             }
         }
@@ -277,7 +467,7 @@ impl Router {
     /// flight, registers holding), and a further consumer may tap any of
     /// them. Sources later than `target_abs` are ignored.
     pub fn route_timed(
-        &self,
+        &mut self,
         signal: SignalId,
         sources: &[(RNode, i64)],
         target: RNode,
@@ -286,9 +476,10 @@ impl Router {
     ) -> Option<RoutedPath> {
         let base = sources.iter().map(|&(_, abs)| abs).min()?;
         let need = u32::try_from(target_abs - base).ok()?;
-        let mut dist: HashMap<(RNode, u32), f64> = HashMap::new();
-        let mut prev: HashMap<(RNode, u32), (RNode, u32)> = HashMap::new();
-        let mut heap = BinaryHeap::new();
+        let Router { index, present, history, config, scratch, stats } = self;
+        scratch.begin(index.len(), need as usize + 1, stats);
+        stats.searches += 1;
+        let tgt = index.index_of(target).map_or(NO_PREV, |i| i.0);
         for &(src, abs) in sources {
             if abs > target_abs {
                 continue;
@@ -297,54 +488,68 @@ impl Router {
             if src == target && offset == need {
                 return Some(RoutedPath { signal, nodes: vec![src], elapsed: 0, cost: 0.0 });
             }
-            let key = (src, offset);
-            if dist.get(&key).is_none_or(|&d| d > 0.0) {
-                dist.insert(key, 0.0);
-                heap.push(HeapEntry { cost: 0.0, node: src, elapsed: offset });
+            let Some(si) = index.index_of(src) else {
+                debug_assert!(false, "source {src:?} outside MRRG");
+                continue;
+            };
+            let key = scratch.key(si.0, offset);
+            if scratch.get(key).is_none_or(|d| d > 0.0) {
+                scratch.set(key, 0.0, NO_PREV);
+                scratch.heap.push(HeapEntry { cost: 0.0, idx: si.0, elapsed: offset });
+                stats.heap_pushes += 1;
             }
         }
-        let ii = self.mrrg.ii() as u32;
-        while let Some(HeapEntry { cost, node, elapsed }) = heap.pop() {
-            if dist.get(&(node, elapsed)).is_some_and(|&d| cost > d) {
+        let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
+        while let Some(HeapEntry { cost, idx, elapsed }) = scratch.heap.pop() {
+            stats.nodes_popped += 1;
+            let key = scratch.key(idx, elapsed);
+            if scratch.get(key).is_some_and(|d| cost > d) {
                 continue;
             }
-            if node == target && elapsed == need && prev.contains_key(&(node, elapsed)) {
+            let node = index.node(RIdx(idx));
+            if idx == tgt && elapsed == need && scratch.prev_of(key) != NO_PREV {
                 let mut nodes = vec![node];
-                let mut cur = (node, elapsed);
-                while let Some(&p) = prev.get(&cur) {
-                    nodes.push(p.0);
-                    cur = p;
-                }
-                nodes.reverse();
-                let first_offset = cur.1;
+                let seed = scratch.reconstruct(index, key, &mut nodes);
+                let first_offset = (seed % scratch.stride) as u32;
                 return Some(RoutedPath { signal, nodes, elapsed: need - first_offset, cost });
             }
-            if node.kind == RKind::Fu && prev.contains_key(&(node, elapsed)) {
+            if node.kind == RKind::Fu && scratch.prev_of(key) != NO_PREV {
                 continue; // only source FUs may expand
             }
-            for succ in self.mrrg.successors(node) {
-                let dt = (succ.t + ii - node.t) % ii;
-                let next_elapsed = elapsed + dt;
-                if next_elapsed > need || succ.kind == RKind::Mem {
+            for (succ, lat) in index.successors(RIdx(idx)) {
+                let next_elapsed = elapsed + lat_to_dt(lat);
+                if next_elapsed > need {
                     continue;
                 }
-                let is_target = succ == target;
-                if succ.kind == RKind::Fu && !is_target {
+                let succ_node = index.node(succ);
+                if succ_node.kind == RKind::Mem {
+                    continue;
+                }
+                let is_target = succ.0 == tgt;
+                if succ_node.kind == RKind::Fu && !is_target {
                     continue;
                 }
                 if is_target && next_elapsed != need {
                     continue;
                 }
-                if !is_target && !allowed(succ) {
+                if !is_target && !allowed(succ_node) {
                     continue;
                 }
-                let step = if is_target { 0.0 } else { self.node_cost(succ, signal) };
+                let step = if is_target {
+                    0.0
+                } else {
+                    cost_dense(index, present, history, config, succ.0, signal)
+                };
                 let next_cost = cost + step;
-                let key = (succ, next_elapsed);
-                if dist.get(&key).is_none_or(|&d| next_cost < d) {
-                    dist.insert(key, next_cost);
-                    prev.insert(key, (node, elapsed));
-                    heap.push(HeapEntry { cost: next_cost, node: succ, elapsed: next_elapsed });
+                let succ_key = scratch.key(succ.0, next_elapsed);
+                if scratch.get(succ_key).is_none_or(|d| next_cost < d) {
+                    scratch.set(succ_key, next_cost, key as u32);
+                    scratch.heap.push(HeapEntry {
+                        cost: next_cost,
+                        idx: succ.0,
+                        elapsed: next_elapsed,
+                    });
+                    stats.heap_pushes += 1;
                 }
             }
         }
@@ -354,7 +559,9 @@ impl Router {
     /// Adds external history cost to a resource (replication-aware
     /// negotiation feeds replica conflicts back through this).
     pub fn add_history(&mut self, node: RNode, amount: f64) {
-        *self.history.entry(node).or_insert(0.0) += amount;
+        if let Some(i) = self.index.index_of(node) {
+            self.history[i.index()] += amount;
+        }
     }
 
     /// Single-source-set Dijkstra over the whole MRRG: the negotiated cost
@@ -364,45 +571,63 @@ impl Router {
     /// Whole-DFG placers use this to evaluate all candidate slots of an
     /// operation with one search per parent instead of one per candidate.
     pub fn fu_distances(
-        &self,
+        &mut self,
         signal: SignalId,
         sources: &[RNode],
         cap: u32,
     ) -> HashMap<(RNode, u32), f64> {
-        let mut dist: HashMap<(RNode, u32), f64> = HashMap::new();
         let mut fu_costs: HashMap<(RNode, u32), f64> = HashMap::new();
-        let mut heap = BinaryHeap::new();
+        let Router { index, present, history, config, scratch, stats } = self;
+        scratch.begin(index.len(), cap as usize + 1, stats);
+        stats.searches += 1;
         for &src in sources {
-            dist.insert((src, 0), 0.0);
-            heap.push(HeapEntry { cost: 0.0, node: src, elapsed: 0 });
+            let Some(si) = index.index_of(src) else {
+                debug_assert!(false, "source {src:?} outside MRRG");
+                continue;
+            };
+            let key = scratch.key(si.0, 0);
+            scratch.set(key, 0.0, NO_PREV);
+            scratch.heap.push(HeapEntry { cost: 0.0, idx: si.0, elapsed: 0 });
+            stats.heap_pushes += 1;
         }
-        let ii = self.mrrg.ii() as u32;
-        while let Some(HeapEntry { cost, node, elapsed }) = heap.pop() {
-            if dist.get(&(node, elapsed)).is_some_and(|&d| cost > d) {
+        let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
+        while let Some(HeapEntry { cost, idx, elapsed }) = scratch.heap.pop() {
+            stats.nodes_popped += 1;
+            let key = scratch.key(idx, elapsed);
+            if scratch.get(key).is_some_and(|d| cost > d) {
                 continue;
             }
+            let node = index.node(RIdx(idx));
             if node.kind == RKind::Fu && elapsed > 0 {
                 continue;
             }
-            for succ in self.mrrg.successors(node) {
-                let dt = (succ.t + ii - node.t) % ii;
-                let next_elapsed = elapsed + dt;
-                if next_elapsed > cap || succ.kind == RKind::Mem {
+            for (succ, lat) in index.successors(RIdx(idx)) {
+                let next_elapsed = elapsed + lat_to_dt(lat);
+                if next_elapsed > cap {
                     continue;
                 }
-                if succ.kind == RKind::Fu {
+                let succ_node = index.node(succ);
+                if succ_node.kind == RKind::Mem {
+                    continue;
+                }
+                if succ_node.kind == RKind::Fu {
                     // Terminal: record, do not expand.
-                    let key = (succ, next_elapsed);
-                    if fu_costs.get(&key).is_none_or(|&d| cost < d) {
-                        fu_costs.insert(key, cost);
+                    let fu_key = (succ_node, next_elapsed);
+                    if fu_costs.get(&fu_key).is_none_or(|&d| cost < d) {
+                        fu_costs.insert(fu_key, cost);
                     }
                     continue;
                 }
-                let next_cost = cost + self.node_cost(succ, signal);
-                let key = (succ, next_elapsed);
-                if dist.get(&key).is_none_or(|&d| next_cost < d) {
-                    dist.insert(key, next_cost);
-                    heap.push(HeapEntry { cost: next_cost, node: succ, elapsed: next_elapsed });
+                let next_cost = cost + cost_dense(index, present, history, config, succ.0, signal);
+                let succ_key = scratch.key(succ.0, next_elapsed);
+                if scratch.get(succ_key).is_none_or(|d| next_cost < d) {
+                    scratch.set(succ_key, next_cost, key as u32);
+                    scratch.heap.push(HeapEntry {
+                        cost: next_cost,
+                        idx: succ.0,
+                        elapsed: next_elapsed,
+                    });
+                    stats.heap_pushes += 1;
                 }
             }
         }
@@ -411,7 +636,7 @@ impl Router {
 
     /// Routes from a single source. See [`Router::route`].
     pub fn route_one(
-        &self,
+        &mut self,
         signal: SignalId,
         source: RNode,
         target: RNode,
@@ -428,10 +653,7 @@ impl Router {
             if endpoint && node.kind == RKind::Fu {
                 continue;
             }
-            let occupants = self.present.entry(node).or_default();
-            if !occupants.contains(&path.signal) {
-                occupants.push(path.signal);
-            }
+            self.place(node, path.signal);
         }
     }
 
@@ -447,19 +669,18 @@ impl Router {
             if endpoint && node.kind == RKind::Fu {
                 continue;
             }
-            if let Some(occupants) = self.present.get_mut(&node) {
-                occupants.retain(|&s| s != path.signal);
-                if occupants.is_empty() {
-                    self.present.remove(&node);
-                }
-            }
+            self.unplace(node, path.signal);
         }
     }
 
     /// Claims a resource for a placed operation or load (counts toward
     /// capacity like any signal).
     pub fn place(&mut self, node: RNode, signal: SignalId) {
-        let occupants = self.present.entry(node).or_default();
+        let Some(i) = self.index.index_of(node) else {
+            debug_assert!(false, "place of {node:?} outside MRRG");
+            return;
+        };
+        let occupants = &mut self.present[i.index()];
         if !occupants.contains(&signal) {
             occupants.push(signal);
         }
@@ -467,55 +688,56 @@ impl Router {
 
     /// Releases a placement claim.
     pub fn unplace(&mut self, node: RNode, signal: SignalId) {
-        if let Some(occupants) = self.present.get_mut(&node) {
-            occupants.retain(|&s| s != signal);
-            if occupants.is_empty() {
-                self.present.remove(&node);
-            }
+        if let Some(i) = self.index.index_of(node) {
+            self.present[i.index()].retain(|&s| s != signal);
         }
     }
 
     /// Distinct signals currently on a node.
     pub fn occupants(&self, node: RNode) -> &[SignalId] {
-        self.present.get(&node).map_or(&[], |v| v.as_slice())
+        self.index.index_of(node).map_or(&[], |i| self.present[i.index()].as_slice())
     }
 
     /// All currently oversubscribed resources (distinct signals exceed
-    /// capacity).
+    /// capacity), in ascending node order.
     pub fn oversubscribed(&self) -> Vec<RNode> {
-        let mut out: Vec<RNode> = self
-            .present
+        // Dense ids ascend in RNode order, so the scan is already sorted.
+        self.present
             .iter()
-            .filter(|(node, occupants)| occupants.len() > self.mrrg.spec().capacity(node.kind))
-            .map(|(&node, _)| node)
-            .collect();
-        out.sort();
-        out
+            .enumerate()
+            .filter(|(i, occupants)| occupants.len() > self.index.capacity(RIdx(*i as u32)))
+            .map(|(i, _)| self.index.node(RIdx(i as u32)))
+            .collect()
     }
 
     /// Adds history cost on every oversubscribed node (one negotiation
     /// round), returning how many nodes were penalized.
     pub fn bump_history(&mut self) -> usize {
-        let over = self.oversubscribed();
-        for &node in &over {
-            let occupants = self.present[&node].len();
-            let excess = occupants - self.mrrg.spec().capacity(node.kind);
-            *self.history.entry(node).or_insert(0.0) +=
-                self.config.history_increment * excess as f64;
+        let mut bumped = 0;
+        for i in 0..self.present.len() {
+            let occupants = self.present[i].len();
+            let capacity = self.index.capacity(RIdx(i as u32));
+            if occupants > capacity {
+                let excess = occupants - capacity;
+                self.history[i] += self.config.history_increment * excess as f64;
+                bumped += 1;
+            }
         }
-        over.len()
+        bumped
     }
 
     /// Clears all present occupancy (history is kept) — the start of a
-    /// rip-up-and-reroute round.
+    /// rip-up-and-reroute round. Keeps the per-resource allocations.
     pub fn clear_present(&mut self) {
-        self.present.clear();
+        for occupants in &mut self.present {
+            occupants.clear();
+        }
     }
 
     /// Clears both occupancy and history.
     pub fn reset(&mut self) {
-        self.present.clear();
-        self.history.clear();
+        self.clear_present();
+        self.history.fill(0.0);
     }
 }
 
@@ -535,7 +757,7 @@ mod tests {
 
     #[test]
     fn neighbor_route_is_one_cycle() {
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 1, 1), Some(1)).unwrap();
         assert_eq!(p.elapsed, 1);
         // Fu -> Wire(E) -> Fu.
@@ -546,7 +768,7 @@ mod tests {
 
     #[test]
     fn same_pe_next_cycle_uses_out_reg() {
-        let r = router(1, 4);
+        let mut r = router(1, 4);
         let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 0, 1), Some(1)).unwrap();
         assert_eq!(p.elapsed, 1);
         assert_eq!(p.nodes[1].kind, RKind::Out);
@@ -554,7 +776,7 @@ mod tests {
 
     #[test]
     fn elapsed_budget_is_exact() {
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         // Two hops in exactly 3 cycles: one cycle of waiting somewhere.
         let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 3), Some(3)).unwrap();
         assert_eq!(p.elapsed, 3);
@@ -565,7 +787,7 @@ mod tests {
     #[test]
     fn modulo_wraparound_with_exact_elapsed() {
         // Target at t=0 via wrap: elapsed 2 from t=3 in a 4-cycle window.
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         let p = r.route_one(SignalId(1), fu(0, 0, 3), fu(0, 1, 1), Some(2)).unwrap();
         assert_eq!(p.elapsed, 2);
         // The same endpoints with elapsed 2 + 4 (one extra window) would
@@ -630,7 +852,7 @@ mod tests {
 
     #[test]
     fn mem_is_source_only_and_fu_not_transit() {
-        let r = router(2, 3);
+        let mut r = router(2, 3);
         let mem = RNode::new(PeId::new(0, 0), 0, RKind::Mem);
         // Load feeding the local FU in the same cycle.
         let p = r.route_one(SignalId(1), mem, fu(0, 0, 0), Some(0)).unwrap();
@@ -645,7 +867,7 @@ mod tests {
 
     #[test]
     fn multi_source_picks_cheapest() {
-        let r = router(3, 3);
+        let mut r = router(3, 3);
         let sources = [fu(0, 0, 0), fu(2, 2, 0)];
         let p = r.route(SignalId(1), &sources, fu(2, 1, 1), Some(1)).unwrap();
         assert_eq!(p.nodes[0], fu(2, 2, 0), "nearer source wins");
@@ -653,11 +875,51 @@ mod tests {
 
     #[test]
     fn source_equals_target() {
-        let r = router(2, 2);
+        let mut r = router(2, 2);
         let p = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 0, 0), Some(0)).unwrap();
         assert_eq!(p.nodes.len(), 1);
         assert_eq!(p.elapsed, 0);
         assert_eq!(p.delivery(), fu(0, 0, 0));
+    }
+
+    #[test]
+    fn nan_history_sinks_instead_of_aborting() {
+        // Poison the direct east wire with a NaN history cost. `total_cmp`
+        // orders NaN after every real cost, so NaN-priced states sink in
+        // the heap: the search terminates, finite detours win when one
+        // exists, and a forced NaN path is still returned rather than
+        // panicking or looping.
+        let mut r = router(2, 4);
+        let wire = RNode::new(PeId::new(0, 0), 1, RKind::Wire(himap_cgra::Dir::East));
+        r.add_history(wire, f64::NAN);
+        // Exactly one cycle: the poisoned wire is the only option.
+        let forced = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 1, 1), Some(1)).unwrap();
+        assert!(forced.nodes.contains(&wire));
+        assert!(forced.cost.is_nan());
+        // Three cycles admit a detour around the poisoned wire; it must win
+        // with a finite cost.
+        let detour = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 1, 3), Some(3)).unwrap();
+        assert!(!detour.nodes.contains(&wire), "detour must avoid NaN wire");
+        assert!(detour.cost.is_finite());
+    }
+
+    #[test]
+    fn search_stats_accumulate_and_scratch_is_reused() {
+        let mut r = router(2, 4);
+        assert_eq!(r.search_stats(), RouterStats::default());
+        let _ = r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 2), Some(2));
+        let first = r.search_stats();
+        assert_eq!(first.searches, 1);
+        assert!(first.nodes_popped > 0 && first.heap_pushes > 0);
+        assert_eq!(first.epoch_resets, 1, "first search allocates the scratch");
+        // Same-sized second search must reuse the arrays: no new reset.
+        let _ = r.route_one(SignalId(2), fu(0, 0, 0), fu(1, 1, 2), Some(2));
+        let second = r.search_stats();
+        assert_eq!(second.searches, 2);
+        assert_eq!(second.epoch_resets, 1, "epoch bump must not clear");
+        let taken = r.take_search_stats();
+        assert_eq!(taken, second);
+        assert_eq!(r.search_stats(), RouterStats::default());
     }
 }
 
@@ -677,7 +939,7 @@ mod timed_tests {
 
     #[test]
     fn timed_route_from_single_source() {
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         let p = r
             .route_timed(SignalId(1), &[(fu(0, 0, 0), 10)], fu(0, 1, 3), 13, |_| true)
             .expect("one hop plus waits fits 3 cycles");
@@ -689,7 +951,7 @@ mod timed_tests {
     fn timed_route_prefers_later_tap() {
         // The net already extends to a register at a later time; tapping it
         // beats re-routing from the producer (shorter extension = cheaper).
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         let producer = (fu(0, 0, 0), 100i64);
         let reg = (RNode::new(PeId::new(0, 0), 2, RKind::Reg(0)), 102i64);
         let p = r
@@ -702,7 +964,7 @@ mod timed_tests {
 
     #[test]
     fn timed_route_ignores_sources_after_target() {
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         let late = (fu(0, 0, 1), 200i64);
         assert!(r.route_timed(SignalId(1), &[late], fu(0, 1, 0), 150, |_| true).is_none());
     }
@@ -711,7 +973,7 @@ mod timed_tests {
     fn timed_route_respects_filter() {
         // On a 1x3 row, (0,0) -> (0,2) must transit PE (0,1); excluding
         // that PE's resources makes the route impossible.
-        let r = Router::new(
+        let mut r = Router::new(
             Mrrg::new(CgraSpec::mesh(1, 3).expect("valid"), 4),
             RouterConfig::default(),
         );
@@ -727,7 +989,7 @@ mod timed_tests {
         // A value parked in a register can continue onward across macro
         // steps — the net-based continuation that single-delivery routing
         // could not express.
-        let r = router(1, 6);
+        let mut r = router(1, 6);
         let reg = (RNode::new(PeId::new(0, 0), 1, RKind::Reg(2)), 1i64);
         let p = r
             .route_timed(SignalId(9), &[reg], fu(0, 0, 5), 5, |_| true)
@@ -739,7 +1001,7 @@ mod timed_tests {
 
     #[test]
     fn elapsed_constraints() {
-        let r = router(2, 4);
+        let mut r = router(2, 4);
         let exact = r.route_constrained(
             SignalId(1),
             &[fu(0, 0, 0)],
@@ -767,7 +1029,7 @@ mod distance_tests {
 
     #[test]
     fn fu_distances_cover_reachable_slots() {
-        let r = Router::new(Mrrg::new(CgraSpec::square(2), 2), RouterConfig::default());
+        let mut r = Router::new(Mrrg::new(CgraSpec::square(2), 2), RouterConfig::default());
         let src = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
         let costs = r.fu_distances(SignalId(1), &[src], 4);
         // The neighbour's FU one cycle later is reachable at elapsed 1.
@@ -788,7 +1050,7 @@ mod distance_tests {
 
     #[test]
     fn fu_distances_respect_cap() {
-        let r = Router::new(Mrrg::new(CgraSpec::square(3), 3), RouterConfig::default());
+        let mut r = Router::new(Mrrg::new(CgraSpec::square(3), 3), RouterConfig::default());
         let src = RNode::new(PeId::new(0, 0), 0, RKind::Fu);
         let costs = r.fu_distances(SignalId(1), &[src], 1);
         assert!(costs.keys().all(|&(_, e)| e <= 1));

@@ -3,14 +3,15 @@
 //!
 //! Nothing here trusts the mapper's bookkeeping. Occupancy is restamped
 //! from the routes, hop timing is re-derived from the MRRG's architectural
-//! latencies ([`Mrrg::edge_latency`]), and the configuration footprint is
-//! recomputed from the placements — so a bug anywhere in placement,
-//! routing, replication or statistics surfaces as a diagnostic instead of
-//! a miscompiled accelerator image.
+//! latencies (the CSR rows of [`MrrgIndex::edge_latency`], which the
+//! differential tests pin to the implicit [`Mrrg`] enumeration), and the
+//! configuration footprint is recomputed from the placements — so a bug
+//! anywhere in placement, routing, replication or statistics surfaces as a
+//! diagnostic instead of a miscompiled accelerator image.
 
 use std::collections::{HashMap, HashSet};
 
-use himap_cgra::{Mrrg, RKind, RNode};
+use himap_cgra::{Mrrg, MrrgIndex, RKind, RNode};
 use himap_core::{ConfigImage, Mapping};
 use himap_dfg::{EdgeKind, NodeKind};
 use himap_graph::{EdgeId, NodeId};
@@ -28,12 +29,15 @@ use crate::diag::{Code, Diagnostic, DiagnosticSink};
 pub fn verify_mapping(mapping: &Mapping) -> DiagnosticSink {
     let mut sink = DiagnosticSink::new();
     let iib = mapping.stats().iib.max(1);
-    let mrrg = Mrrg::new(mapping.spec().clone(), iib);
+    // The shared dense index: normally a cache hit on the exact build the
+    // mapper routed with, so verification adds no graph construction.
+    let index = MrrgIndex::shared(mapping.spec().clone(), iib);
+    let mrrg = index.mrrg();
 
-    let placements_ok = check_placement(mapping, &mrrg, &mut sink);
+    let placements_ok = check_placement(mapping, mrrg, &mut sink);
     check_route_coverage(mapping, &mut sink);
     for route in mapping.routes() {
-        check_route_path(mapping, &mrrg, route, &mut sink);
+        check_route_path(mapping, &index, route, &mut sink);
     }
     check_schedule(mapping, &mut sink);
     check_exclusivity(mapping, &mut sink);
@@ -124,14 +128,16 @@ fn check_route_coverage(mapping: &Mapping, sink: &mut DiagnosticSink) {
 
 /// One route must be a real MRRG path: every step a valid resource, every
 /// consecutive pair an MRRG edge, and every hop's absolute-time advance
-/// equal to the architectural latency of that edge. Register-file shape
-/// violations (a register index beyond the RF size) are reported as V004.
+/// equal to the architectural latency of that edge (read from the dense
+/// index's CSR rows). Register-file shape violations (a register index
+/// beyond the RF size) are reported as V004.
 fn check_route_path(
     mapping: &Mapping,
-    mrrg: &Mrrg,
+    index: &MrrgIndex,
     route: &himap_core::RouteInstance,
     sink: &mut DiagnosticSink,
 ) {
+    let mrrg = index.mrrg();
     let e = route.edge;
     if route.steps.is_empty() {
         sink.push(
@@ -187,7 +193,7 @@ fn check_route_path(
     }
     for pair in route.steps.windows(2) {
         let ((a, a_abs), (b, b_abs)) = (pair[0], pair[1]);
-        match mrrg.edge_latency(a, b) {
+        match index.edge_latency(a, b) {
             None => sink.push(
                 Diagnostic::error(
                     Code::V002,

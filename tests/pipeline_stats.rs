@@ -30,6 +30,9 @@ struct Counts {
     replication_rounds: usize,
     probe_cache_hits: usize,
     probe_cache_misses: usize,
+    router_searches: u64,
+    router_nodes_popped: u64,
+    router_heap_pushes: u64,
 }
 
 impl From<&PipelineStats> for Counts {
@@ -51,6 +54,13 @@ impl From<&PipelineStats> for Counts {
             replication_rounds: p.replication_rounds,
             probe_cache_hits: p.probe_cache_hits,
             probe_cache_misses: p.probe_cache_misses,
+            // `router_epoch_resets` is deliberately not snapshotted: it
+            // counts scratch reallocations, which depend on the sizes of
+            // *previously* routed graphs and therefore on candidate order
+            // details that are not part of the pipeline contract.
+            router_searches: p.router_searches,
+            router_nodes_popped: p.router_nodes_popped,
+            router_heap_pushes: p.router_heap_pushes,
         }
     }
 }
@@ -90,6 +100,9 @@ fn gemm_4x4_golden_counts() {
         replication_rounds: 5,
         probe_cache_hits: 0,
         probe_cache_misses: 1,
+        router_searches: 598,
+        router_nodes_popped: 7086,
+        router_heap_pushes: 10121,
     };
     assert_eq!(got, want);
 }
@@ -117,6 +130,9 @@ fn bicg_4x4_golden_counts() {
         replication_rounds: 23,
         probe_cache_hits: 2,
         probe_cache_misses: 3,
+        router_searches: 24084,
+        router_nodes_popped: 287_681,
+        router_heap_pushes: 545_280,
     };
     assert_eq!(got, want);
 }
