@@ -1,33 +1,62 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, tests.
+# Local CI gate: formatting, lints, release build, tests, bench regression.
 #
-# Usage: ./ci.sh
-# Mirrors what a hosted pipeline would run; every step must pass.
+# Usage:
+#   ./ci.sh          full gate (mirrored stage-by-stage by .github/workflows/ci.yml)
+#   ./ci.sh --quick  inner-loop subset: fmt + clippy + debug tests
+#
+# Every stage must pass; per-stage wall time is printed so slow stages are
+# visible in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all --check
+QUICK=0
+case "${1:-}" in
+  --quick) QUICK=1 ;;
+  "") ;;
+  *) echo "usage: ./ci.sh [--quick]" >&2; exit 2 ;;
+esac
 
-echo "==> cargo clippy (-D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+# Runs one named stage, timing it: stage <name> <cmd...>
+stage() {
+  local name="$1"; shift
+  echo "==> ${name}"
+  local start_s
+  start_s=$(date +%s)
+  "$@"
+  echo "    (${name}: $(( $(date +%s) - start_s ))s)"
+}
 
-echo "==> cargo build --release"
-cargo build --release
+stage "cargo fmt --check" cargo fmt --all --check
+stage "cargo clippy (-D warnings)" cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q"
-cargo test -q
+if [ "$QUICK" -eq 1 ]; then
+  stage "cargo test -q (debug)" cargo test -q
+  echo "CI quick gate green."
+  exit 0
+fi
 
-echo "==> cargo test --workspace -q"
-cargo test --workspace -q
-
-echo "==> cargo bench --no-run"
-cargo bench --no-run
+stage "cargo build --release" cargo build --release
+stage "cargo test -q" cargo test -q
+stage "cargo test --workspace -q" cargo test --workspace -q
+stage "cargo bench --no-run" cargo bench --no-run
 
 # Static verification smoke: lint + map + re-derive legality from scratch.
 # The binary exits non-zero on any Error-severity diagnostic.
-echo "==> himap-verify smoke"
-target/release/himap-verify gemm --size 4
-target/release/himap-verify floyd-warshall --size 4 --baseline spr
+stage "himap-verify smoke (gemm)" target/release/himap-verify gemm --size 4
+stage "himap-verify smoke (floyd-warshall/spr)" \
+  target/release/himap-verify floyd-warshall --size 4 --baseline spr
+
+# Wall-time-sensitive tests excluded from the default run: the 4-thread walk
+# must not be slower than sequential (work-queue scheduler promise).
+stage "cargo test --ignored (wall-time)" \
+  cargo test --release -q --test determinism -- --ignored
+
+# Benchmark regression gate: re-measure the fast scaling rows against the
+# committed baseline; median-of-5 with warmup, 25 % + 2 ms noise tolerance
+# (documented in crates/bench/src/check.rs). Fails on any regressed row.
+stage "bench regression check" \
+  cargo run -q -p himap-bench --release --bin bench_summary -- \
+    --check BENCH_pr4.json --tolerance 0.25
 
 echo "CI green."

@@ -79,17 +79,27 @@ fn bench_himap_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_parallel_walk(c: &mut Criterion) {
-    // Wall-clock scaling of the candidate walk with worker threads. BiCG on
-    // 8x8 walks past failing candidates before its winner, so extra workers
-    // shorten the walk when cores are available; the winning mapping is
-    // identical at every thread count.
-    let mut group = c.benchmark_group("parallel_walk");
+fn bench_parallel_scaling(c: &mut Criterion) {
+    // Wall-clock scaling of the work-queue candidate scheduler with
+    // requested worker threads, under production options (machine clamp and
+    // sequential fallback active). The winning mapping is identical at every
+    // thread count; on a machine with fewer cores than requested threads the
+    // clamp must keep the higher counts at sequential speed instead of
+    // oversubscribing. Mirrors the `parallel_scaling` rows of
+    // `BENCH_pr4.json`.
+    let mut group = c.benchmark_group("parallel_scaling");
     group.sample_size(10);
-    for (name, cgra) in [("bicg", 8usize), ("gemm", 8)] {
+    for (name, cgra) in [
+        ("gemm", 4usize),
+        ("gemm", 8),
+        ("bicg", 4),
+        ("bicg", 8),
+        ("floyd-warshall", 4),
+        ("floyd-warshall", 8),
+    ] {
         let kernel = suite::by_name(name).expect("kernel exists");
         let spec = CgraSpec::square(cgra);
-        for threads in [1usize, 2, 4] {
+        for threads in [1usize, 2, 4, 8] {
             group.bench_with_input(
                 BenchmarkId::new(format!("{name}_{cgra}x{cgra}"), threads),
                 &threads,
@@ -185,7 +195,7 @@ criterion_group!(
     bench_dfg_build,
     bench_systolic_search,
     bench_himap_end_to_end,
-    bench_parallel_walk,
+    bench_parallel_scaling,
     bench_route_timed,
     bench_index_build,
     bench_spr_baseline

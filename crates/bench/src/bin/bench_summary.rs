@@ -1,19 +1,45 @@
-//! Machine-readable benchmark evidence for the dense resource-index
-//! refactor: route throughput of the flat-array router vs the HashMap
-//! reference, cold index-build time, end-to-end mapping medians, and peak
-//! RSS, written to `BENCH_pr3.json`.
+//! Machine-readable benchmark evidence for the work-queue candidate
+//! scheduler: thread-scaling medians of the full mapping pipeline on
+//! gemm/bicg/floyd-warshall at 4x4 and 8x8, plus the dense-router
+//! micro-benchmarks carried over from the resource-index refactor, written
+//! to `BENCH_pr4.json`.
 //!
-//! Run with `cargo run -p himap-bench --release --bin bench_summary`. All
-//! workloads are deterministic; only the timings vary run to run, which is
-//! why every number reported is a median over repeated samples.
+//! Run with `cargo run -p himap-bench --release --bin bench_summary`.
+//!
+//! # Regression mode
+//!
+//! `bench_summary --check BENCH_pr4.json [--tolerance 0.25]` re-measures
+//! every `parallel_scaling` row marked `"check": true` (the fast rows —
+//! baseline median ≤ 250 ms) with the same protocol the baseline was
+//! generated with (1 warmup run, median of 5), and fails with exit code 1
+//! when any fresh median exceeds `baseline * (1 + tolerance) + 2 ms`. The
+//! default 25 % tolerance plus 2 ms absolute slack is sized to the observed
+//! run-to-run spread of sub-100 ms mapping runs on a loaded CI machine;
+//! legitimate regressions from scheduler or router changes are far larger
+//! than that (the pre-scheduler parallel walk was 3.4x slower, not 1.25x).
 
 use std::time::{Duration, Instant};
 
+use himap_bench::check::{limit_ms, parse, scaling_rows, RowVerdict, ScalingRow};
 use himap_bench::run_himap;
 use himap_cgra::{CgraSpec, Mrrg, MrrgIndex, PeId, RKind, RNode};
 use himap_core::HiMapOptions;
 use himap_kernels::suite;
 use himap_mapper::{ReferenceRouter, Router, RouterConfig, SignalId};
+
+/// Measurement protocol of every scaling row: one warmup run (primes the
+/// shared `MrrgIndex` cache and the allocator), then the median of 5.
+const WARMUP: usize = 1;
+const SCALING_SAMPLES: usize = 5;
+
+/// Rows at or under this baseline median are cheap enough to re-run in CI
+/// and get `"check": true`.
+const CHECK_BUDGET_MS: f64 = 250.0;
+
+/// The scaling matrix: every kernel × array side × thread count.
+const SCALING_KERNELS: [&str; 3] = ["gemm", "bicg", "floyd-warshall"];
+const SCALING_SIZES: [usize; 2] = [4, 8];
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 /// The `route_timed` query sweep (same shape as the criterion bench):
 /// three source corners to every PE, each at its shortest feasible
@@ -57,15 +83,84 @@ fn peak_rss_kb() -> Option<u64> {
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-fn main() {
-    const SAMPLES: usize = 15;
+/// Warmup-then-median wall time of one full mapping run at a thread count —
+/// the protocol behind every `parallel_scaling` row and every `--check`
+/// re-measurement. Returns `None` for unknown kernels.
+fn measure_scaling(kernel_name: &str, c: usize, threads: usize) -> Option<Duration> {
+    let kernel = suite::by_name(kernel_name)?;
+    let options = HiMapOptions { threads, ..HiMapOptions::default() };
+    let run = || {
+        let (mapping, _) = run_himap(&kernel, c, &options);
+        std::hint::black_box(&mapping);
+    };
+    for _ in 0..WARMUP {
+        run();
+    }
+    Some(sample(SCALING_SAMPLES, run))
+}
+
+/// `--check` mode: re-measure every gated row of `baseline_path` and exit
+/// non-zero on regression.
+fn run_check(baseline_path: &str, tolerance: f64) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let rows = match parse(&text).and_then(|doc| scaling_rows(&doc)) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("cannot parse baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let gated: Vec<&ScalingRow> = rows.iter().filter(|r| r.check).collect();
+    if gated.is_empty() {
+        eprintln!("baseline {baseline_path} gates no rows (`check: true`); nothing to verify");
+        return 1;
+    }
+    println!(
+        "bench regression check: {} gated rows, tolerance {:.0}% + 2 ms",
+        gated.len(),
+        tolerance * 100.0
+    );
+    let mut failures = 0usize;
+    for row in gated {
+        let Some(fresh) = measure_scaling(&row.kernel, row.cgra, row.threads) else {
+            eprintln!("unknown kernel `{}` in baseline", row.kernel);
+            failures += 1;
+            continue;
+        };
+        let verdict = RowVerdict {
+            row: row.clone(),
+            fresh_ms: fresh.as_secs_f64() * 1e3,
+            limit_ms: limit_ms(row.median_ms, tolerance),
+        };
+        println!("{verdict}");
+        if !verdict.passed() {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("bench regression check FAILED: {failures} row(s) over tolerance");
+        1
+    } else {
+        println!("bench regression check passed");
+        0
+    }
+}
+
+/// Default mode: measure everything and write `BENCH_pr4.json`.
+fn run_generate() -> i32 {
+    const MICRO_SAMPLES: usize = 15;
     let spec = CgraSpec::square(8);
     let ii = 4usize;
     let queries = router_queries(8, 8, ii);
 
     // Route throughput: the full sweep on a clean persistent router.
     let mut dense = Router::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
-    // One warm-up sweep so scratch allocation happens outside the timing.
     let sweep_dense = |router: &mut Router| {
         for (i, &(src, dst, abs)) in queries.iter().enumerate() {
             let p = router.route_timed(SignalId(i as u32), &[(src, 0)], dst, abs, |_| true);
@@ -73,7 +168,7 @@ fn main() {
         }
     };
     sweep_dense(&mut dense);
-    let indexed_time = sample(SAMPLES, || sweep_dense(&mut dense));
+    let indexed_time = sample(MICRO_SAMPLES, || sweep_dense(&mut dense));
 
     let legacy = ReferenceRouter::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
     let sweep_legacy = |router: &ReferenceRouter| {
@@ -83,10 +178,9 @@ fn main() {
         }
     };
     sweep_legacy(&legacy);
-    let hashmap_time = sample(SAMPLES, || sweep_legacy(&legacy));
+    let hashmap_time = sample(MICRO_SAMPLES, || sweep_legacy(&legacy));
 
     let per_query = |total: Duration| total.as_secs_f64() / queries.len() as f64;
-    let throughput = |total: Duration| queries.len() as f64 / total.as_secs_f64();
     let speedup = hashmap_time.as_secs_f64() / indexed_time.as_secs_f64();
 
     // Cold CSR compilation per (spec, II).
@@ -98,41 +192,47 @@ fn main() {
         std::hint::black_box(MrrgIndex::new(spec16.clone(), ii));
     });
 
-    // End-to-end mapping medians on 8x8 (sequential and 4-thread walk).
-    let mut walk = Vec::new();
-    for (kernel_name, threads) in [("gemm", 1usize), ("gemm", 4), ("bicg", 1), ("bicg", 4)] {
-        let kernel = match suite::by_name(kernel_name) {
-            Some(k) => k,
-            None => continue,
-        };
-        let options = HiMapOptions { threads, ..HiMapOptions::default() };
-        let t = sample(3, || {
-            let (mapping, _) = run_himap(&kernel, 8, &options);
-            std::hint::black_box(&mapping);
-        });
-        walk.push(format!(
-            "    {{\"kernel\": \"{kernel_name}\", \"cgra\": \"8x8\", \"threads\": {threads}, \
-             \"median_ms\": {:.3}}}",
-            t.as_secs_f64() * 1e3
-        ));
+    // Thread scaling of the full pipeline. Under production options the
+    // scheduler clamps workers to the machine, so on a small box higher
+    // thread counts must degrade to sequential speed — never below it.
+    let mut scaling = Vec::new();
+    let mut summary: Vec<(String, usize, usize, f64)> = Vec::new();
+    for kernel_name in SCALING_KERNELS {
+        for c in SCALING_SIZES {
+            for threads in SCALING_THREADS {
+                let Some(t) = measure_scaling(kernel_name, c, threads) else {
+                    continue;
+                };
+                let ms = t.as_secs_f64() * 1e3;
+                eprintln!("  {kernel_name} {c}x{c} t={threads}: {ms:.3} ms");
+                scaling.push(format!(
+                    "    {{\"kernel\": \"{kernel_name}\", \"cgra\": \"{c}x{c}\", \
+                     \"threads\": {threads}, \"median_ms\": {ms:.3}, \"check\": {}}}",
+                    ms <= CHECK_BUDGET_MS
+                ));
+                summary.push((kernel_name.to_string(), c, threads, ms));
+            }
+        }
     }
 
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let rss = peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     let json = format!(
         "{{\n\
-         \x20 \"bench\": \"pr3_dense_resource_index\",\n\
+         \x20 \"bench\": \"pr4_parallel_scaling\",\n\
+         \x20 \"machine\": {{\"available_parallelism\": {cores}}},\n\
+         \x20 \"protocol\": {{\"warmup\": {WARMUP}, \"samples\": {SCALING_SAMPLES}, \
+         \"statistic\": \"median\", \"check_budget_ms\": {CHECK_BUDGET_MS}}},\n\
          \x20 \"workload\": {{\"array\": \"8x8\", \"ii\": {ii}, \"route_timed_queries\": {}}},\n\
          \x20 \"route_timed\": {{\n\
          \x20   \"indexed_sweep_ms\": {:.3},\n\
          \x20   \"hashmap_sweep_ms\": {:.3},\n\
          \x20   \"indexed_us_per_route\": {:.3},\n\
          \x20   \"hashmap_us_per_route\": {:.3},\n\
-         \x20   \"indexed_routes_per_sec\": {:.0},\n\
-         \x20   \"hashmap_routes_per_sec\": {:.0},\n\
          \x20   \"speedup\": {:.2}\n\
          \x20 }},\n\
          \x20 \"index_build\": {{\"cold_8x8_ii4_ms\": {:.3}, \"cold_16x16_ii4_ms\": {:.3}}},\n\
-         \x20 \"parallel_walk\": [\n{}\n  ],\n\
+         \x20 \"parallel_scaling\": [\n{}\n  ],\n\
          \x20 \"peak_rss_kb\": {rss}\n\
          }}\n",
         queries.len(),
@@ -140,18 +240,71 @@ fn main() {
         hashmap_time.as_secs_f64() * 1e3,
         per_query(indexed_time) * 1e6,
         per_query(hashmap_time) * 1e6,
-        throughput(indexed_time),
-        throughput(hashmap_time),
         speedup,
         index_build_8.as_secs_f64() * 1e3,
         index_build_16.as_secs_f64() * 1e3,
-        walk.join(",\n"),
+        scaling.join(",\n"),
     );
 
     print!("{json}");
-    if let Err(e) = std::fs::write("BENCH_pr3.json", &json) {
-        eprintln!("could not write BENCH_pr3.json: {e}");
-        std::process::exit(1);
+    if let Err(e) = std::fs::write("BENCH_pr4.json", &json) {
+        eprintln!("could not write BENCH_pr4.json: {e}");
+        return 1;
     }
-    eprintln!("wrote BENCH_pr3.json (route_timed speedup: {speedup:.2}x)");
+    // The scheduler's core promise, asserted at generation time so a broken
+    // baseline can never be committed: more threads never slower (beyond
+    // noise) than sequential on the acceptance kernels.
+    let mut promise_broken = false;
+    for kernel in ["gemm", "bicg"] {
+        let find = |threads: usize| {
+            summary
+                .iter()
+                .find(|(k, c, t, _)| k == kernel && *c == 8 && *t == threads)
+                .map(|&(_, _, _, ms)| ms)
+        };
+        if let (Some(seq), Some(par)) = (find(1), find(4)) {
+            if par > limit_ms(seq, 0.15) {
+                eprintln!("SCALING PROMISE BROKEN: {kernel} 8x8 t=4 {par:.1} ms > t=1 {seq:.1} ms");
+                promise_broken = true;
+            }
+        }
+    }
+    eprintln!("wrote BENCH_pr4.json ({} scaling rows)", summary.len());
+    i32::from(promise_broken)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--check" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--check requires a baseline path");
+                    std::process::exit(2);
+                }
+                baseline = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--tolerance requires a number (e.g. 0.25)");
+                    std::process::exit(2);
+                };
+                tolerance = value;
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`; usage: bench_summary [--check FILE] [--tolerance X]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let code = match baseline {
+        Some(path) => run_check(&path, tolerance),
+        None => run_generate(),
+    };
+    std::process::exit(code);
 }

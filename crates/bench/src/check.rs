@@ -1,0 +1,425 @@
+//! Benchmark-regression checking against a committed baseline.
+//!
+//! `bench_summary --check BENCH_pr4.json` re-runs the fast scaling rows and
+//! fails CI when any regresses beyond tolerance. The container has no JSON
+//! dependency, so this module carries a minimal recursive-descent parser
+//! covering exactly the JSON subset our bench binaries emit (objects,
+//! arrays, strings, f64 numbers, booleans, null).
+//!
+//! The comparison rule is deliberately forgiving of machine noise: a row
+//! fails only when its fresh median exceeds
+//! `baseline * (1 + tolerance) + 2 ms`. The relative term absorbs
+//! steady-state jitter (25 % default — the observed run-to-run spread of
+//! sub-100 ms mapping runs on a loaded CI box), the absolute term keeps
+//! near-zero rows from failing on scheduler hiccups.
+
+use std::fmt;
+
+/// Extra absolute slack added on top of the relative tolerance, so rows
+/// measuring a few milliseconds don't fail on a single timer-granularity or
+/// scheduler blip.
+pub const ABSOLUTE_SLACK_MS: f64 = 2.0;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always held as `f64`).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document.
+///
+/// # Errors
+///
+/// Returns a byte-offset-tagged message on malformed input or trailing
+/// garbage.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escaped = match self.peek() {
+                        Some(b'"') => '"',
+                        Some(b'\\') => '\\',
+                        Some(b'/') => '/',
+                        Some(b'n') => '\n',
+                        Some(b't') => '\t',
+                        Some(b'r') => '\r',
+                        _ => return Err(format!("unsupported escape at byte {}", self.pos)),
+                    };
+                    out.push(escaped);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 is copied through verbatim.
+                    let start = self.pos;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b != b'"' && b != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| format!("invalid UTF-8 at byte {start}"))?,
+                    );
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|&b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+}
+
+/// One `parallel_scaling` row of a bench baseline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalingRow {
+    /// Kernel name (`suite::by_name` key).
+    pub kernel: String,
+    /// CGRA side length (`8` for an 8x8 array).
+    pub cgra: usize,
+    /// Requested worker threads.
+    pub threads: usize,
+    /// Median wall time in milliseconds.
+    pub median_ms: f64,
+    /// Whether `--check` re-measures this row (only fast rows are gated).
+    pub check: bool,
+}
+
+/// Extracts the `parallel_scaling` rows from a parsed baseline document.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn scaling_rows(doc: &Json) -> Result<Vec<ScalingRow>, String> {
+    let rows = doc
+        .get("parallel_scaling")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no `parallel_scaling` array")?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let field = |key: &str| row.get(key).ok_or_else(|| format!("row {i} missing `{key}`"));
+            let cgra = field("cgra")?
+                .as_str()
+                .and_then(|s| s.split('x').next())
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| format!("row {i}: `cgra` is not like \"8x8\""))?;
+            Ok(ScalingRow {
+                kernel: field("kernel")?
+                    .as_str()
+                    .ok_or_else(|| format!("row {i}: `kernel` is not a string"))?
+                    .to_string(),
+                cgra,
+                threads: field("threads")?
+                    .as_f64()
+                    .ok_or_else(|| format!("row {i}: `threads` is not a number"))?
+                    as usize,
+                median_ms: field("median_ms")?
+                    .as_f64()
+                    .ok_or_else(|| format!("row {i}: `median_ms` is not a number"))?,
+                check: field("check")?
+                    .as_bool()
+                    .ok_or_else(|| format!("row {i}: `check` is not a boolean"))?,
+            })
+        })
+        .collect()
+}
+
+/// The pass/fail threshold for a fresh measurement against a baseline
+/// median: `baseline * (1 + tolerance) + 2 ms`.
+pub fn limit_ms(baseline_ms: f64, tolerance: f64) -> f64 {
+    baseline_ms * (1.0 + tolerance) + ABSOLUTE_SLACK_MS
+}
+
+/// The verdict of re-measuring one checked row.
+#[derive(Clone, Debug)]
+pub struct RowVerdict {
+    /// The baseline row.
+    pub row: ScalingRow,
+    /// The fresh median in milliseconds.
+    pub fresh_ms: f64,
+    /// The limit the fresh median was held to.
+    pub limit_ms: f64,
+}
+
+impl RowVerdict {
+    /// Whether the fresh measurement is within tolerance.
+    pub fn passed(&self) -> bool {
+        self.fresh_ms <= self.limit_ms
+    }
+}
+
+impl fmt::Display for RowVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {:>14} {c}x{c} t={} {:>9.3} ms vs baseline {:>9.3} ms (limit {:>9.3} ms)",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.row.kernel,
+            self.row.threads,
+            self.fresh_ms,
+            self.row.median_ms,
+            self.limit_ms,
+            c = self.row.cgra,
+        )
+    }
+}
+
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let doc = parse(r#"{"a": [1, -2.5, 3e2], "b": {"c": true, "d": null}, "e": "x\ny"}"#)
+            .expect("parses");
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap()[1].as_f64(), Some(-2.5));
+        assert_eq!(doc.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(300.0));
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_bool(), Some(true));
+        assert_eq!(doc.get("b").unwrap().get("d"), Some(&Json::Null));
+        assert_eq!(doc.get("e").unwrap().as_str(), Some("x\ny"));
+    }
+
+    #[test]
+    fn parses_empty_containers_and_whitespace() {
+        assert_eq!(parse(" { } ").unwrap(), Json::Obj(vec![]));
+        assert_eq!(parse("[\n]").unwrap(), Json::Arr(vec![]));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1} x").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn round_trips_a_real_baseline_shape() {
+        let text = r#"{
+          "bench": "pr4_parallel_scaling",
+          "parallel_scaling": [
+            {"kernel": "gemm", "cgra": "8x8", "threads": 4, "median_ms": 18.5, "check": true},
+            {"kernel": "floyd-warshall", "cgra": "4x4", "threads": 1, "median_ms": 900.0,
+             "check": false}
+          ]
+        }"#;
+        let rows = scaling_rows(&parse(text).expect("parses")).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kernel, "gemm");
+        assert_eq!(rows[0].cgra, 8);
+        assert_eq!(rows[0].threads, 4);
+        assert!(rows[0].check);
+        assert!(!rows[1].check);
+        assert_eq!(rows[1].cgra, 4);
+    }
+
+    #[test]
+    fn missing_fields_are_named() {
+        let text = r#"{"parallel_scaling": [{"kernel": "gemm"}]}"#;
+        let err = scaling_rows(&parse(text).expect("parses")).unwrap_err();
+        assert!(err.contains("cgra"), "unhelpful error: {err}");
+    }
+
+    #[test]
+    fn limit_combines_relative_and_absolute_slack() {
+        assert!((limit_ms(100.0, 0.25) - 127.0).abs() < 1e-9);
+        // Near-zero baselines still get the absolute floor.
+        assert!(limit_ms(0.1, 0.25) > 2.0);
+        let verdict = RowVerdict {
+            row: ScalingRow {
+                kernel: "gemm".into(),
+                cgra: 8,
+                threads: 4,
+                median_ms: 100.0,
+                check: true,
+            },
+            fresh_ms: 126.0,
+            limit_ms: limit_ms(100.0, 0.25),
+        };
+        assert!(verdict.passed());
+        assert!(verdict.to_string().contains("PASS"));
+    }
+}

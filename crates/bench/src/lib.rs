@@ -13,6 +13,8 @@
 //! deterministic (fixed seeds). `EXPERIMENTS.md` records the outputs next to
 //! the paper's numbers.
 
+pub mod check;
+
 use std::time::{Duration, Instant};
 
 use himap_baseline::{baseline_block, bhc, BaselineOptions, BhcResult};

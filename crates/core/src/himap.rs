@@ -3,28 +3,39 @@
 //! The candidate walk is staged: [`enumerate_candidates`] materializes every
 //! `(sub-candidate, block, space-assignment)` tuple up front in the exact
 //! best-utilization-first order the sequential Algorithm-1 loop visits, then
-//! the tuples are evaluated either in order on this thread
-//! (`options.threads == 1`) or on a scoped worker pool with a
-//! first-verified-wins early-exit flag. The candidates are independent, so
-//! the winner is defined purely by enumeration order: the lowest-index tuple
-//! that fully verifies. Both paths return that same winner, making the
-//! parallel walk observable only through [`PipelineStats`] and wall time.
+//! the tuples are evaluated either in order on this thread or on a
+//! work-queue scheduler of long-lived workers. The candidates are
+//! independent, so the winner is defined purely by enumeration order: the
+//! lowest-index tuple whose verdict is terminal. That definition is
+//! order-free — any execution order that only abandons a candidate once a
+//! strictly lower index is terminal selects the same winner — which is what
+//! lets the scheduler take liberties with *dispatch* order (cheap candidates
+//! first) and with cancellation (mid-route aborts through
+//! [`CancelToken`](himap_mapper::CancelToken)) while staying bit-identical
+//! to the sequential walk. The parallel path is observable only through
+//! [`PipelineStats`] and wall time.
+//!
+//! Each worker owns an [`EvalScratch`]: one long-lived [`Router`] per
+//! initiation interval, holding a cloned `Arc<MrrgIndex>` and epoch-reset
+//! search scratch, so routing a candidate costs a [`Router::reset`] (two
+//! `memset`s) instead of a full router construction.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
-use himap_cgra::{CgraSpec, Vsa};
+use himap_cgra::{CgraSpec, MrrgIndex, Vsa};
 use himap_dfg::{Dfg, NodeKind};
 use himap_kernels::Kernel;
+use himap_mapper::{CancelToken, Router, RouterConfig};
 use himap_systolic::{search_counted, SearchConfig};
 
 use crate::layout::Layout;
 use crate::mapping::{Mapping, MappingStats};
 use crate::options::{HiMapError, HiMapOptions};
-use crate::route::{replicate_and_verify, route_representatives_counted};
-use crate::stats::{PipelineStats, Stage, StatsCollector};
+use crate::route::{replicate_and_verify, route_representatives_pooled};
+use crate::stats::{PipelineStats, Stage, StatsCollector, WorkerStats};
 use crate::submap::{map_idfg_counted, SubMapping};
 use crate::unique::classify;
 
@@ -158,11 +169,14 @@ impl HiMap {
             stats,
             probe_cache: Mutex::new(HashMap::new()),
         };
-        let threads = self.options.effective_threads();
-        let verdicts = if threads <= 1 {
+        // The scheduler clamps the requested thread count to the machine and
+        // falls back to the strictly sequential walk for short candidate
+        // lists; both paths produce the same winner.
+        let workers = self.options.scheduled_workers(candidates.len());
+        let verdicts = if workers <= 1 {
             evaluate_sequential(&ctx, &candidates)
         } else {
-            evaluate_parallel(&ctx, &candidates, threads)
+            evaluate_parallel(&ctx, &candidates, workers)
         };
         // The winner is the lowest-priority terminal verdict; with none, the
         // walk's error is the furthest stage any candidate reached.
@@ -250,12 +264,46 @@ fn enumerate_candidates(
     out
 }
 
+/// Per-worker reusable evaluation state: one long-lived router per
+/// initiation interval. The dense `MrrgIndex` behind each router comes from
+/// the process-wide share cache, so across workers the routers hold cloned
+/// `Arc`s of the same index; the congestion vectors and epoch-stamped search
+/// scratch are private per worker and survive from candidate to candidate.
+struct EvalScratch {
+    routers: HashMap<usize, Router>,
+}
+
+impl EvalScratch {
+    fn new() -> Self {
+        EvalScratch { routers: HashMap::new() }
+    }
+
+    /// The pooled router for `layout`'s II, plus the index-acquisition time
+    /// when this call had to build one (zero on reuse).
+    fn router_for(&mut self, layout: &Layout) -> (&mut Router, Duration) {
+        match self.routers.entry(layout.iib()) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.into_mut(), Duration::ZERO),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let start = Instant::now();
+                let index = MrrgIndex::shared(layout.vsa().spec().clone(), layout.iib());
+                let build = start.elapsed();
+                (v.insert(Router::with_index(index, RouterConfig::default())), build)
+            }
+        }
+    }
+}
+
 /// Evaluates candidates strictly in order on the calling thread, stopping at
-/// the first terminal verdict — the literal Algorithm-1 walk.
+/// the first terminal verdict — the literal Algorithm-1 walk. Routers are
+/// pooled across candidates exactly as on the parallel path, so the walk's
+/// deterministic counters (`tests/pipeline_stats.rs` goldens) are those of
+/// the pooled router: [`Router::reset`] restores the search-visible state a
+/// freshly built router would have.
 fn evaluate_sequential(ctx: &EvalCtx<'_>, candidates: &[Candidate]) -> Vec<Verdict> {
+    let mut scratch = EvalScratch::new();
     let mut verdicts = Vec::new();
     for candidate in candidates {
-        let verdict = evaluate(ctx, candidate, &|| false);
+        let verdict = evaluate(ctx, candidate, &mut scratch, None);
         let terminal = verdict.is_terminal();
         verdicts.push(verdict);
         if terminal {
@@ -265,51 +313,93 @@ fn evaluate_sequential(ctx: &EvalCtx<'_>, candidates: &[Candidate]) -> Vec<Verdi
     verdicts
 }
 
-/// Evaluates candidates on `threads` scoped workers.
+/// Dispatch-priority key of the work queue: candidates are handed to workers
+/// cheapest-block-first. Block volume bounds the full-block DFG unroll, the
+/// systolic matrix space and the routing problem size, so draining small
+/// blocks first establishes a terminal bound early and lets the cancel
+/// tokens cut the expensive tail. The sort is stable — equal volumes keep
+/// enumeration order — and because the winner is defined as the lowest
+/// *enumeration* index with a terminal verdict, dispatch order affects wall
+/// time only, never the result.
+fn prefilter_cost(candidate: &Candidate) -> usize {
+    candidate.block.iter().product()
+}
+
+/// Writes the single verdict a candidate ever receives; a second write is a
+/// scheduler bug (a candidate claimed twice).
+fn set_verdict(verdicts: &[OnceLock<Verdict>], idx: usize, verdict: Verdict) {
+    let duplicate = verdicts[idx].set(verdict).is_err();
+    debug_assert!(!duplicate, "candidate {idx} received two verdicts");
+}
+
+/// Evaluates candidates on a work queue drained by `workers` scoped threads.
 ///
-/// Workers claim candidates in enumeration order from a shared cursor.
-/// `best` holds the lowest index whose verdict is terminal; a worker
-/// abandons its candidate only when a *strictly lower* index is terminal
-/// (equal is impossible — a candidate cannot outrank itself), so every
-/// candidate that could still win the priority race runs to completion.
-/// That invariant makes the winner identical to the sequential walk's.
-fn evaluate_parallel(ctx: &EvalCtx<'_>, candidates: &[Candidate], threads: usize) -> Vec<Verdict> {
-    let next = AtomicUsize::new(0);
-    let best = AtomicUsize::new(usize::MAX);
-    let verdicts: Vec<Mutex<Verdict>> =
-        candidates.iter().map(|_| Mutex::new(Verdict::Pruned)).collect();
+/// Workers claim candidates from a shared cursor over the prefilter-sorted
+/// dispatch order ([`prefilter_cost`]); there is no polling or parking —
+/// a worker either claims work with one `fetch_add` or exits, so the pool
+/// cannot busy-wait and no wakeup can be lost. `best` holds the lowest
+/// enumeration index whose verdict is terminal; a worker abandons its
+/// candidate only when a *strictly lower* index is terminal (equal is
+/// impossible — a candidate cannot outrank itself), so every candidate that
+/// could still win the priority race runs to completion. That invariant
+/// makes the winner identical to the sequential walk's under any dispatch
+/// order. The same bound doubles as the routing [`CancelToken`]: once a
+/// better candidate verifies, in-flight Dijkstra searches for doomed
+/// candidates collapse within a few heap pops (counted in
+/// `router_searches_cancelled`).
+fn evaluate_parallel(ctx: &EvalCtx<'_>, candidates: &[Candidate], workers: usize) -> Vec<Verdict> {
+    let mut order: Vec<usize> = (0..candidates.len()).collect();
+    order.sort_by_key(|&idx| prefilter_cost(&candidates[idx]));
+    let cursor = AtomicUsize::new(0);
+    let best = Arc::new(AtomicUsize::new(usize::MAX));
+    let verdicts: Vec<OnceLock<Verdict>> = candidates.iter().map(|_| OnceLock::new()).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads.min(candidates.len().max(1)) {
-            scope.spawn(|| loop {
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= candidates.len() {
-                    break;
+        for worker in 0..workers {
+            let best = Arc::clone(&best);
+            let (order, cursor, verdicts) = (&order, &cursor, &verdicts);
+            scope.spawn(move || {
+                let busy = Instant::now();
+                let mut scratch = EvalScratch::new();
+                let mut tally = WorkerStats { worker, ..WorkerStats::default() };
+                loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&idx) = order.get(slot) else {
+                        break;
+                    };
+                    if best.load(Ordering::Acquire) < idx {
+                        // A better candidate already verified; this one can
+                        // only lose the priority race.
+                        StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
+                        tally.candidates_cancelled += 1;
+                        set_verdict(verdicts, idx, Verdict::Abandoned);
+                        continue;
+                    }
+                    let token = CancelToken::new(Arc::clone(&best), idx);
+                    let verdict = evaluate(ctx, &candidates[idx], &mut scratch, Some(&token));
+                    tally.candidates_evaluated += 1;
+                    if matches!(verdict, Verdict::Abandoned) {
+                        StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
+                        tally.candidates_cancelled += 1;
+                    }
+                    if verdict.is_terminal() {
+                        best.fetch_min(idx, Ordering::AcqRel);
+                    }
+                    set_verdict(verdicts, idx, verdict);
                 }
-                if best.load(Ordering::Acquire) < idx {
-                    // A better candidate already verified; everything at or
-                    // past this index can only lose the priority race.
-                    StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
-                    *lock(&verdicts[idx]) = Verdict::Abandoned;
-                    continue;
-                }
-                let abandon = || best.load(Ordering::Acquire) < idx;
-                let verdict = evaluate(ctx, &candidates[idx], &abandon);
-                if matches!(verdict, Verdict::Abandoned) {
-                    StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
-                }
-                if verdict.is_terminal() {
-                    best.fetch_min(idx, Ordering::AcqRel);
-                }
-                *lock(&verdicts[idx]) = verdict;
+                tally.busy = busy.elapsed();
+                ctx.stats.record_worker(tally);
             });
         }
     });
-    verdicts.into_iter().map(|cell| cell.into_inner().unwrap_or(Verdict::Pruned)).collect()
+    // Exactly-once accounting: the cursor visited every dispatch slot, and
+    // each claimed slot stored one verdict.
+    debug_assert!(verdicts.iter().all(|cell| cell.get().is_some()), "candidate missing a verdict");
+    verdicts.into_iter().map(|cell| cell.into_inner().unwrap_or(Verdict::Abandoned)).collect()
 }
 
 /// Locks a mutex, recovering from poisoning (a panicking sibling worker must
 /// not also hide this worker's verdict).
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -317,11 +407,20 @@ fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
 /// exact re-validation on the unrolled block, then detailed routing with
 /// replication-aware negotiation for each ranked systolic map.
 ///
-/// `abandon` is polled between the expensive phases; when it reports `true`
-/// a better-or-equal-priority candidate has fully verified and the result
-/// cannot matter, so the evaluation stops early with [`Verdict::Abandoned`].
-fn evaluate(ctx: &EvalCtx<'_>, candidate: &Candidate, abandon: &dyn Fn() -> bool) -> Verdict {
+/// `cancel` (when present) is polled between the expensive phases *and*
+/// armed on the pooled router during negotiation; once it reports cancelled
+/// a strictly better candidate has fully verified and the result cannot
+/// matter, so the evaluation stops early with [`Verdict::Abandoned`] —
+/// mid-route via the Dijkstra loop's poll, mid-phase via the boundary
+/// checks. Routing goes through `scratch`'s per-II router pool.
+fn evaluate(
+    ctx: &EvalCtx<'_>,
+    candidate: &Candidate,
+    scratch: &mut EvalScratch,
+    cancel: Option<&CancelToken>,
+) -> Verdict {
     let stats = ctx.stats;
+    let abandon = || cancel.is_some_and(|token| token.is_cancelled());
     StatsCollector::add(&stats.candidates_tried, 1);
     let Candidate { sub, vsa, block } = candidate;
     // Probe the dependence structure on a small same-shape block.
@@ -413,11 +512,27 @@ fn evaluate(ctx: &EvalCtx<'_>, candidate: &Candidate, abandon: &dyn Fn() -> bool
                 return Verdict::Abandoned;
             }
             StatsCollector::add(&stats.route_attempts, 1);
+            let (router, index_build) = scratch.router_for(&layout);
+            router.set_cancel_token(cancel.cloned());
             let (design, counters) = stats.timed(Stage::Route, || {
-                route_representatives_counted(&dfg, &layout, &classes, ctx.options, &seed_history)
+                route_representatives_pooled(
+                    &dfg,
+                    &layout,
+                    &classes,
+                    ctx.options,
+                    &seed_history,
+                    &mut *router,
+                    index_build,
+                )
             });
+            router.set_cancel_token(None);
             stats.add_router(counters.router);
             stats.add_index_time(counters.index_build);
+            if abandon() {
+                // A cancelled negotiation surfaces as a route failure; don't
+                // let it masquerade as one in the walk's error reporting.
+                return Verdict::Abandoned;
+            }
             let design = match design {
                 Ok(design) => {
                     StatsCollector::add(&stats.pathfinder_rounds, design.rounds);
@@ -655,15 +770,152 @@ mod tests {
 
     #[test]
     fn parallel_walk_matches_sequential_on_gemm() {
+        // `oversubscribe` forces real workers even on a single-core CI box,
+        // so this exercises the work-queue scheduler, not the fallback.
         let cgra = CgraSpec::square(4);
         let seq = HiMap::new(HiMapOptions::default()).map(&suite::gemm(), &cgra).unwrap();
-        let par = HiMap::new(HiMapOptions { threads: 3, ..HiMapOptions::default() })
-            .map(&suite::gemm(), &cgra)
-            .unwrap();
+        let options = HiMapOptions { threads: 3, oversubscribe: true, ..HiMapOptions::default() };
+        let par = HiMap::new(options).map(&suite::gemm(), &cgra).unwrap();
         assert_eq!(seq.stats().sub_shape, par.stats().sub_shape);
         assert_eq!(seq.stats().block, par.stats().block);
         assert_eq!(seq.stats().iib, par.stats().iib);
         assert_eq!(seq.utilization(), par.utilization());
         assert_eq!(par.pipeline_stats().threads, 3);
+        assert_eq!(par.pipeline_stats().workers.len(), 3, "scheduler must spawn 3 workers");
+        let evaluated: usize =
+            par.pipeline_stats().workers.iter().map(|w| w.candidates_evaluated).sum();
+        assert!(evaluated > 0, "workers recorded no evaluations");
+    }
+
+    #[test]
+    fn short_walks_fall_back_to_sequential() {
+        // gemm on 4x4 enumerates 64 candidates; a threshold above that must
+        // force the sequential path even with threads > 1 — observable as an
+        // empty per-worker stats vector and zero abandoned candidates.
+        let options = HiMapOptions {
+            threads: 4,
+            oversubscribe: true,
+            parallel_threshold: 1000,
+            ..HiMapOptions::default()
+        };
+        let (result, stats) =
+            HiMap::new(options).map_with_stats(&suite::gemm(), &CgraSpec::square(4));
+        result.expect("gemm maps");
+        assert!(stats.workers.is_empty(), "fallback must not spawn workers: {stats:?}");
+        assert_eq!(stats.candidates_abandoned, 0);
+        assert_eq!(stats.router_searches_cancelled, 0);
+    }
+
+    #[test]
+    fn scheduled_workers_clamp_and_threshold() {
+        let base = HiMapOptions { threads: 8, oversubscribe: true, ..HiMapOptions::default() };
+        // Above threshold: candidate count and requested threads bound.
+        assert_eq!(base.scheduled_workers(64), 8);
+        assert_eq!(base.scheduled_workers(10), 8);
+        // Below threshold (default 8): sequential fallback.
+        assert_eq!(base.scheduled_workers(7), 1);
+        assert_eq!(base.scheduled_workers(0), 1);
+        // Threshold 0 disables the fallback; workers still never exceed
+        // candidates.
+        let eager = HiMapOptions { parallel_threshold: 0, ..base.clone() };
+        assert_eq!(eager.scheduled_workers(3), 3);
+        // Without oversubscription the host core count is a hard cap.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let clamped = HiMapOptions { oversubscribe: false, ..base };
+        assert!(clamped.scheduled_workers(64) <= cores);
+    }
+
+    #[test]
+    fn cancelled_candidate_reports_abandoned_before_routing() {
+        // Evaluate one real candidate with a pre-cancelled token (as if a
+        // better candidate had already verified): the phase-boundary poll
+        // must stop the evaluation with `Abandoned` before detailed routing
+        // spends any effort.
+        let kernel = suite::gemm();
+        let cgra = CgraSpec::square(4);
+        let options = HiMapOptions::default();
+        let stats = StatsCollector::default();
+        let (subs, _) = map_idfg_counted(&kernel, &cgra, &options);
+        let candidates = enumerate_candidates(&kernel, &cgra, &subs, &options, &stats);
+        assert!(!candidates.is_empty());
+        let ctx = EvalCtx {
+            kernel: &kernel,
+            cgra: &cgra,
+            options: &options,
+            stats: &stats,
+            probe_cache: Mutex::new(HashMap::new()),
+        };
+        let token = CancelToken::new(Arc::new(AtomicUsize::new(0)), 1);
+        let mut scratch = EvalScratch::new();
+        let verdict = evaluate(&ctx, &candidates[0], &mut scratch, Some(&token));
+        assert!(matches!(verdict, Verdict::Abandoned), "cancelled evaluation must abandon");
+        let snap = stats.snapshot(std::time::Duration::from_millis(1), 1);
+        assert_eq!(snap.route_attempts, 0, "abandoned before routing: {snap:?}");
+    }
+
+    #[test]
+    fn cancelled_route_aborts_early_and_counts() {
+        // Drive the pooled routing entry point directly with an armed,
+        // already-cancelled token: every Dijkstra search must abort through
+        // the cancel poll (counted in `RouterStats::cancelled`) instead of
+        // running the negotiation to completion.
+        let kernel = suite::gemm();
+        let cgra = CgraSpec::square(4);
+        let options = HiMapOptions::default();
+        let stats = StatsCollector::default();
+        let (subs, _) = map_idfg_counted(&kernel, &cgra, &options);
+        let candidates = enumerate_candidates(&kernel, &cgra, &subs, &options, &stats);
+        for candidate in &candidates {
+            let Candidate { sub, vsa, block } = candidate;
+            let Ok(dfg) = Dfg::build(&kernel, block) else { continue };
+            let isdg = dfg.isdg();
+            let (ranked, _) = search_counted(&SearchConfig {
+                dims: kernel.dims(),
+                block: block.clone(),
+                vsa_rows: vsa.rows(),
+                vsa_cols: vsa.cols(),
+                mesh_deps: isdg.distances().to_vec(),
+                mem_deps: dfg.mem_dep_distances(),
+                anti_deps: dfg.anti_dep_distances(),
+            });
+            let Some(st) = ranked.first() else { continue };
+            let layout = Layout::new(&dfg, vsa.clone(), sub.clone(), st);
+            let classes = classify(&dfg, &layout);
+            let index = MrrgIndex::shared(layout.vsa().spec().clone(), layout.iib());
+            let mut router = Router::with_index(index, RouterConfig::default());
+            // Baseline: the live negotiation performs real search work.
+            let (_, live) = route_representatives_pooled(
+                &dfg,
+                &layout,
+                &classes,
+                &options,
+                &[],
+                &mut router,
+                Duration::ZERO,
+            );
+            assert!(live.router.searches > 0);
+            assert_eq!(live.router.cancelled, 0);
+            // Cancelled: the same negotiation collapses.
+            router.set_cancel_token(Some(CancelToken::new(Arc::new(AtomicUsize::new(0)), 1)));
+            let (result, cut) = route_representatives_pooled(
+                &dfg,
+                &layout,
+                &classes,
+                &options,
+                &[],
+                &mut router,
+                Duration::ZERO,
+            );
+            assert!(result.is_err(), "cancelled negotiation cannot produce a design");
+            assert!(cut.router.cancelled > 0, "cancel poll never fired");
+            assert!(
+                cut.router.nodes_popped < live.router.nodes_popped,
+                "cancelled route did full search work: {} vs {} pops",
+                cut.router.nodes_popped,
+                live.router.nodes_popped
+            );
+            return;
+        }
+        panic!("no routable gemm candidate found");
     }
 }

@@ -52,7 +52,7 @@ pub use himap::HiMap;
 pub use layout::{Layout, Slot};
 pub use mapping::{Mapping, MappingParts, MappingStats, RouteInstance};
 pub use options::{HiMapError, HiMapOptions};
-pub use stats::{PipelineStats, StageTimes};
+pub use stats::{PipelineStats, StageTimes, WorkerStats};
 pub use submap::{map_idfg, map_idfg_counted, SubMapStats, SubMapping};
 pub use unique::{ClassId, Classes, Descriptor};
 pub use verify_hook::{set_verify_hook, verify_hook, VerifyHook};

@@ -39,6 +39,20 @@ pub struct HiMapOptions {
     /// the same winning mapping — the walk is parallel but its result is
     /// bit-identical to the sequential order (see `HiMap::map`).
     pub threads: usize,
+    /// Minimum candidate count before the walk goes parallel. Below this,
+    /// thread spawn/join overhead dominates any overlap, so the scheduler
+    /// silently falls back to the sequential walk even when `threads > 1`
+    /// (the result is bit-identical either way). Measured on the bench
+    /// kernels: walks under ~8 candidates finish in well under a worker's
+    /// spawn cost. `0` disables the fallback.
+    pub parallel_threshold: usize,
+    /// Allow spawning more workers than the machine has cores. Off by
+    /// default: oversubscribed workers preempt each other evaluating
+    /// candidates past the eventual winner, which is exactly the regression
+    /// the work-queue scheduler exists to prevent. Tests and scaling
+    /// experiments set this to exercise the parallel scheduler regardless of
+    /// the host's core count.
+    pub oversubscribe: bool,
     /// Run the installed static verifier (see `himap-verify`) over the
     /// final mapping before returning it. Always on in debug builds; this
     /// flag forces it in release builds too. A diagnostic of Error severity
@@ -56,6 +70,28 @@ impl HiMapOptions {
             n => n,
         }
     }
+
+    /// Worker count the scheduler actually spawns for a walk over
+    /// `candidates` tuples: [`effective_threads`](Self::effective_threads)
+    /// clamped to the machine's available parallelism and to the candidate
+    /// count, with a sequential fallback (returning 1) when the walk is
+    /// shorter than [`parallel_threshold`](Self::parallel_threshold).
+    ///
+    /// The parallelism clamp is what makes "multi-thread never slower than
+    /// sequential" hold on small machines: asking for 8 workers on a 2-core
+    /// box oversubscribes the cores with candidates past the winner, so
+    /// requested threads beyond the hardware are ignored.
+    pub fn scheduled_workers(&self, candidates: usize) -> usize {
+        if self.parallel_threshold > 0 && candidates < self.parallel_threshold {
+            return 1;
+        }
+        let cores = if self.oversubscribe {
+            usize::MAX
+        } else {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        };
+        self.effective_threads().min(cores).min(candidates.max(1)).max(1)
+    }
 }
 
 impl Default for HiMapOptions {
@@ -69,6 +105,8 @@ impl Default for HiMapOptions {
             replication_feedback_rounds: 6,
             depth_priority_scheduling: true,
             threads: 1,
+            parallel_threshold: 8,
+            oversubscribe: false,
             verify: false,
         }
     }

@@ -142,7 +142,46 @@ pub fn route_representatives_counted(
     let index = MrrgIndex::shared(spec, layout.iib());
     let index_build = index_start.elapsed();
     let mut router = Router::with_index(index, RouterConfig::default());
-    let result = negotiate(dfg, layout, classes, options, seed_history, &mut router);
+    route_representatives_pooled(
+        dfg,
+        layout,
+        classes,
+        options,
+        seed_history,
+        &mut router,
+        index_build,
+    )
+}
+
+/// [`route_representatives_counted`] on a caller-owned, long-lived router —
+/// the entry point of the work-queue candidate scheduler, whose workers keep
+/// one router per `(spec, II)` alive across candidates instead of
+/// reconstructing congestion vectors per attempt.
+///
+/// The router must be indexed for the layout's `(spec, iib)`. It is
+/// [`Router::reset`] here, so every negotiation starts from clean
+/// present/history state exactly as a freshly built router would, while the
+/// dense congestion vectors and the epoch-stamped search scratch are reused
+/// allocation-free. `index_build` is the caller's index-acquisition time,
+/// passed through into the counters. Any armed
+/// [`CancelToken`](himap_mapper::CancelToken) stays armed: a negotiation for
+/// an abandoned candidate collapses within a few heap pops.
+pub fn route_representatives_pooled(
+    dfg: &Dfg,
+    layout: &Layout,
+    classes: &Classes,
+    options: &HiMapOptions,
+    seed_history: &[RNode],
+    router: &mut Router,
+    index_build: Duration,
+) -> (Result<RoutedDesign, RouteError>, RouteCounters) {
+    debug_assert_eq!(
+        router.mrrg().ii(),
+        layout.iib(),
+        "pooled router indexed for a different II than the layout's"
+    );
+    router.reset();
+    let result = negotiate(dfg, layout, classes, options, seed_history, router);
     let counters = RouteCounters { router: router.take_search_stats(), index_build };
     (result, counters)
 }

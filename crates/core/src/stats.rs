@@ -16,9 +16,31 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use himap_mapper::RouterStats;
+
+/// One work-queue worker's share of the parallel candidate walk.
+///
+/// The scheduler records one entry per spawned worker (none on the
+/// sequential path), so `PipelineStats::workers` exposes how evenly the
+/// queue drained and how much effort cancellation actually saved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Worker index in `0..threads`.
+    pub worker: usize,
+    /// Candidates this worker pulled from the queue and evaluated to a
+    /// verdict (including ones whose routing was cancelled mid-flight).
+    pub candidates_evaluated: usize,
+    /// Candidates this worker abandoned — either before starting (a
+    /// lower-index candidate already verified) or mid-route via the shared
+    /// bound's cancel token.
+    pub candidates_cancelled: usize,
+    /// Wall time this worker spent evaluating candidates (its busy span,
+    /// excluding queue idle time).
+    pub busy: Duration,
+}
 
 /// Wall time spent in each pipeline stage (summed across workers).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -54,7 +76,11 @@ pub struct StageTimes {
 pub struct PipelineStats {
     /// Per-stage times.
     pub times: StageTimes,
-    /// Worker threads used for the candidate walk.
+    /// Worker threads *requested* for the candidate walk (the resolved
+    /// `HiMapOptions::threads`). The scheduler may spawn fewer: it clamps to
+    /// the machine's cores and the candidate count, and short walks fall
+    /// back to sequential entirely — `workers.len()` is the count actually
+    /// spawned (0 on the sequential path).
     pub threads: usize,
     /// Sub-CGRA `(s1, s2, t)` shape/depth combinations `MAP()` attempted.
     pub sub_shapes_tried: usize,
@@ -101,6 +127,13 @@ pub struct PipelineStats {
     /// Full clears of the router's epoch-stamped scratch (reallocation on
     /// growth or epoch wraparound) — stays tiny when scratch reuse works.
     pub router_epoch_resets: u64,
+    /// Router searches aborted by cooperative cancellation (the shared
+    /// best-candidate bound dropped below the routing candidate's index).
+    /// Always 0 on the sequential walk.
+    pub router_searches_cancelled: u64,
+    /// Per-worker busy/cancel counters from the work-queue scheduler; empty
+    /// when the walk ran sequentially.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl PipelineStats {
@@ -119,7 +152,7 @@ impl PipelineStats {
     pub fn summary(&self) -> String {
         let t = &self.times;
         let ms = |d: Duration| d.as_secs_f64() * 1e3;
-        format!(
+        let mut out = format!(
             "pipeline: {:.1} ms wall, {} thread{}\n\
              \x20 stages   MAP {:.1} ms | enumerate {:.1} ms | probe {:.1} ms | \
              search {:.1} ms | DFG {:.1} ms | ROUTE {:.1} ms | replicate {:.1} ms | \
@@ -128,7 +161,8 @@ impl PipelineStats {
              \x20 walk     {} enumerated (+{} deduped), {} tried, {} pruned, {} abandoned\n\
              \x20 systolic {} searches, {} matrices -> {} valid maps, {} layouts routed\n\
              \x20 route    {} attempts, {} pathfinder rounds, {} replications\n\
-             \x20 router   {} searches, {} nodes popped, {} heap pushes, {} epoch resets\n\
+             \x20 router   {} searches ({} cancelled), {} nodes popped, {} heap pushes, \
+             {} epoch resets\n\
              \x20 probes   {} hits / {} misses ({:.0}% hit rate)",
             ms(t.total),
             self.threads,
@@ -156,13 +190,24 @@ impl PipelineStats {
             self.pathfinder_rounds,
             self.replication_rounds,
             self.router_searches,
+            self.router_searches_cancelled,
             self.router_nodes_popped,
             self.router_heap_pushes,
             self.router_epoch_resets,
             self.probe_cache_hits,
             self.probe_cache_misses,
             self.probe_cache_hit_rate() * 100.0,
-        )
+        );
+        for w in &self.workers {
+            out.push_str(&format!(
+                "\n  worker {}  {} evaluated, {} cancelled, {:.1} ms busy",
+                w.worker,
+                w.candidates_evaluated,
+                w.candidates_cancelled,
+                ms(w.busy),
+            ));
+        }
+        out
     }
 }
 
@@ -204,6 +249,8 @@ pub(crate) struct StatsCollector {
     router_nodes_popped: AtomicU64,
     router_heap_pushes: AtomicU64,
     router_epoch_resets: AtomicU64,
+    router_searches_cancelled: AtomicU64,
+    workers: Mutex<Vec<WorkerStats>>,
 }
 
 /// The instrumented stages (each maps to one nanosecond accumulator).
@@ -248,6 +295,12 @@ impl StatsCollector {
         self.router_nodes_popped.fetch_add(r.nodes_popped, Ordering::Relaxed);
         self.router_heap_pushes.fetch_add(r.heap_pushes, Ordering::Relaxed);
         self.router_epoch_resets.fetch_add(r.epoch_resets, Ordering::Relaxed);
+        self.router_searches_cancelled.fetch_add(r.cancelled, Ordering::Relaxed);
+    }
+
+    /// Records one work-queue worker's busy/cancel tallies.
+    pub(crate) fn record_worker(&self, w: WorkerStats) {
+        crate::himap::lock(&self.workers).push(w);
     }
 
     /// Charges one `MrrgIndex::shared` acquisition to the index stage.
@@ -259,6 +312,8 @@ impl StatsCollector {
     pub(crate) fn snapshot(&self, total: Duration, threads: usize) -> PipelineStats {
         let dur = |cell: &AtomicU64| Duration::from_nanos(cell.load(Ordering::Relaxed));
         let count = |cell: &AtomicUsize| cell.load(Ordering::Relaxed);
+        let mut workers = crate::himap::lock(&self.workers).clone();
+        workers.sort_by_key(|w| w.worker);
         PipelineStats {
             times: StageTimes {
                 map: dur(&self.map_nanos),
@@ -292,6 +347,8 @@ impl StatsCollector {
             router_nodes_popped: self.router_nodes_popped.load(Ordering::Relaxed),
             router_heap_pushes: self.router_heap_pushes.load(Ordering::Relaxed),
             router_epoch_resets: self.router_epoch_resets.load(Ordering::Relaxed),
+            router_searches_cancelled: self.router_searches_cancelled.load(Ordering::Relaxed),
+            workers,
         }
     }
 }
@@ -339,12 +396,14 @@ mod tests {
             nodes_popped: 100,
             heap_pushes: 250,
             epoch_resets: 1,
+            cancelled: 2,
         });
         c.add_router(RouterStats {
             searches: 2,
             nodes_popped: 50,
             heap_pushes: 75,
             epoch_resets: 0,
+            cancelled: 1,
         });
         c.add_index_time(Duration::from_micros(40));
         let snap = c.snapshot(Duration::from_millis(1), 1);
@@ -352,6 +411,31 @@ mod tests {
         assert_eq!(snap.router_nodes_popped, 150);
         assert_eq!(snap.router_heap_pushes, 325);
         assert_eq!(snap.router_epoch_resets, 1);
+        assert_eq!(snap.router_searches_cancelled, 3);
         assert_eq!(snap.times.index, Duration::from_micros(40));
+    }
+
+    #[test]
+    fn worker_stats_sorted_and_summarised() {
+        let c = StatsCollector::default();
+        c.record_worker(WorkerStats {
+            worker: 1,
+            candidates_evaluated: 4,
+            candidates_cancelled: 1,
+            busy: Duration::from_millis(3),
+        });
+        c.record_worker(WorkerStats {
+            worker: 0,
+            candidates_evaluated: 6,
+            candidates_cancelled: 0,
+            busy: Duration::from_millis(5),
+        });
+        let snap = c.snapshot(Duration::from_millis(9), 2);
+        assert_eq!(snap.workers.len(), 2);
+        assert_eq!(snap.workers[0].worker, 0);
+        assert_eq!(snap.workers[1].candidates_cancelled, 1);
+        let text = snap.summary();
+        assert!(text.contains("worker 0"), "summary missing worker rows: {text}");
+        assert!(text.contains("cancelled"), "summary missing cancel tally: {text}");
     }
 }

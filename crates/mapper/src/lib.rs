@@ -35,4 +35,4 @@ mod reference;
 mod router;
 
 pub use reference::ReferenceRouter;
-pub use router::{Elapsed, RoutedPath, Router, RouterConfig, RouterStats, SignalId};
+pub use router::{CancelToken, Elapsed, RoutedPath, Router, RouterConfig, RouterStats, SignalId};

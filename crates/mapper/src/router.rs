@@ -2,6 +2,7 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 use himap_cgra::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
@@ -90,6 +91,9 @@ pub struct RouterStats {
     /// one-in-`u32::MAX` epoch wraparound. Searches only bump the epoch, so
     /// this staying near zero is the "no per-route allocation" invariant.
     pub epoch_resets: u64,
+    /// Searches aborted mid-flight by the [`CancelToken`] — the caller's
+    /// result cannot matter anymore, so the pop loop stopped expanding.
+    pub cancelled: u64,
 }
 
 impl RouterStats {
@@ -99,7 +103,61 @@ impl RouterStats {
         self.nodes_popped += other.nodes_popped;
         self.heap_pushes += other.heap_pushes;
         self.epoch_resets += other.epoch_resets;
+        self.cancelled += other.cancelled;
     }
+}
+
+/// Cooperative cancellation handle polled inside the Dijkstra pop loops.
+///
+/// The token compares a shared atomic bound against a fixed threshold:
+/// [`CancelToken::is_cancelled`] turns true once the bound drops *strictly
+/// below* the threshold, and never turns false again for a monotonically
+/// decreasing bound. HiMap's candidate walk shares one bound — the lowest
+/// candidate index known to have fully verified — across every worker; a
+/// worker arms its router with `threshold = its candidate's index`, so
+/// routing work for a candidate stops within a few heap pops of a strictly
+/// better candidate winning, instead of running to completion and being
+/// discarded at the next between-stage poll.
+#[derive(Clone, Debug)]
+pub struct CancelToken {
+    bound: Arc<AtomicUsize>,
+    threshold: usize,
+}
+
+impl CancelToken {
+    /// A token that cancels once `bound` drops below `threshold`.
+    pub fn new(bound: Arc<AtomicUsize>, threshold: usize) -> Self {
+        CancelToken { bound, threshold }
+    }
+
+    /// A token that can never cancel (every bound is `>= 0`).
+    pub fn never() -> Self {
+        CancelToken { bound: Arc::new(AtomicUsize::new(usize::MAX)), threshold: 0 }
+    }
+
+    /// Whether the shared bound has dropped below this token's threshold.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.bound.load(AtomicOrdering::Acquire) < self.threshold
+    }
+}
+
+/// Pop-count mask between cancellation polls: the token is checked every 64
+/// pops, keeping the poll overhead immeasurable against the relaxation work
+/// while bounding the post-cancel overshoot to a few microseconds.
+const CANCEL_POLL_MASK: u64 = 63;
+
+/// Whether a search loop should abort: polled on pop counts matching
+/// [`CANCEL_POLL_MASK`].
+#[inline]
+fn cancel_poll(cancel: &Option<CancelToken>, stats: &mut RouterStats) -> bool {
+    if stats.nodes_popped & CANCEL_POLL_MASK == 0
+        && cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    {
+        stats.cancelled += 1;
+        return true;
+    }
+    false
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -262,6 +320,8 @@ pub struct Router {
     config: RouterConfig,
     scratch: SearchScratch,
     stats: RouterStats,
+    /// Armed by the parallel candidate walk; `None` disables polling.
+    cancel: Option<CancelToken>,
 }
 
 impl Router {
@@ -282,7 +342,16 @@ impl Router {
             config,
             scratch: SearchScratch::default(),
             stats: RouterStats::default(),
+            cancel: None,
         }
+    }
+
+    /// Arms (or disarms, with `None`) cooperative cancellation: every search
+    /// loop polls the token between heap pops and aborts with no result once
+    /// it reports cancelled. The abort is counted in
+    /// [`RouterStats::cancelled`].
+    pub fn set_cancel_token(&mut self, token: Option<CancelToken>) {
+        self.cancel = token;
     }
 
     /// The routing-resource graph.
@@ -375,9 +444,15 @@ impl Router {
             Elapsed::Exact(e) => (e, Some(e)),
             Elapsed::AtMost(m) => (m, None),
         };
-        let Router { index, present, history, config, scratch, stats } = self;
+        let Router { index, present, history, config, scratch, stats, cancel } = self;
         scratch.begin(index.len(), cap as usize + 1, stats);
         stats.searches += 1;
+        // A search that starts already cancelled is refused outright — the
+        // in-loop poll only fires every CANCEL_POLL_MASK + 1 pops.
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stats.cancelled += 1;
+            return None;
+        }
         let tgt = index.index_of(target).map_or(NO_PREV, |i| i.0);
         for &src in sources {
             debug_assert!(index.contains(src), "source {src:?} outside MRRG");
@@ -397,6 +472,12 @@ impl Router {
         let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
         while let Some(HeapEntry { cost, idx, elapsed }) = scratch.heap.pop() {
             stats.nodes_popped += 1;
+            // A cancelled search falls out of the loop: the caller's
+            // candidate has already lost the priority race, so "no route"
+            // is as good an answer as any and arrives immediately.
+            if cancel_poll(cancel, stats) {
+                break;
+            }
             let key = scratch.key(idx, elapsed);
             if scratch.get(key).is_some_and(|d| cost > d) {
                 continue;
@@ -476,9 +557,15 @@ impl Router {
     ) -> Option<RoutedPath> {
         let base = sources.iter().map(|&(_, abs)| abs).min()?;
         let need = u32::try_from(target_abs - base).ok()?;
-        let Router { index, present, history, config, scratch, stats } = self;
+        let Router { index, present, history, config, scratch, stats, cancel } = self;
         scratch.begin(index.len(), need as usize + 1, stats);
         stats.searches += 1;
+        // See `route_constrained`: an already-cancelled search is refused
+        // before seeding, deterministically.
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stats.cancelled += 1;
+            return None;
+        }
         let tgt = index.index_of(target).map_or(NO_PREV, |i| i.0);
         for &(src, abs) in sources {
             if abs > target_abs {
@@ -502,6 +589,12 @@ impl Router {
         let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
         while let Some(HeapEntry { cost, idx, elapsed }) = scratch.heap.pop() {
             stats.nodes_popped += 1;
+            // A cancelled search falls out of the loop: the caller's
+            // candidate has already lost the priority race, so "no route"
+            // is as good an answer as any and arrives immediately.
+            if cancel_poll(cancel, stats) {
+                break;
+            }
             let key = scratch.key(idx, elapsed);
             if scratch.get(key).is_some_and(|d| cost > d) {
                 continue;
@@ -577,9 +670,16 @@ impl Router {
         cap: u32,
     ) -> HashMap<(RNode, u32), f64> {
         let mut fu_costs: HashMap<(RNode, u32), f64> = HashMap::new();
-        let Router { index, present, history, config, scratch, stats } = self;
+        let Router { index, present, history, config, scratch, stats, cancel } = self;
         scratch.begin(index.len(), cap as usize + 1, stats);
         stats.searches += 1;
+        // A cancelled distance sweep returns the (empty) partial map; the
+        // mid-loop poll below may likewise truncate it. Callers that arm a
+        // token treat any result of a cancelled candidate as discardable.
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stats.cancelled += 1;
+            return fu_costs;
+        }
         for &src in sources {
             let Some(si) = index.index_of(src) else {
                 debug_assert!(false, "source {src:?} outside MRRG");
@@ -593,6 +693,12 @@ impl Router {
         let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
         while let Some(HeapEntry { cost, idx, elapsed }) = scratch.heap.pop() {
             stats.nodes_popped += 1;
+            // A cancelled search falls out of the loop: the caller's
+            // candidate has already lost the priority race, so "no route"
+            // is as good an answer as any and arrives immediately.
+            if cancel_poll(cancel, stats) {
+                break;
+            }
             let key = scratch.key(idx, elapsed);
             if scratch.get(key).is_some_and(|d| cost > d) {
                 continue;
@@ -901,6 +1007,52 @@ mod tests {
         let detour = r.route_one(SignalId(1), fu(0, 0, 0), fu(0, 1, 3), Some(3)).unwrap();
         assert!(!detour.nodes.contains(&wire), "detour must avoid NaN wire");
         assert!(detour.cost.is_finite());
+    }
+
+    #[test]
+    fn cancelled_token_aborts_search_and_counts() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let mut r = router(3, 4);
+        // The route exists without cancellation…
+        assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(2, 2, 3), Some(7)).is_some());
+        // …but an already-cancelled token (bound 0 < threshold 5) aborts the
+        // identical search before it reaches the target, counting the abort.
+        let bound = Arc::new(AtomicUsize::new(0));
+        r.set_cancel_token(Some(CancelToken::new(Arc::clone(&bound), 5)));
+        let before = r.search_stats().cancelled;
+        assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(2, 2, 3), Some(7)).is_none());
+        assert_eq!(r.search_stats().cancelled, before + 1);
+        // Raising the bound back above the threshold re-enables routing.
+        bound.store(usize::MAX, std::sync::atomic::Ordering::Release);
+        assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(2, 2, 3), Some(7)).is_some());
+        assert_eq!(r.search_stats().cancelled, before + 1, "live search not counted");
+        // Disarming removes the poll entirely.
+        bound.store(0, std::sync::atomic::Ordering::Release);
+        r.set_cancel_token(None);
+        assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(2, 2, 3), Some(7)).is_some());
+    }
+
+    #[test]
+    fn never_token_never_cancels() {
+        let token = CancelToken::never();
+        assert!(!token.is_cancelled());
+        let mut r = router(2, 4);
+        r.set_cancel_token(Some(token));
+        assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 2), Some(2)).is_some());
+        assert_eq!(r.search_stats().cancelled, 0);
+    }
+
+    #[test]
+    fn cancelled_timed_route_aborts() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let mut r = router(3, 4);
+        let src = [(fu(0, 0, 0), 0i64)];
+        assert!(r.route_timed(SignalId(2), &src, fu(2, 2, 3), 7, |_| true).is_some());
+        r.set_cancel_token(Some(CancelToken::new(Arc::new(AtomicUsize::new(0)), 1)));
+        assert!(r.route_timed(SignalId(2), &src, fu(2, 2, 3), 7, |_| true).is_none());
+        assert_eq!(r.search_stats().cancelled, 1);
     }
 
     #[test]

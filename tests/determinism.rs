@@ -37,8 +37,18 @@ fn fingerprint(result: &Result<Mapping, HiMapError>) -> Result<Fingerprint, HiMa
     })
 }
 
+/// Maps with a forced parallel scheduler: `oversubscribe` lifts the
+/// machine-core clamp and `parallel_threshold: 1` disables the sequential
+/// fallback, so `threads > 1` genuinely exercises the work-queue workers
+/// even on a single-core CI box (where the production clamp would otherwise
+/// — correctly — run everything sequentially).
 fn map_with(kernel: &Kernel, cgra: &CgraSpec, threads: usize) -> Result<Mapping, HiMapError> {
-    let options = HiMapOptions { threads, ..HiMapOptions::default() };
+    let options = HiMapOptions {
+        threads,
+        oversubscribe: true,
+        parallel_threshold: 1,
+        ..HiMapOptions::default()
+    };
     HiMap::new(options).map(kernel, cgra)
 }
 
@@ -78,6 +88,49 @@ fn threads_zero_resolves_to_available_parallelism() {
     let auto = fingerprint(&HiMap::new(options).map(&suite::gemm(), &cgra));
     let seq = fingerprint(&map_with(&suite::gemm(), &cgra, 1));
     assert_eq!(seq, auto);
+}
+
+/// Median-of-3 wall time of mapping `kernel` with production options at the
+/// given thread count.
+fn median_wall(kernel: &Kernel, cgra: &CgraSpec, threads: usize) -> std::time::Duration {
+    let options = HiMapOptions { threads, ..HiMapOptions::default() };
+    let himap = HiMap::new(options);
+    let mut samples: Vec<std::time::Duration> = (0..3)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            himap.map(kernel, cgra).expect("kernel maps");
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[1]
+}
+
+#[test]
+#[ignore = "wall-time sensitive; run in the CI bench stage (cargo test -- --ignored)"]
+fn four_threads_not_slower_than_sequential_on_gemm_8x8() {
+    // The scheduler's core promise under *production* options (machine
+    // clamp and sequential fallback active): asking for 4 threads is never
+    // slower than sequential, and the winner is bit-identical. Medians of 3
+    // with a warmup pass, 15 % relative + 2 ms absolute noise allowance.
+    let cgra = CgraSpec::square(8);
+    let kernel = suite::gemm();
+    let seq_fp = fingerprint(&HiMap::new(HiMapOptions::default()).map(&kernel, &cgra));
+    let par_fp = fingerprint(
+        &HiMap::new(HiMapOptions { threads: 4, ..HiMapOptions::default() }).map(&kernel, &cgra),
+    );
+    assert_eq!(seq_fp, par_fp, "4-thread winner diverged from sequential");
+    let _warm = median_wall(&kernel, &cgra, 1); // prime the MrrgIndex cache
+    let seq = median_wall(&kernel, &cgra, 1);
+    let par = median_wall(&kernel, &cgra, 4);
+    let limit = seq.mul_f64(1.15) + std::time::Duration::from_millis(2);
+    assert!(
+        par <= limit,
+        "4-thread walk regressed: {:.1} ms vs sequential {:.1} ms (limit {:.1} ms)",
+        par.as_secs_f64() * 1e3,
+        seq.as_secs_f64() * 1e3,
+        limit.as_secs_f64() * 1e3,
+    );
 }
 
 #[test]
