@@ -52,6 +52,20 @@ stage "himap-verify smoke (floyd-warshall/spr)" \
 stage "cargo test --ignored (wall-time)" \
   cargo test --release -q --test determinism -- --ignored
 
+# Fault-injection sweep: random fault maps over every suite kernel on 4x4
+# and 8x8 fabrics, asserting mapped-and-verified / typed error / deadline —
+# never a panic. The proptest shim derives each case's RNG from the test
+# name and case index, so the sweep replays identically on every machine.
+stage "fault-injection sweep" \
+  cargo test --release -q --test fault_injection -- --ignored
+
+# Fault-model overhead gate: mapping with an explicitly-installed empty
+# FaultMap must match the committed fault-free gemm 8x8 baseline row within
+# 2 % + 2 ms.
+stage "fault overhead check" \
+  cargo run -q -p himap-bench --release --bin bench_summary -- \
+    --fault-overhead BENCH_pr4.json
+
 # Benchmark regression gate: re-measure the fast scaling rows against the
 # committed baseline; median-of-5 with warmup, 25 % + 2 ms noise tolerance
 # (documented in crates/bench/src/check.rs). Fails on any regressed row.

@@ -6,7 +6,7 @@ use std::time::Instant;
 use himap_cgra::{CgraSpec, Mrrg, PeId, RKind, RNode};
 use himap_dfg::{Dfg, EdgeKind, NodeKind};
 use himap_graph::{topological_sort, NodeId};
-use himap_mapper::{Router, RouterConfig, SignalId};
+use himap_mapper::{CancelToken, Router, RouterConfig, SignalId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -78,10 +78,13 @@ fn anneal(
         Ok(order) => order.into_iter().filter(|&n| dfg.graph()[n].kind.is_op()).collect(),
         Err(_) => return None,
     };
-    // Initial placement: ASAP levels round-robin over PEs.
+    // Initial placement: ASAP levels round-robin over healthy PEs.
     let mut slots: OpSlots = HashMap::new();
     let mut level: HashMap<NodeId, i64> = HashMap::new();
-    let pes: Vec<PeId> = spec.pes().collect();
+    let pes: Vec<PeId> = spec.pes().filter(|&pe| spec.healthy(pe)).collect();
+    if pes.is_empty() {
+        return None;
+    }
     for (i, &v) in order.iter().enumerate() {
         let lvl = dfg
             .graph()
@@ -95,10 +98,13 @@ fn anneal(
     let mut cost = total_cost(dfg, spec, ii, &slots);
     let mut temperature = 20.0f64;
     while temperature > 0.05 {
-        if started.elapsed() > options.timeout {
-            return None;
-        }
         for _ in 0..options.sa_steps {
+            // Per-step poll: `total_cost` is O(E), so a whole `sa_steps`
+            // sweep can dwarf a small budget; the coarse outer check alone
+            // would overshoot it by orders of magnitude.
+            if started.elapsed() > options.timeout {
+                return None;
+            }
             let v = order[rng.gen_range(0..order.len())];
             let old = slots[&v];
             let new_pe = pes[rng.gen_range(0..pes.len())];
@@ -205,6 +211,9 @@ fn validate_routing(
     started: &Instant,
 ) -> bool {
     let mut router = Router::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
+    // Arm the deadline on every Dijkstra search: route_all's inner searches
+    // then respect the budget, not just the per-round check below.
+    router.set_cancel_token(Some(CancelToken::until(*started + options.timeout)));
     for _round in 0..options.pathfinder_rounds {
         if started.elapsed() > options.timeout {
             return false;
@@ -233,6 +242,7 @@ fn route_all(dfg: &Dfg, spec: &CgraSpec, ii: usize, slots: &OpSlots, router: &mu
     }
     let all_mem: Vec<RNode> = spec
         .pes()
+        .filter(|&pe| spec.healthy(pe) && !spec.faults.mem_disabled(pe))
         .flat_map(|pe| (0..ii as u32).map(move |t| RNode::new(pe, t, RKind::Mem)))
         .collect();
     for &v in &order {
@@ -323,6 +333,37 @@ mod tests {
             }
             (Err(x), Err(y)) => assert_eq!(x, y),
             other => panic!("non-deterministic outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeout_granularity_is_fine() {
+        // Same regression gate as SPR's: the per-step poll inside the
+        // annealing sweep must keep a 5 ms budget from ballooning into a
+        // full `sa_steps x temperature-levels` schedule.
+        let dfg = Dfg::build(&suite::gemm(), &[3, 3, 3]).unwrap();
+        let spec = CgraSpec::square(8);
+        let options = BaselineOptions {
+            timeout: std::time::Duration::from_millis(5),
+            ..BaselineOptions::default()
+        };
+        let started = Instant::now();
+        let result = SaMapper::run(&dfg, &spec, &options);
+        let elapsed = started.elapsed();
+        assert_eq!(result.unwrap_err(), BaselineFailure::Timeout);
+        assert!(elapsed < std::time::Duration::from_millis(100), "overshot budget: {elapsed:?}");
+    }
+
+    #[test]
+    fn anneals_around_dead_pes() {
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        let mut faults = himap_cgra::FaultMap::default();
+        faults.kill_pe(PeId::new(2, 2));
+        let spec = CgraSpec::square(4).with_faults(faults);
+        if let Ok(m) = SaMapper::run(&dfg, &spec, &BaselineOptions::default()) {
+            for &(pe, _) in m.op_slots.values() {
+                assert!(spec.healthy(pe), "op annealed onto dead PE {pe}");
+            }
         }
     }
 

@@ -6,7 +6,7 @@ use std::time::Instant;
 use himap_cgra::{CgraSpec, Mrrg, RKind, RNode};
 use himap_dfg::{Dfg, EdgeKind, NodeKind};
 use himap_graph::NodeId;
-use himap_mapper::{Elapsed, Router, RouterConfig, SignalId};
+use himap_mapper::{CancelToken, Elapsed, Router, RouterConfig, SignalId};
 
 use crate::{Algorithm, BaselineFailure, BaselineMapping, BaselineOptions};
 
@@ -38,11 +38,16 @@ impl SprMapper {
             .into_iter()
             .filter(|&n| dfg.graph()[n].kind.is_op())
             .collect();
+        // Arm every Dijkstra search with the wall-clock deadline, so the
+        // budget is honoured inside inner placement/routing loops too — not
+        // just at these coarse loop heads.
+        let cancel = CancelToken::until(started + options.timeout);
         for ii in mii..=mii + options.max_ii_slack {
             if started.elapsed() > options.timeout {
                 return Err(BaselineFailure::Timeout);
             }
             let mut router = Router::new(Mrrg::new(spec.clone(), ii), RouterConfig::default());
+            router.set_cancel_token(Some(cancel.clone()));
             for _round in 0..options.pathfinder_rounds {
                 if started.elapsed() > options.timeout {
                     return Err(BaselineFailure::Timeout);
@@ -158,6 +163,7 @@ fn place_round(
     }
     let all_mem: Vec<RNode> = spec
         .pes()
+        .filter(|&pe| spec.healthy(pe) && !spec.faults.mem_disabled(pe))
         .flat_map(|pe| (0..ii as u32).map(move |t| RNode::new(pe, t, RKind::Mem)))
         .collect();
     for &v in order {
@@ -233,8 +239,14 @@ fn place_round(
         }
         let mut best: Option<(f64, himap_cgra::PeId, i64)> = None;
         for abs in lo..=hi {
+            if started.elapsed() > options.timeout {
+                return None;
+            }
             let tmod = (abs % ii as i64) as u32;
             for pe in spec.pes() {
+                if !spec.healthy(pe) {
+                    continue;
+                }
                 let fu = RNode::new(pe, tmod, RKind::Fu);
                 // FU slots are exclusive; skip already-claimed candidates.
                 if !router.occupants(fu).is_empty() {
@@ -365,5 +377,39 @@ mod tests {
         };
         let err = SprMapper::run(&dfg, &spec, &options).unwrap_err();
         assert_eq!(err, BaselineFailure::Timeout);
+    }
+
+    #[test]
+    fn timeout_granularity_is_fine() {
+        // Regression: the budget used to be checked only at coarse loop
+        // heads, so one inner placement sweep (fu_distances over every
+        // parent) could overshoot a small budget by orders of magnitude.
+        // With the armed cancel token and per-candidate polls, a 5 ms budget
+        // must come back in the same order of magnitude — the bound allows
+        // ~2x plus scheduling and poll-interval grace, far below the
+        // hundreds of milliseconds a full unchecked sweep takes.
+        let dfg = Dfg::build(&suite::gemm(), &[4, 4, 4]).unwrap();
+        let spec = CgraSpec::square(8);
+        let options = BaselineOptions {
+            timeout: std::time::Duration::from_millis(5),
+            ..BaselineOptions::default()
+        };
+        let started = Instant::now();
+        let result = SprMapper::run(&dfg, &spec, &options);
+        let elapsed = started.elapsed();
+        assert_eq!(result.unwrap_err(), BaselineFailure::Timeout);
+        assert!(elapsed < std::time::Duration::from_millis(100), "overshot budget: {elapsed:?}");
+    }
+
+    #[test]
+    fn avoids_faulted_pes() {
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        let mut faults = himap_cgra::FaultMap::default();
+        faults.kill_pe(himap_cgra::PeId::new(0, 0)).disable_mem(himap_cgra::PeId::new(1, 1));
+        let spec = CgraSpec::square(4).with_faults(faults);
+        let m = SprMapper::run(&dfg, &spec, &BaselineOptions::default()).expect("maps");
+        for &(pe, _) in m.op_slots.values() {
+            assert!(spec.healthy(pe), "op placed on dead PE {pe}");
+        }
     }
 }

@@ -22,8 +22,8 @@ use std::time::{Duration, Instant};
 
 use himap_bench::check::{limit_ms, parse, scaling_rows, RowVerdict, ScalingRow};
 use himap_bench::run_himap;
-use himap_cgra::{CgraSpec, Mrrg, MrrgIndex, PeId, RKind, RNode};
-use himap_core::HiMapOptions;
+use himap_cgra::{CgraSpec, FaultMap, Mrrg, MrrgIndex, PeId, RKind, RNode};
+use himap_core::{HiMap, HiMapOptions};
 use himap_kernels::suite;
 use himap_mapper::{ReferenceRouter, Router, RouterConfig, SignalId};
 
@@ -152,6 +152,65 @@ fn run_check(baseline_path: &str, tolerance: f64) -> i32 {
     }
 }
 
+/// Warmup-then-median wall time of mapping gemm on 8x8, single-threaded,
+/// with an *explicitly installed empty* `FaultMap` — forcing every mask
+/// check through `FaultMap::is_empty` instead of the default construction.
+fn measure_empty_faultmap_gemm8() -> Duration {
+    let kernel = suite::by_name("gemm").unwrap_or_else(|| unreachable!("gemm is in the suite"));
+    let options = HiMapOptions { threads: 1, ..HiMapOptions::default() };
+    let spec = CgraSpec::square(8).with_faults(FaultMap::new());
+    let run = || {
+        let result = HiMap::new(options.clone()).map(&kernel, &spec);
+        std::hint::black_box(&result);
+    };
+    for _ in 0..WARMUP {
+        run();
+    }
+    sample(SCALING_SAMPLES, run)
+}
+
+/// `--fault-overhead` mode: the fault model must be free when unused. The
+/// gemm 8x8 t=1 median with an empty `FaultMap` installed is held to the
+/// committed fault-free baseline row plus 2 % (and the usual 2 ms absolute
+/// slack — the row is ~tens of milliseconds, so a bare 2 % would be inside
+/// timer noise).
+fn run_fault_overhead(baseline_path: &str) -> i32 {
+    const FAULT_TOLERANCE: f64 = 0.02;
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let rows = match parse(&text).and_then(|doc| scaling_rows(&doc)) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("cannot parse baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let Some(row) = rows.iter().find(|r| r.kernel == "gemm" && r.cgra == 8 && r.threads == 1)
+    else {
+        eprintln!("baseline {baseline_path} has no gemm 8x8 t=1 row");
+        return 1;
+    };
+    let fresh = measure_empty_faultmap_gemm8().as_secs_f64() * 1e3;
+    let limit = limit_ms(row.median_ms, FAULT_TOLERANCE);
+    println!(
+        "fault_overhead: gemm 8x8 t=1 with empty FaultMap {fresh:.3} ms \
+         vs fault-free baseline {:.3} ms (limit {limit:.3} ms = +2% + 2 ms)",
+        row.median_ms
+    );
+    if fresh <= limit {
+        println!("fault overhead check passed");
+        0
+    } else {
+        eprintln!("fault overhead check FAILED: the empty fault map is not free");
+        1
+    }
+}
+
 /// Default mode: measure everything and write `BENCH_pr4.json`.
 fn run_generate() -> i32 {
     const MICRO_SAMPLES: usize = 15;
@@ -215,6 +274,12 @@ fn run_generate() -> i32 {
         }
     }
 
+    // The fault-model overhead row: mapping with an explicitly-installed
+    // empty FaultMap must cost the same as the fault-free rows above
+    // (gated by `--fault-overhead` against the committed baseline).
+    let fault_ms = measure_empty_faultmap_gemm8().as_secs_f64() * 1e3;
+    eprintln!("  gemm 8x8 t=1 (empty FaultMap): {fault_ms:.3} ms");
+
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let rss = peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
     let json = format!(
@@ -233,6 +298,8 @@ fn run_generate() -> i32 {
          \x20 }},\n\
          \x20 \"index_build\": {{\"cold_8x8_ii4_ms\": {:.3}, \"cold_16x16_ii4_ms\": {:.3}}},\n\
          \x20 \"parallel_scaling\": [\n{}\n  ],\n\
+         \x20 \"fault_overhead\": {{\"kernel\": \"gemm\", \"cgra\": \"8x8\", \"threads\": 1, \
+         \"empty_faultmap_median_ms\": {fault_ms:.3}}},\n\
          \x20 \"peak_rss_kb\": {rss}\n\
          }}\n",
         queries.len(),
@@ -276,6 +343,7 @@ fn run_generate() -> i32 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline: Option<String> = None;
+    let mut fault_overhead: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut i = 0;
     while i < args.len() {
@@ -288,6 +356,14 @@ fn main() {
                 baseline = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--fault-overhead" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--fault-overhead requires a baseline path");
+                    std::process::exit(2);
+                }
+                fault_overhead = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--tolerance" => {
                 let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
                     eprintln!("--tolerance requires a number (e.g. 0.25)");
@@ -297,14 +373,18 @@ fn main() {
                 i += 2;
             }
             other => {
-                eprintln!("unknown argument `{other}`; usage: bench_summary [--check FILE] [--tolerance X]");
+                eprintln!(
+                    "unknown argument `{other}`; usage: \
+                     bench_summary [--check FILE] [--fault-overhead FILE] [--tolerance X]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    let code = match baseline {
-        Some(path) => run_check(&path, tolerance),
-        None => run_generate(),
+    let code = match (baseline, fault_overhead) {
+        (Some(path), _) => run_check(&path, tolerance),
+        (None, Some(path)) => run_fault_overhead(&path),
+        (None, None) => run_generate(),
     };
     std::process::exit(code);
 }

@@ -124,6 +124,10 @@ pub struct CgraSpec {
     pub mem_ports: usize,
     /// Clock frequency in MHz.
     pub freq_mhz: f64,
+    /// Faulted resources of this fabric instance; empty (the default) for a
+    /// pristine array. Part of the spec's identity: two specs with different
+    /// fault maps compare unequal, so per-`(spec, II)` caches key correctly.
+    pub faults: crate::fault::FaultMap,
 }
 
 /// Error constructing a [`CgraSpec`].
@@ -162,7 +166,27 @@ impl CgraSpec {
             rf_ports: 2,
             mem_ports: 2,
             freq_mhz: 510.0,
+            faults: crate::fault::FaultMap::default(),
         })
+    }
+
+    /// This spec with `faults` installed (builder-style convenience).
+    #[must_use]
+    pub fn with_faults(mut self, faults: crate::fault::FaultMap) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// This spec with an empty fault map — the idealized fabric sub-CGRA
+    /// probing and relative placement work against, since relative mappings
+    /// are position-agnostic and replicated only onto healthy tiles.
+    pub fn fault_free(&self) -> Self {
+        CgraSpec { faults: crate::fault::FaultMap::default(), ..self.clone() }
+    }
+
+    /// `true` if `pe` lies inside the array and is not a dead PE.
+    pub fn healthy(&self, pe: PeId) -> bool {
+        self.contains(pe) && !self.faults.pe_dead(pe)
     }
 
     /// Creates a square `c × c` CGRA with default PE parameters.

@@ -1,0 +1,227 @@
+//! Fault model: broken resources of a physical CGRA instance.
+//!
+//! A [`FaultMap`] records which parts of a fabricated array are unusable —
+//! dead PEs, severed directional mesh links, disabled register-file slots
+//! and disabled local data-memory banks. It lives on [`CgraSpec`], so every
+//! consumer of the architecture description (MRRG enumeration, the dense
+//! [`MrrgIndex`](crate::MrrgIndex), VSA clustering, the verifier, the
+//! simulator) sees the same masked resource set: a faulted resource simply
+//! does not exist in the routing graph, and the mapper routes around it
+//! without any fault-specific logic of its own.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::arch::{CgraSpec, Dir, PeId};
+use crate::mrrg::{RKind, RNode};
+
+/// The set of faulted resources of one CGRA instance.
+///
+/// An empty map (the [`Default`]) describes a pristine fabric and is free:
+/// MRRG construction short-circuits every mask check behind one branch.
+/// Ordered sets keep the map's `Debug`/iteration order — and therefore every
+/// derived artifact — deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultMap {
+    /// PEs that are entirely unusable (ALU, RF, crossbar and memory).
+    dead_pes: BTreeSet<PeId>,
+    /// Severed directional links, keyed by the *source* PE and the outgoing
+    /// direction. Severing `(pe, East)` kills the wire from `pe` to its east
+    /// neighbour only; the opposite wire stays usable.
+    severed_links: BTreeSet<(PeId, Dir)>,
+    /// Disabled register-file slots `(pe, register index)`.
+    disabled_regs: BTreeSet<(PeId, usize)>,
+    /// PEs whose local data-memory bank is disabled (compute still works).
+    disabled_mems: BTreeSet<PeId>,
+}
+
+impl FaultMap {
+    /// An empty (fault-free) map.
+    pub fn new() -> Self {
+        FaultMap::default()
+    }
+
+    /// Marks `pe` as entirely dead.
+    pub fn kill_pe(&mut self, pe: PeId) -> &mut Self {
+        self.dead_pes.insert(pe);
+        self
+    }
+
+    /// Severs the directional link leaving `pe` toward `dir`.
+    pub fn sever_link(&mut self, pe: PeId, dir: Dir) -> &mut Self {
+        self.severed_links.insert((pe, dir));
+        self
+    }
+
+    /// Disables register slot `reg` of `pe`'s register file.
+    pub fn disable_reg(&mut self, pe: PeId, reg: usize) -> &mut Self {
+        self.disabled_regs.insert((pe, reg));
+        self
+    }
+
+    /// Disables `pe`'s local data-memory bank.
+    pub fn disable_mem(&mut self, pe: PeId) -> &mut Self {
+        self.disabled_mems.insert(pe);
+        self
+    }
+
+    /// `true` when no resource is faulted (the fast path everywhere).
+    pub fn is_empty(&self) -> bool {
+        self.dead_pes.is_empty()
+            && self.severed_links.is_empty()
+            && self.disabled_regs.is_empty()
+            && self.disabled_mems.is_empty()
+    }
+
+    /// `true` when at least one whole PE is dead (the only fault class that
+    /// forces VSA cropping — all others are routed around in place).
+    pub fn has_dead_pes(&self) -> bool {
+        !self.dead_pes.is_empty()
+    }
+
+    /// Number of faulted resources across all classes.
+    pub fn len(&self) -> usize {
+        self.dead_pes.len()
+            + self.severed_links.len()
+            + self.disabled_regs.len()
+            + self.disabled_mems.len()
+    }
+
+    /// Whether `pe` is dead.
+    pub fn pe_dead(&self, pe: PeId) -> bool {
+        self.dead_pes.contains(&pe)
+    }
+
+    /// Whether the directional link leaving `pe` toward `dir` is severed.
+    pub fn link_severed(&self, pe: PeId, dir: Dir) -> bool {
+        self.severed_links.contains(&(pe, dir))
+    }
+
+    /// Whether register slot `reg` of `pe` is disabled.
+    pub fn reg_disabled(&self, pe: PeId, reg: usize) -> bool {
+        self.disabled_regs.contains(&(pe, reg))
+    }
+
+    /// Whether `pe`'s data-memory bank is disabled.
+    pub fn mem_disabled(&self, pe: PeId) -> bool {
+        self.disabled_mems.contains(&pe)
+    }
+
+    /// The dead PEs in deterministic (row-major) order.
+    pub fn dead_pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        self.dead_pes.iter().copied()
+    }
+
+    /// Whether this map masks `node` out of the MRRG of `spec` — the single
+    /// source of truth shared by enumeration, the dense index, the verifier
+    /// and the simulator.
+    ///
+    /// A node is masked when its owning PE is dead, plus per kind:
+    ///
+    /// * `Wire(d)` — the value on the link from `node.pe` toward `d`,
+    ///   available at the neighbour — is masked when that link is severed or
+    ///   the receiving neighbour is dead (a wire into a dead PE delivers
+    ///   nowhere);
+    /// * `Reg(r)` is masked when that register slot is disabled;
+    /// * `Mem` is masked when the PE's memory bank is disabled.
+    ///
+    /// `RegWr`/`RegRd` ports are only masked with their whole PE: with some
+    /// registers still alive they remain useful, and with all registers
+    /// disabled they are harmless dead ends the router never profits from.
+    pub fn masks(&self, spec: &CgraSpec, node: RNode) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        if self.pe_dead(node.pe) {
+            return true;
+        }
+        match node.kind {
+            RKind::Wire(dir) => {
+                self.link_severed(node.pe, dir)
+                    || spec.neighbor(node.pe, dir).is_some_and(|n| self.pe_dead(n))
+            }
+            RKind::Reg(r) => self.reg_disabled(node.pe, r as usize),
+            RKind::Mem => self.mem_disabled(node.pe),
+            RKind::Fu | RKind::Out | RKind::RegWr | RKind::RegRd => false,
+        }
+    }
+}
+
+impl fmt::Display for FaultMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "no faults");
+        }
+        let mut parts = Vec::new();
+        if !self.dead_pes.is_empty() {
+            parts.push(format!("{} dead PE(s)", self.dead_pes.len()));
+        }
+        if !self.severed_links.is_empty() {
+            parts.push(format!("{} severed link(s)", self.severed_links.len()));
+        }
+        if !self.disabled_regs.is_empty() {
+            parts.push(format!("{} disabled register(s)", self.disabled_regs.len()));
+        }
+        if !self.disabled_mems.is_empty() {
+            parts.push(format!("{} disabled memory bank(s)", self.disabled_mems.len()));
+        }
+        write!(f, "{}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_map_masks_nothing() {
+        let spec = CgraSpec::square(4);
+        let map = FaultMap::new();
+        assert!(map.is_empty());
+        assert_eq!(map.len(), 0);
+        for pe in spec.pes() {
+            assert!(!map.masks(&spec, RNode::new(pe, 0, RKind::Fu)));
+        }
+        assert_eq!(map.to_string(), "no faults");
+    }
+
+    #[test]
+    fn dead_pe_masks_every_kind_and_incoming_wires() {
+        let spec = CgraSpec::square(4);
+        let mut map = FaultMap::new();
+        map.kill_pe(PeId::new(1, 1));
+        assert!(map.has_dead_pes());
+        for kind in [RKind::Fu, RKind::Out, RKind::Mem, RKind::RegWr, RKind::RegRd, RKind::Reg(0)] {
+            assert!(map.masks(&spec, RNode::new(PeId::new(1, 1), 0, kind)), "{kind:?}");
+        }
+        // The wire from (0,1) south into the dead PE delivers nowhere.
+        assert!(map.masks(&spec, RNode::new(PeId::new(0, 1), 0, RKind::Wire(Dir::South))));
+        // A wire from (0,1) east does not touch the dead PE.
+        assert!(!map.masks(&spec, RNode::new(PeId::new(0, 1), 0, RKind::Wire(Dir::East))));
+    }
+
+    #[test]
+    fn severed_link_is_directional() {
+        let spec = CgraSpec::square(4);
+        let mut map = FaultMap::new();
+        map.sever_link(PeId::new(0, 0), Dir::East);
+        assert!(map.masks(&spec, RNode::new(PeId::new(0, 0), 2, RKind::Wire(Dir::East))));
+        // The reverse link (0,1) -> west survives.
+        assert!(!map.masks(&spec, RNode::new(PeId::new(0, 1), 2, RKind::Wire(Dir::West))));
+        assert!(!map.masks(&spec, RNode::new(PeId::new(0, 0), 2, RKind::Fu)));
+    }
+
+    #[test]
+    fn reg_and_mem_faults_are_slot_precise() {
+        let spec = CgraSpec::square(2);
+        let mut map = FaultMap::new();
+        map.disable_reg(PeId::new(0, 0), 2).disable_mem(PeId::new(1, 1));
+        assert!(map.masks(&spec, RNode::new(PeId::new(0, 0), 0, RKind::Reg(2))));
+        assert!(!map.masks(&spec, RNode::new(PeId::new(0, 0), 0, RKind::Reg(1))));
+        assert!(map.masks(&spec, RNode::new(PeId::new(1, 1), 1, RKind::Mem)));
+        assert!(!map.masks(&spec, RNode::new(PeId::new(0, 1), 1, RKind::Mem)));
+        assert_eq!(map.len(), 2);
+        let text = map.to_string();
+        assert!(text.contains("register") && text.contains("memory"), "{text}");
+    }
+}

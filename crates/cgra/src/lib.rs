@@ -30,11 +30,13 @@
 //! ```
 
 mod arch;
+mod fault;
 mod mrrg;
 pub mod power;
 mod vsa;
 
 pub use arch::{CgraSpec, Dir, PeId, SpecError, ALL_DIRS};
+pub use fault::FaultMap;
 pub use mrrg::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
 pub use power::PowerModel;
 pub use vsa::{SpeId, Vsa, VsaError};

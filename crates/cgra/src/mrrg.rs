@@ -166,17 +166,31 @@ fn same_cycle(from: RKind, to: RKind) -> bool {
 pub struct Mrrg {
     spec: CgraSpec,
     ii: u32,
+    /// `true` when `spec.faults` masks at least one resource. Cached so the
+    /// pristine-fabric hot path pays exactly one branch per mask check.
+    faulty: bool,
 }
 
 impl Mrrg {
-    /// Creates the MRRG of `spec` time-extended to `ii` cycles.
+    /// Creates the MRRG of `spec` time-extended to `ii` cycles. Resources
+    /// masked by `spec.faults` do not exist in the graph: they are skipped by
+    /// [`Mrrg::nodes_iter`], rejected by [`Mrrg::contains`] and never emitted
+    /// as successors or predecessors, so routing transparently avoids them.
     ///
     /// # Panics
     ///
     /// Panics if `ii == 0`.
     pub fn new(spec: CgraSpec, ii: usize) -> Self {
         assert!(ii > 0, "initiation interval must be at least 1");
-        Mrrg { spec, ii: ii as u32 }
+        let faulty = !spec.faults.is_empty();
+        Mrrg { spec, ii: ii as u32, faulty }
+    }
+
+    /// Whether this map's fault model masks `node` (always `false` on a
+    /// pristine fabric — a single cached branch).
+    #[inline]
+    fn masked(&self, node: RNode) -> bool {
+        self.faulty && self.spec.faults.masks(&self.spec, node)
     }
 
     /// The architecture this MRRG is built over.
@@ -197,6 +211,11 @@ impl Mrrg {
 
     /// Total number of resource nodes.
     pub fn node_count(&self) -> usize {
+        if self.faulty {
+            // Rarely called; the masked count has no closed form worth the
+            // maintenance risk of keeping in sync with `FaultMap::masks`.
+            return self.nodes_iter().count();
+        }
         // fu + out + regwr + regrd + mem + 4 wires + rf_size regs, per PE per
         // cycle; border wires toward the array edge are not counted.
         let per_pe = 5 + self.spec.rf_size;
@@ -217,9 +236,10 @@ impl Mrrg {
         (t + self.ii - 1) % self.ii
     }
 
-    /// `true` if `node` is a valid resource of this MRRG.
+    /// `true` if `node` is a valid resource of this MRRG. Faulted resources
+    /// are not part of the graph.
     pub fn contains(&self, node: RNode) -> bool {
-        if !self.spec.contains(node.pe) || node.t >= self.ii {
+        if !self.spec.contains(node.pe) || node.t >= self.ii || self.masked(node) {
             return false;
         }
         match node.kind {
@@ -234,21 +254,24 @@ impl Mrrg {
     pub fn nodes_iter(&self) -> impl Iterator<Item = RNode> + '_ {
         let ii = self.ii;
         let rf = self.spec.rf_size;
-        self.spec.pes().flat_map(move |pe| {
-            (0..ii).flat_map(move |t| {
-                [RKind::Fu, RKind::Out]
-                    .into_iter()
-                    .chain(
-                        ALL_DIRS
-                            .into_iter()
-                            .filter(move |&d| self.spec.neighbor(pe, d).is_some())
-                            .map(RKind::Wire),
-                    )
-                    .chain((0..rf).map(|r| RKind::Reg(r as u8)))
-                    .chain([RKind::RegWr, RKind::RegRd, RKind::Mem])
-                    .map(move |kind| RNode::new(pe, t, kind))
+        self.spec
+            .pes()
+            .flat_map(move |pe| {
+                (0..ii).flat_map(move |t| {
+                    [RKind::Fu, RKind::Out]
+                        .into_iter()
+                        .chain(
+                            ALL_DIRS
+                                .into_iter()
+                                .filter(move |&d| self.spec.neighbor(pe, d).is_some())
+                                .map(RKind::Wire),
+                        )
+                        .chain((0..rf).map(|r| RKind::Reg(r as u8)))
+                        .chain([RKind::RegWr, RKind::RegRd, RKind::Mem])
+                        .map(move |kind| RNode::new(pe, t, kind))
+                })
             })
-        })
+            .filter(move |&n| !self.masked(n))
     }
 
     /// Enumerates all resource nodes (for tests and small explicit uses;
@@ -267,6 +290,13 @@ impl Mrrg {
     /// Panics (in debug builds) if `node` is not part of this MRRG.
     pub fn for_each_successor(&self, node: RNode, mut f: impl FnMut(RNode)) {
         debug_assert!(self.contains(node), "{node:?} outside MRRG");
+        // Filter faulted endpoints at the emission point, so every consumer
+        // (routers, the CSR builder, the verifier) sees only live resources.
+        let mut f = |n: RNode| {
+            if !self.masked(n) {
+                f(n);
+            }
+        };
         let pe = node.pe;
         let t1 = self.t_next(node.t);
         match node.kind {
@@ -324,6 +354,13 @@ impl Mrrg {
     /// `node` — the exact inverse of [`Mrrg::for_each_successor`].
     pub fn for_each_predecessor(&self, node: RNode, mut f: impl FnMut(RNode)) {
         debug_assert!(self.contains(node), "{node:?} outside MRRG");
+        // Mirrors `for_each_successor`: masked sources never reach `f`, which
+        // keeps the successor/predecessor inverse property on the live graph.
+        let mut f = |n: RNode| {
+            if !self.masked(n) {
+                f(n);
+            }
+        };
         let pe = node.pe;
         let t0 = self.t_prev(node.t);
         match node.kind {
@@ -982,6 +1019,55 @@ mod tests {
         assert_eq!(idx.edge_latency(fu, out), Some(1));
         assert_eq!(idx.edge_latency(out, fu), Some(0));
         assert_eq!(idx.edge_latency(fu, fu), None);
+    }
+
+    #[test]
+    fn faulted_resources_vanish_from_graph_and_index() {
+        let mut faults = crate::FaultMap::new();
+        faults
+            .kill_pe(PeId::new(1, 1))
+            .sever_link(PeId::new(0, 0), Dir::East)
+            .disable_reg(PeId::new(0, 1), 1)
+            .disable_mem(PeId::new(2, 2));
+        let spec = CgraSpec::square(3).with_faults(faults);
+        let m = Mrrg::new(spec.clone(), 2);
+        assert_eq!(m.nodes().len(), m.node_count());
+        assert!(!m.contains(RNode::new(PeId::new(1, 1), 0, RKind::Fu)));
+        assert!(!m.contains(RNode::new(PeId::new(0, 0), 1, RKind::Wire(Dir::East))));
+        assert!(!m.contains(RNode::new(PeId::new(0, 1), 0, RKind::Reg(1))));
+        assert!(!m.contains(RNode::new(PeId::new(2, 2), 1, RKind::Mem)));
+        for n in m.nodes() {
+            assert!(!spec.faults.masks(&spec, n), "masked node enumerated: {n:?}");
+            for s in m.successors(n) {
+                assert!(m.contains(s), "{n:?} -> masked {s:?}");
+            }
+            for p in m.predecessors(n) {
+                assert!(m.contains(p), "masked {p:?} -> {n:?}");
+            }
+        }
+        // The dense index agrees node-for-node and edge-for-edge.
+        let idx = MrrgIndex::new(spec, 2);
+        assert_eq!(idx.len(), m.node_count());
+        assert_eq!(idx.index_of(RNode::new(PeId::new(1, 1), 0, RKind::Fu)), None);
+        for n in m.nodes() {
+            let i = idx.index_of(n).unwrap();
+            let fwd: Vec<RNode> = idx.successors(i).map(|(s, _)| idx.node(s)).collect();
+            assert_eq!(fwd, m.successors(n), "successors of {n:?}");
+            let bwd: Vec<RNode> = idx.predecessors(i).map(|(p, _)| idx.node(p)).collect();
+            assert_eq!(bwd, m.predecessors(n), "predecessors of {n:?}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_distinguishes_fault_maps() {
+        let pristine = CgraSpec::square(2);
+        let mut faults = crate::FaultMap::new();
+        faults.kill_pe(PeId::new(0, 1));
+        let faulted = pristine.clone().with_faults(faults);
+        let a = MrrgIndex::shared(pristine, 2);
+        let b = MrrgIndex::shared(faulted, 2);
+        assert!(!Arc::ptr_eq(&a, &b), "fault maps are part of the cache key");
+        assert!(b.len() < a.len(), "masking must shrink the graph");
     }
 
     #[test]

@@ -54,6 +54,17 @@ pub enum VsaError {
         /// Sub-CGRA columns `s2`.
         s2: usize,
     },
+    /// No dead-PE-free rectangle of the array fits even one sub-CGRA.
+    NoFaultFreeRegion {
+        /// CGRA rows.
+        rows: usize,
+        /// CGRA columns.
+        cols: usize,
+        /// Sub-CGRA rows `s1`.
+        s1: usize,
+        /// Sub-CGRA columns `s2`.
+        s2: usize,
+    },
 }
 
 impl fmt::Display for VsaError {
@@ -62,6 +73,9 @@ impl fmt::Display for VsaError {
             VsaError::EmptySubCgra => write!(f, "sub-CGRA dimensions must be non-zero"),
             VsaError::NotDivisible { rows, cols, s1, s2 } => {
                 write!(f, "{s1}x{s2} sub-CGRA does not tile a {rows}x{cols} CGRA")
+            }
+            VsaError::NoFaultFreeRegion { rows, cols, s1, s2 } => {
+                write!(f, "no fault-free region of a {rows}x{cols} CGRA fits a {s1}x{s2} sub-CGRA")
             }
         }
     }
@@ -92,25 +106,82 @@ pub struct Vsa {
     s2: usize,
     rows: usize,
     cols: usize,
+    /// North-west physical corner of the VSA region: `(0, 0)` on a fabric
+    /// without dead PEs; otherwise the anchor of the best dead-PE-free
+    /// rectangle.
+    origin: PeId,
 }
 
 impl Vsa {
     /// Clusters `spec` into `s1 × s2` sub-CGRAs.
     ///
+    /// Every SPE hosts live loop iterations, so dead PEs cannot be routed
+    /// around *inside* the VSA — instead the VSA is anchored on the
+    /// dead-PE-free rectangle that fits the most `s1 × s2` sub-CGRAs (ties
+    /// broken deterministically by scan order). Other fault classes (severed
+    /// links, disabled registers or memory banks) stay inside the region and
+    /// are avoided by MRRG masking during routing.
+    ///
     /// # Errors
     ///
-    /// Returns [`VsaError`] if `s1`/`s2` are zero or do not divide the array
-    /// dimensions.
+    /// Returns [`VsaError`] if `s1`/`s2` are zero, do not divide the array
+    /// dimensions (fabrics without dead PEs), or no dead-PE-free rectangle
+    /// fits a single sub-CGRA.
     pub fn new(spec: CgraSpec, s1: usize, s2: usize) -> Result<Self, VsaError> {
         if s1 == 0 || s2 == 0 {
             return Err(VsaError::EmptySubCgra);
         }
-        if !spec.rows.is_multiple_of(s1) || !spec.cols.is_multiple_of(s2) {
-            return Err(VsaError::NotDivisible { rows: spec.rows, cols: spec.cols, s1, s2 });
+        if !spec.faults.has_dead_pes() {
+            if !spec.rows.is_multiple_of(s1) || !spec.cols.is_multiple_of(s2) {
+                return Err(VsaError::NotDivisible { rows: spec.rows, cols: spec.cols, s1, s2 });
+            }
+            let rows = spec.rows / s1;
+            let cols = spec.cols / s2;
+            return Ok(Vsa { spec, s1, s2, rows, cols, origin: PeId::new(0, 0) });
         }
-        let rows = spec.rows / s1;
-        let cols = spec.cols / s2;
-        Ok(Vsa { spec, s1, s2, rows, cols })
+        // For every row pair (r0, r1) keep per-column "all rows healthy"
+        // flags incrementally; each maximal healthy run is a candidate
+        // rectangle. O(rows² · cols), deterministic first-best tie-break.
+        let (rows, cols) = (spec.rows, spec.cols);
+        let mut best: Option<(usize, PeId, usize, usize)> = None;
+        let mut alive = vec![true; cols];
+        for r0 in 0..rows {
+            alive.iter_mut().for_each(|a| *a = true);
+            for r1 in r0..rows {
+                for (c, slot) in alive.iter_mut().enumerate() {
+                    *slot = *slot && !spec.faults.pe_dead(PeId::new(r1, c));
+                }
+                let vrows = (r1 - r0 + 1) / s1;
+                if vrows == 0 {
+                    continue;
+                }
+                let mut c = 0;
+                while c < cols {
+                    if !alive[c] {
+                        c += 1;
+                        continue;
+                    }
+                    let start = c;
+                    while c < cols && alive[c] {
+                        c += 1;
+                    }
+                    let vcols = (c - start) / s2;
+                    if vcols == 0 {
+                        continue;
+                    }
+                    let usable = vrows * vcols;
+                    if best.as_ref().is_none_or(|&(u, ..)| usable > u) {
+                        best = Some((usable, PeId::new(r0, start), vrows, vcols));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, origin, vrows, vcols)) => {
+                Ok(Vsa { spec, s1, s2, rows: vrows, cols: vcols, origin })
+            }
+            None => Err(VsaError::NoFaultFreeRegion { rows, cols, s1, s2 }),
+        }
     }
 
     /// The underlying CGRA.
@@ -129,8 +200,22 @@ impl Vsa {
     }
 
     /// A standalone spec describing one sub-CGRA `G''` (used by `MAP()`).
+    /// Faults are stripped: the relative mapping is position-agnostic, and
+    /// replication lands it only on the fault-masked physical MRRG.
     pub fn sub_spec(&self) -> CgraSpec {
-        CgraSpec { rows: self.s1, cols: self.s2, ..self.spec.clone() }
+        CgraSpec { rows: self.s1, cols: self.s2, ..self.spec.fault_free() }
+    }
+
+    /// The physical PE at the north-west corner of the VSA region.
+    pub fn origin(&self) -> PeId {
+        self.origin
+    }
+
+    /// `true` if `pe` lies inside the (possibly cropped) VSA region.
+    pub fn contains_pe(&self, pe: PeId) -> bool {
+        let (x, y) = (pe.x as usize, pe.y as usize);
+        let (ox, oy) = (self.origin.x as usize, self.origin.y as usize);
+        x >= ox && x < ox + self.rows * self.s1 && y >= oy && y < oy + self.cols * self.s2
     }
 
     /// VSA grid rows (`c / s1`).
@@ -152,10 +237,13 @@ impl Vsa {
     ///
     /// # Panics
     ///
-    /// Panics if `pe` is outside the array.
+    /// Panics if `pe` is outside the VSA region.
     pub fn spe_of(&self, pe: PeId) -> SpeId {
-        assert!(self.spec.contains(pe), "{pe:?} outside CGRA");
-        SpeId { x: pe.x / self.s1 as u16, y: pe.y / self.s2 as u16 }
+        assert!(self.contains_pe(pe), "{pe:?} outside VSA region");
+        SpeId {
+            x: (pe.x - self.origin.x) / self.s1 as u16,
+            y: (pe.y - self.origin.y) / self.s2 as u16,
+        }
     }
 
     /// `true` if `spe` lies inside the VSA grid.
@@ -176,13 +264,23 @@ impl Vsa {
             self.s1,
             self.s2
         );
-        PeId { x: spe.x * self.s1 as u16 + local.x, y: spe.y * self.s2 as u16 + local.y }
+        PeId {
+            x: self.origin.x + spe.x * self.s1 as u16 + local.x,
+            y: self.origin.y + spe.y * self.s2 as u16 + local.y,
+        }
     }
 
     /// The local coordinates of a physical PE within its SPE.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is outside the VSA region.
     pub fn local_of(&self, pe: PeId) -> PeId {
-        assert!(self.spec.contains(pe), "{pe:?} outside CGRA");
-        PeId { x: pe.x % self.s1 as u16, y: pe.y % self.s2 as u16 }
+        assert!(self.contains_pe(pe), "{pe:?} outside VSA region");
+        PeId {
+            x: (pe.x - self.origin.x) % self.s1 as u16,
+            y: (pe.y - self.origin.y) % self.s2 as u16,
+        }
     }
 
     /// Iterates over all SPE coordinates in row-major order.
@@ -242,6 +340,42 @@ mod tests {
         for pe in vsa.spec().pes().collect::<Vec<_>>() {
             assert_eq!(vsa.spe_of(pe), SpeId { x: pe.x, y: pe.y });
         }
+    }
+
+    #[test]
+    fn crops_around_dead_pes() {
+        // Killing (0,0) on an 8x8 with 2x2 sub-CGRAs: the 8-row slab east of
+        // column 0 fits 4x3 sub-CGRAs (12), found before the 7x8 slab south
+        // of row 0 (also 12) — first-best scan order is the tie-break.
+        let mut faults = crate::FaultMap::new();
+        faults.kill_pe(PeId::new(0, 0));
+        let vsa = Vsa::new(CgraSpec::square(8).with_faults(faults), 2, 2).unwrap();
+        assert_eq!(vsa.origin(), PeId::new(0, 1));
+        assert_eq!((vsa.rows(), vsa.cols()), (4, 3));
+        assert!(!vsa.contains_pe(PeId::new(0, 0)));
+        for spe in vsa.spes().collect::<Vec<_>>() {
+            for lx in 0..2 {
+                for ly in 0..2 {
+                    let pe = vsa.pe_at(spe, PeId::new(lx, ly));
+                    assert!(vsa.spec().healthy(pe), "{pe:?} in VSA region");
+                    assert_eq!(vsa.spe_of(pe), spe);
+                    assert_eq!(vsa.local_of(pe), PeId::new(lx, ly));
+                }
+            }
+        }
+        assert!(vsa.sub_spec().faults.is_empty(), "sub-CGRA probing is fault-free");
+    }
+
+    #[test]
+    fn fully_dead_array_has_no_region() {
+        let mut faults = crate::FaultMap::new();
+        for pe in CgraSpec::square(2).pes() {
+            faults.kill_pe(pe);
+        }
+        assert_eq!(
+            Vsa::new(CgraSpec::square(2).with_faults(faults), 1, 1).unwrap_err(),
+            VsaError::NoFaultFreeRegion { rows: 2, cols: 2, s1: 1, s2: 1 }
+        );
     }
 
     #[test]

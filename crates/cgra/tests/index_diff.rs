@@ -9,15 +9,40 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
-use himap_cgra::{CgraSpec, Mrrg, MrrgIndex, RIdx, RNode};
+use himap_cgra::{CgraSpec, FaultMap, Mrrg, MrrgIndex, PeId, RIdx, RNode, ALL_DIRS};
 use proptest::prelude::*;
 
 fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
     (1usize..5, 1usize..5, 1usize..5)
 }
 
+/// Random dimensions plus a random fault map (up to three faults drawn from
+/// all four classes) fitting those dimensions.
+fn arb_faulted() -> impl Strategy<Value = (usize, usize, usize, FaultMap)> {
+    arb_dims().prop_flat_map(|(rows, cols, ii)| {
+        proptest::collection::vec((0usize..4, 0usize..rows, 0usize..cols, 0usize..8), 0..4)
+            .prop_map(move |faults| {
+                let mut map = FaultMap::new();
+                for (class, r, c, x) in faults {
+                    match class {
+                        0 => map.kill_pe(PeId::new(r, c)),
+                        1 => map.sever_link(PeId::new(r, c), ALL_DIRS[x % ALL_DIRS.len()]),
+                        2 => map.disable_reg(PeId::new(r, c), x),
+                        _ => map.disable_mem(PeId::new(r, c)),
+                    };
+                }
+                (rows, cols, ii, map)
+            })
+    })
+}
+
 fn build(rows: usize, cols: usize, ii: usize) -> (Mrrg, MrrgIndex) {
     let spec = CgraSpec::mesh(rows, cols).expect("non-empty mesh");
+    (Mrrg::new(spec.clone(), ii), MrrgIndex::new(spec, ii))
+}
+
+fn build_faulted(rows: usize, cols: usize, ii: usize, faults: &FaultMap) -> (Mrrg, MrrgIndex) {
+    let spec = CgraSpec::mesh(rows, cols).expect("non-empty mesh").with_faults(faults.clone());
     (Mrrg::new(spec.clone(), ii), MrrgIndex::new(spec, ii))
 }
 
@@ -73,6 +98,49 @@ proptest! {
                 prop_assert_eq!(index.edge_latency(node, succ), Some(lat));
             }
         }
+    }
+
+    #[test]
+    fn faulted_ids_stay_dense_and_bijective((rows, cols, ii, faults) in arb_faulted()) {
+        let (mrrg, index) = build_faulted(rows, cols, ii, &faults);
+        let legacy = mrrg.nodes();
+        prop_assert_eq!(index.len(), legacy.len());
+        prop_assert_eq!(index.nodes(), legacy.as_slice());
+        for (i, &node) in legacy.iter().enumerate() {
+            let ri = RIdx(i as u32);
+            prop_assert_eq!(index.node(ri), node);
+            prop_assert_eq!(index.index_of(node), Some(ri));
+        }
+    }
+
+    #[test]
+    fn faulted_adjacency_matches_legacy_enumeration((rows, cols, ii, faults) in arb_faulted()) {
+        let (mrrg, index) = build_faulted(rows, cols, ii, &faults);
+        for (i, &node) in mrrg.nodes().iter().enumerate() {
+            let succ: Vec<RNode> =
+                index.successors(RIdx(i as u32)).map(|(j, _)| index.node(j)).collect();
+            prop_assert_eq!(succ, mrrg.successors(node), "successors of {:?}", node);
+            let pred: Vec<RNode> =
+                index.predecessors(RIdx(i as u32)).map(|(j, _)| index.node(j)).collect();
+            prop_assert_eq!(pred, mrrg.predecessors(node), "predecessors of {:?}", node);
+        }
+    }
+
+    #[test]
+    fn faulted_builds_exclude_exactly_the_masked_nodes((rows, cols, ii, faults) in arb_faulted()) {
+        let spec = CgraSpec::mesh(rows, cols).expect("non-empty mesh");
+        let faulted_spec = spec.clone().with_faults(faults.clone());
+        let pristine = MrrgIndex::new(spec.clone(), ii);
+        let (mrrg, index) = build_faulted(rows, cols, ii, &faults);
+        // No masked node survives in either representation...
+        for node in mrrg.nodes() {
+            prop_assert!(!faults.masks(&faulted_spec, node), "masked {:?} present", node);
+            prop_assert!(index.contains(node));
+        }
+        // ...and nothing else is dropped: pristine minus masked == faulted.
+        let kept =
+            pristine.nodes().iter().filter(|&&n| !faults.masks(&faulted_spec, n)).count();
+        prop_assert_eq!(kept, index.len());
     }
 
     #[test]

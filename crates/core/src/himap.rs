@@ -21,10 +21,12 @@
 //! `memset`s) instead of a full router construction.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use himap_baseline::{baseline_block, bhc, BaselineMapping, BaselineOptions};
 use himap_cgra::{CgraSpec, MrrgIndex, Vsa};
 use himap_dfg::{Dfg, NodeKind};
 use himap_kernels::Kernel;
@@ -33,7 +35,7 @@ use himap_systolic::{search_counted, SearchConfig};
 
 use crate::layout::Layout;
 use crate::mapping::{Mapping, MappingStats};
-use crate::options::{HiMapError, HiMapOptions};
+use crate::options::{Attempt, HiMapError, HiMapOptions, MapReport};
 use crate::route::{replicate_and_verify, route_representatives_pooled};
 use crate::stats::{PipelineStats, Stage, StatsCollector, WorkerStats};
 use crate::submap::{map_idfg_counted, SubMapping};
@@ -46,6 +48,48 @@ use crate::unique::classify;
 #[derive(Clone, Debug, Default)]
 pub struct HiMap {
     options: HiMapOptions,
+}
+
+/// What [`HiMap::map_recover`] recovered: the result of whichever ladder
+/// rung succeeded first.
+#[derive(Clone, Debug)]
+pub enum Recovered {
+    /// A HiMap rung produced a fully routed and verified [`Mapping`].
+    HiMap(Box<Mapping>),
+    /// The ladder fell through to the baseline SPR/SA mapper: a
+    /// placement-only modulo schedule with no explicit routes (check it with
+    /// `himap-verify`'s baseline verifier, not the mapping verifier).
+    Baseline(Box<BaselineMapping>),
+}
+
+impl Recovered {
+    /// The HiMap mapping, when that rung won.
+    pub fn as_himap(&self) -> Option<&Mapping> {
+        match self {
+            Recovered::HiMap(mapping) => Some(mapping),
+            Recovered::Baseline(_) => None,
+        }
+    }
+
+    /// The baseline fallback mapping, when the ladder fell through.
+    pub fn as_baseline(&self) -> Option<&BaselineMapping> {
+        match self {
+            Recovered::HiMap(_) => None,
+            Recovered::Baseline(baseline) => Some(baseline),
+        }
+    }
+}
+
+/// Builds the attempt-trail report of a failed climb and mirrors the trail
+/// into the stats collector so [`PipelineStats`] surfaces it too.
+fn report(stats: &StatsCollector, attempts: Vec<Attempt>, started: Instant) -> MapReport {
+    record_attempts(stats, &attempts);
+    MapReport { attempts, elapsed: started.elapsed() }
+}
+
+/// Replaces the collector's recorded attempt trail with `attempts`.
+fn record_attempts(stats: &StatsCollector, attempts: &[Attempt]) {
+    *lock(&stats.attempts) = attempts.to_vec();
 }
 
 /// Distinct dependence distances probed on a small block:
@@ -77,12 +121,17 @@ enum Verdict {
     /// Abandoned by the early-exit flag: some candidate of better-or-equal
     /// priority already fully verified, so this one cannot win.
     Abandoned,
+    /// A worker panicked while evaluating this candidate. Terminal: the
+    /// panic means a bug, and hiding it behind "no systolic mapping" would
+    /// misdiagnose the walk; the walk aborts with
+    /// [`HiMapError::Internal`] instead.
+    Internal(String),
 }
 
 impl Verdict {
     /// Terminal verdicts end the walk at their candidate's priority.
     fn is_terminal(&self) -> bool {
-        matches!(self, Verdict::Mapped(_) | Verdict::DfgError(_))
+        matches!(self, Verdict::Mapped(_) | Verdict::DfgError(_) | Verdict::Internal(_))
     }
 }
 
@@ -128,7 +177,7 @@ impl HiMap {
     ) -> (Result<Mapping, HiMapError>, PipelineStats) {
         let wall = Instant::now();
         let stats = StatsCollector::default();
-        let result = self.walk(kernel, cgra, &stats);
+        let result = self.climb(kernel, cgra, &stats, wall);
         let pipeline = stats.snapshot(wall.elapsed(), self.options.effective_threads());
         let result = result.map(|mut mapping| {
             mapping.set_pipeline_stats(pipeline.clone());
@@ -137,12 +186,221 @@ impl HiMap {
         (result, pipeline)
     }
 
+    /// [`HiMap::map`] with the full recovery ladder, including the baseline
+    /// SPR/SA fallback rung (`options.recovery.baseline_fallback`).
+    ///
+    /// The baseline mapper produces a placement-only modulo schedule with no
+    /// explicit routes, so a fallback result cannot be a [`Mapping`]; this is
+    /// the only entry point that can return [`Recovered::Baseline`], and
+    /// [`HiMap::map`] / [`HiMap::map_with_stats`] climb the HiMap rungs only.
+    ///
+    /// # Errors
+    ///
+    /// [`HiMapError::Exhausted`] when every rung (baseline included) fails,
+    /// [`HiMapError::DeadlineExceeded`] when `options.deadline` cut the climb
+    /// short, or the bare underlying error for single-attempt runs.
+    pub fn map_recover(
+        &self,
+        kernel: &Kernel,
+        cgra: &CgraSpec,
+    ) -> (Result<Recovered, HiMapError>, PipelineStats) {
+        let wall = Instant::now();
+        let stats = StatsCollector::default();
+        let climbed = self.climb(kernel, cgra, &stats, wall);
+        let result = match climbed {
+            Ok(mapping) => Ok(Recovered::HiMap(Box::new(mapping))),
+            Err(err) => self.baseline_rung(kernel, cgra, &stats, wall, err),
+        };
+        let pipeline = stats.snapshot(wall.elapsed(), self.options.effective_threads());
+        let result = result.map(|recovered| match recovered {
+            Recovered::HiMap(mut mapping) => {
+                mapping.set_pipeline_stats(pipeline.clone());
+                Recovered::HiMap(mapping)
+            }
+            baseline => baseline,
+        });
+        (result, pipeline)
+    }
+
+    /// Climbs the HiMap rungs of the recovery ladder: the configured
+    /// attempt first, then II bumps and the widened retry
+    /// (`options.recovery`), each under `options.deadline`.
+    ///
+    /// Compatibility rule: a climb that made exactly one attempt with no
+    /// deadline configured returns the bare underlying error (the ladder is
+    /// invisible unless it actually ran); otherwise failures carry the
+    /// structured [`MapReport`] attempt trail.
+    fn climb(
+        &self,
+        kernel: &Kernel,
+        cgra: &CgraSpec,
+        stats: &StatsCollector,
+        started: Instant,
+    ) -> Result<Mapping, HiMapError> {
+        let deadline = self.options.deadline.map(|budget| started + budget);
+        let mut attempts: Vec<Attempt> = Vec::new();
+        let mut last: Option<HiMapError> = None;
+        for (rung, (stage, options)) in self.rung_plan().into_iter().enumerate() {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                return Err(HiMapError::DeadlineExceeded(report(stats, attempts, started)));
+            }
+            let attempt_start = Instant::now();
+            let mapper = HiMap { options };
+            let outcome = mapper.walk(kernel, cgra, stats, deadline);
+            match outcome {
+                Ok(mapping) => {
+                    // A success after failed rungs still surfaces the trail
+                    // through `PipelineStats`.
+                    record_attempts(stats, &attempts);
+                    return Ok(mapping);
+                }
+                Err(err) => {
+                    let shape = *lock(&stats.best_sub_shape);
+                    attempts.push(Attempt {
+                        rung,
+                        stage,
+                        shape,
+                        ii: shape.map(|(_, _, t)| t),
+                        cause: err.to_string(),
+                        elapsed: attempt_start.elapsed(),
+                    });
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Err(HiMapError::DeadlineExceeded(report(stats, attempts, started)));
+                    }
+                    if !err.is_recoverable() {
+                        return Err(err);
+                    }
+                    last = Some(err);
+                }
+            }
+        }
+        if attempts.len() <= 1 && deadline.is_none() {
+            // Single-attempt, no-deadline runs keep the pre-ladder error
+            // surface: the bare furthest-stage variant.
+            return Err(last.unwrap_or(HiMapError::NoSubMapping));
+        }
+        Err(HiMapError::Exhausted(report(stats, attempts, started)))
+    }
+
+    /// The HiMap rungs as `(stage label, options)` pairs: the configured
+    /// options first, then each II bump widening the time-slack window, then
+    /// the widened-candidate retry. The baseline rung is not an options
+    /// tweak and lives in [`HiMap::map_recover`].
+    fn rung_plan(&self) -> Vec<(String, HiMapOptions)> {
+        let base = &self.options;
+        let mut rungs = vec![("himap".to_string(), base.clone())];
+        for bump in 1..=base.recovery.ii_bumps {
+            let mut options = base.clone();
+            options.max_time_slack = base.max_time_slack + bump;
+            rungs.push((format!("himap+ii{bump}"), options));
+        }
+        if base.recovery.widen {
+            let mut options = base.clone();
+            options.max_time_slack = base.max_time_slack + base.recovery.ii_bumps + 1;
+            for extent in [8, 6, 3, 1] {
+                if !options.free_extents.contains(&extent) {
+                    options.free_extents.push(extent);
+                }
+            }
+            options.max_sub_candidates = base.max_sub_candidates.saturating_mul(2);
+            options.max_systolic_candidates = base.max_systolic_candidates.saturating_mul(2);
+            options.replication_feedback_rounds =
+                base.replication_feedback_rounds.saturating_add(2);
+            rungs.push(("himap+widen".to_string(), options));
+        }
+        rungs
+    }
+
+    /// The last rung: the baseline SPR/SA mapper on the fault-masked fabric,
+    /// under whatever deadline budget the HiMap rungs left over. `err` is
+    /// the climb's failure; when the rung is disabled or the failure is not
+    /// recoverable it passes through unchanged.
+    fn baseline_rung(
+        &self,
+        kernel: &Kernel,
+        cgra: &CgraSpec,
+        stats: &StatsCollector,
+        started: Instant,
+        err: HiMapError,
+    ) -> Result<Recovered, HiMapError> {
+        let recoverable = match &err {
+            HiMapError::Exhausted(_) => true,
+            HiMapError::DeadlineExceeded(_) => false,
+            other => other.is_recoverable(),
+        };
+        if !self.options.recovery.baseline_fallback || !recoverable {
+            return Err(err);
+        }
+        let deadline = self.options.deadline.map(|budget| started + budget);
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(err);
+        }
+        let attempt_start = Instant::now();
+        let mut baseline_options = BaselineOptions::default();
+        if let Some(d) = deadline {
+            baseline_options.timeout = d.saturating_duration_since(attempt_start);
+        }
+        let block = baseline_block(kernel, &baseline_options);
+        let cause = match Dfg::build(kernel, &block) {
+            Ok(dfg) => match bhc(&dfg, cgra, &baseline_options).best() {
+                Some(best) => {
+                    let mut attempts = match err {
+                        HiMapError::Exhausted(report) => report.attempts,
+                        _ => Vec::new(),
+                    };
+                    attempts.push(Attempt {
+                        rung: attempts.len(),
+                        stage: "baseline-bhc".to_string(),
+                        shape: None,
+                        ii: Some(best.ii),
+                        cause: format!("recovered via {:?}", best.algorithm),
+                        elapsed: attempt_start.elapsed(),
+                    });
+                    record_attempts(stats, &attempts);
+                    return Ok(Recovered::Baseline(Box::new(best.clone())));
+                }
+                None => "baseline mapper found no valid mapping".to_string(),
+            },
+            Err(e) => format!("baseline block DFG failed: {e}"),
+        };
+        // The rung failed: extend the trail and re-wrap.
+        let mut attempts = match err {
+            HiMapError::Exhausted(report) => report.attempts,
+            other => vec![Attempt {
+                rung: 0,
+                stage: "himap".to_string(),
+                shape: None,
+                ii: None,
+                cause: other.to_string(),
+                elapsed: attempt_start.duration_since(started),
+            }],
+        };
+        attempts.push(Attempt {
+            rung: attempts.len(),
+            stage: "baseline-bhc".to_string(),
+            shape: None,
+            ii: None,
+            cause,
+            elapsed: attempt_start.elapsed(),
+        });
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            return Err(HiMapError::DeadlineExceeded(report(stats, attempts, started)));
+        }
+        Err(HiMapError::Exhausted(report(stats, attempts, started)))
+    }
+
     /// Enumerates the candidate tuples and drives their evaluation.
+    ///
+    /// `deadline` (from [`HiMapOptions::deadline`]) is enforced
+    /// cooperatively: it arms the [`CancelToken`] of every evaluation, so
+    /// MAP()'s probe routing, candidate evaluation and detailed routing all
+    /// stop within a poll interval of the wall-clock bound.
     fn walk(
         &self,
         kernel: &Kernel,
         cgra: &CgraSpec,
         stats: &StatsCollector,
+        deadline: Option<Instant>,
     ) -> Result<Mapping, HiMapError> {
         if kernel.dims() < 2 {
             return Err(HiMapError::UnsupportedKernel(format!(
@@ -151,11 +409,15 @@ impl HiMap {
                 kernel.dims()
             )));
         }
-        let (subs, sub_stats) =
-            stats.timed(Stage::Map, || map_idfg_counted(kernel, cgra, &self.options));
+        let token = deadline.map(CancelToken::until);
+        let (subs, sub_stats) = stats
+            .timed(Stage::Map, || map_idfg_counted(kernel, cgra, &self.options, token.as_ref()));
         StatsCollector::add(&stats.sub_shapes_tried, sub_stats.shapes_tried);
         StatsCollector::add(&stats.sub_candidates, subs.len());
         stats.add_router(sub_stats.router);
+        // Remember the best sub-candidate of this walk for the ladder's
+        // attempt trail (shape and II of the closest miss).
+        *lock(&stats.best_sub_shape) = subs.first().map(|s| (s.s1, s.s2, s.t));
         if subs.is_empty() {
             return Err(HiMapError::NoSubMapping);
         }
@@ -174,9 +436,9 @@ impl HiMap {
         // lists; both paths produce the same winner.
         let workers = self.options.scheduled_workers(candidates.len());
         let verdicts = if workers <= 1 {
-            evaluate_sequential(&ctx, &candidates)
+            evaluate_sequential(&ctx, &candidates, token.as_ref())
         } else {
-            evaluate_parallel(&ctx, &candidates, workers)
+            evaluate_parallel(&ctx, &candidates, workers, deadline)
         };
         // The winner is the lowest-priority terminal verdict; with none, the
         // walk's error is the furthest stage any candidate reached.
@@ -188,6 +450,11 @@ impl HiMap {
                     return Ok(*mapping);
                 }
                 Verdict::DfgError(why) => return Err(HiMapError::Dfg(why)),
+                Verdict::Internal(why) => {
+                    return Err(HiMapError::Internal(format!(
+                        "candidate walk worker panicked: {why}"
+                    )))
+                }
                 Verdict::RouteFailed => route_failed = true,
                 Verdict::Pruned | Verdict::Abandoned => {}
             }
@@ -209,7 +476,15 @@ impl HiMap {
             return Ok(());
         }
         match crate::verify_hook() {
-            Some(hook) => hook(mapping).map_err(HiMapError::Verification),
+            // The hook is external code; a panic in it is its bug, not a
+            // reason to tear down the caller — surface it as `Internal`.
+            Some(hook) => match catch_unwind(AssertUnwindSafe(|| hook(mapping))) {
+                Ok(result) => result.map_err(HiMapError::Verification),
+                Err(payload) => Err(HiMapError::Internal(format!(
+                    "verify hook panicked: {}",
+                    panic_message(payload.as_ref())
+                ))),
+            },
             None => Ok(()),
         }
     }
@@ -299,11 +574,20 @@ impl EvalScratch {
 /// deterministic counters (`tests/pipeline_stats.rs` goldens) are those of
 /// the pooled router: [`Router::reset`] restores the search-visible state a
 /// freshly built router would have.
-fn evaluate_sequential(ctx: &EvalCtx<'_>, candidates: &[Candidate]) -> Vec<Verdict> {
+fn evaluate_sequential(
+    ctx: &EvalCtx<'_>,
+    candidates: &[Candidate],
+    cancel: Option<&CancelToken>,
+) -> Vec<Verdict> {
     let mut scratch = EvalScratch::new();
     let mut verdicts = Vec::new();
     for candidate in candidates {
-        let verdict = evaluate(ctx, candidate, &mut scratch, None);
+        if cancel.is_some_and(|token| token.is_cancelled()) {
+            // Deadline: abandon the rest of the walk; the remaining
+            // candidates never ran, so they get no verdict at all.
+            break;
+        }
+        let verdict = evaluate(ctx, candidate, &mut scratch, cancel);
         let terminal = verdict.is_terminal();
         verdicts.push(verdict);
         if terminal {
@@ -347,7 +631,12 @@ fn set_verdict(verdicts: &[OnceLock<Verdict>], idx: usize, verdict: Verdict) {
 /// better candidate verifies, in-flight Dijkstra searches for doomed
 /// candidates collapse within a few heap pops (counted in
 /// `router_searches_cancelled`).
-fn evaluate_parallel(ctx: &EvalCtx<'_>, candidates: &[Candidate], workers: usize) -> Vec<Verdict> {
+fn evaluate_parallel(
+    ctx: &EvalCtx<'_>,
+    candidates: &[Candidate],
+    workers: usize,
+    deadline: Option<Instant>,
+) -> Vec<Verdict> {
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     order.sort_by_key(|&idx| prefilter_cost(&candidates[idx]));
     let cursor = AtomicUsize::new(0);
@@ -374,8 +663,22 @@ fn evaluate_parallel(ctx: &EvalCtx<'_>, candidates: &[Candidate], workers: usize
                         set_verdict(verdicts, idx, Verdict::Abandoned);
                         continue;
                     }
-                    let token = CancelToken::new(Arc::clone(&best), idx);
-                    let verdict = evaluate(ctx, &candidates[idx], &mut scratch, Some(&token));
+                    let token = CancelToken::new(Arc::clone(&best), idx).with_deadline(deadline);
+                    // A panicking evaluation must not take the whole walk
+                    // (and its sibling workers' verdicts) down with it; it
+                    // becomes a terminal `Internal` verdict instead.
+                    let caught = catch_unwind(AssertUnwindSafe(|| {
+                        evaluate(ctx, &candidates[idx], &mut scratch, Some(&token))
+                    }));
+                    let verdict = match caught {
+                        Ok(verdict) => verdict,
+                        Err(payload) => {
+                            // The interrupted routers may hold inconsistent
+                            // congestion state; drop the pool.
+                            scratch = EvalScratch::new();
+                            Verdict::Internal(panic_message(payload.as_ref()))
+                        }
+                    };
                     tally.candidates_evaluated += 1;
                     if matches!(verdict, Verdict::Abandoned) {
                         StatsCollector::add(&ctx.stats.candidates_abandoned, 1);
@@ -403,6 +706,18 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
+/// Best-effort text of a caught panic payload (`panic!` with a string
+/// literal or a formatted message covers practically every real panic).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Evaluates one candidate tuple end to end: probe-filtered systolic search,
 /// exact re-validation on the unrolled block, then detailed routing with
 /// replication-aware negotiation for each ranked systolic map.
@@ -421,6 +736,11 @@ fn evaluate(
 ) -> Verdict {
     let stats = ctx.stats;
     let abandon = || cancel.is_some_and(|token| token.is_cancelled());
+    if abandon() {
+        // Already cancelled (deadline passed or a better candidate won)
+        // before any work: don't even count the attempt.
+        return Verdict::Abandoned;
+    }
     StatsCollector::add(&stats.candidates_tried, 1);
     let Candidate { sub, vsa, block } = candidate;
     // Probe the dependence structure on a small same-shape block.
@@ -835,7 +1155,7 @@ mod tests {
         let cgra = CgraSpec::square(4);
         let options = HiMapOptions::default();
         let stats = StatsCollector::default();
-        let (subs, _) = map_idfg_counted(&kernel, &cgra, &options);
+        let (subs, _) = map_idfg_counted(&kernel, &cgra, &options, None);
         let candidates = enumerate_candidates(&kernel, &cgra, &subs, &options, &stats);
         assert!(!candidates.is_empty());
         let ctx = EvalCtx {
@@ -863,7 +1183,7 @@ mod tests {
         let cgra = CgraSpec::square(4);
         let options = HiMapOptions::default();
         let stats = StatsCollector::default();
-        let (subs, _) = map_idfg_counted(&kernel, &cgra, &options);
+        let (subs, _) = map_idfg_counted(&kernel, &cgra, &options, None);
         let candidates = enumerate_candidates(&kernel, &cgra, &subs, &options, &stats);
         for candidate in &candidates {
             let Candidate { sub, vsa, block } = candidate;

@@ -48,10 +48,11 @@ mod verify_hook;
 pub mod viz;
 
 pub use config::{ConfigImage, DstPort, Instr, Move, SrcPort};
-pub use himap::HiMap;
+pub use himap::{HiMap, Recovered};
+pub use himap_baseline::BaselineMapping;
 pub use layout::{Layout, Slot};
 pub use mapping::{Mapping, MappingParts, MappingStats, RouteInstance};
-pub use options::{HiMapError, HiMapOptions};
+pub use options::{Attempt, HiMapError, HiMapOptions, MapReport, RecoveryPolicy};
 pub use stats::{PipelineStats, StageTimes, WorkerStats};
 pub use submap::{map_idfg, map_idfg_counted, SubMapStats, SubMapping};
 pub use unique::{ClassId, Classes, Descriptor};

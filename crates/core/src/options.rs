@@ -1,7 +1,9 @@
-//! Options and errors of the HiMap pipeline.
+//! Options and errors of the HiMap pipeline, including the recovery ladder
+//! ([`RecoveryPolicy`]) and its structured attempt trail ([`MapReport`]).
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 /// Tuning options for [`HiMap`](crate::HiMap).
 #[derive(Clone, Debug)]
@@ -59,6 +61,123 @@ pub struct HiMapOptions {
     /// turns into [`HiMapError::Verification`]. No-op unless a verifier has
     /// been installed via [`set_verify_hook`](crate::set_verify_hook).
     pub verify: bool,
+    /// Wall-clock budget for one `map` call, enforced cooperatively: the
+    /// deadline is checked between ladder rungs and pipeline phases, and
+    /// threaded into every Dijkstra pop loop through the router's
+    /// [`CancelToken`](himap_mapper::CancelToken), so the call returns
+    /// within a poll interval of the budget — never mid-resource. `None`
+    /// (the default) runs without a budget. An exceeded deadline surfaces as
+    /// [`HiMapError::DeadlineExceeded`] with the attempt trail so far.
+    pub deadline: Option<Duration>,
+    /// The recovery ladder climbed when the walk fails with a *recoverable*
+    /// error (`NoSubMapping` / `NoSystolicMapping` / `RoutingFailed`). The
+    /// default policy is a strict no-op: exactly one attempt, bare errors,
+    /// bit-identical to the pre-ladder pipeline.
+    pub recovery: RecoveryPolicy,
+}
+
+/// Escalation policy of the recovery ladder (see `DESIGN.md`).
+///
+/// Rungs are climbed in order after the base attempt fails recoverably:
+///
+/// 1. **II bumps** — `ii_bumps` retries, each widening
+///    [`HiMapOptions::max_time_slack`] by one more cycle so `MAP()` probes
+///    deeper sub-CGRAs (and therefore larger initiation intervals);
+/// 2. **widen** — one retry with widened shape/slack candidate budgets
+///    (extra free extents, doubled sub-candidate and systolic budgets) on
+///    top of the full II bump;
+/// 3. **baseline fallback** — the baseline SPR/SA mapper as a last resort.
+///    Its result is placement-only (no routed `Mapping`), so this rung is
+///    climbed by [`HiMap::map_recover`](crate::HiMap::map_recover) and
+///    skipped by the `Mapping`-returning entry points.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Extra initiation-interval rungs tried after the base attempt (each
+    /// adds one cycle of time slack). `0` disables II escalation.
+    pub ii_bumps: usize,
+    /// Whether to retry once with widened shape/slack candidate budgets.
+    pub widen: bool,
+    /// Whether to fall back to the baseline SPR/SA mapper as the last rung
+    /// (only reachable through `map_recover`).
+    pub baseline_fallback: bool,
+}
+
+impl RecoveryPolicy {
+    /// The full ladder: two II bumps, the widened retry and the baseline
+    /// fallback.
+    pub fn full() -> Self {
+        RecoveryPolicy { ii_bumps: 2, widen: true, baseline_fallback: true }
+    }
+
+    /// `true` when the policy is the no-op default (base attempt only).
+    pub fn is_noop(&self) -> bool {
+        *self == RecoveryPolicy::default()
+    }
+}
+
+/// One rung of the recovery ladder that was attempted and failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Attempt {
+    /// Ladder rung index (`0` is the base attempt).
+    pub rung: usize,
+    /// What ran: `"himap"`, `"himap+ii<n>"`, `"himap+widen"` or
+    /// `"baseline-bhc"`.
+    pub stage: String,
+    /// Best sub-CGRA shape `(s1, s2, t)` the rung produced, when `MAP()`
+    /// got that far.
+    pub shape: Option<(usize, usize, usize)>,
+    /// Initiation interval of that best sub-mapping.
+    pub ii: Option<usize>,
+    /// Why the rung failed (the underlying error's display).
+    pub cause: String,
+    /// Wall-clock time the rung consumed.
+    pub elapsed: Duration,
+}
+
+impl fmt::Display for Attempt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{} {}", self.rung, self.stage)?;
+        if let Some((s1, s2, t)) = self.shape {
+            write!(f, " shape={s1}x{s2}x{t}")?;
+        }
+        if let Some(ii) = self.ii {
+            write!(f, " ii={ii}")?;
+        }
+        write!(f, ": {} [{:.1} ms]", self.cause, self.elapsed.as_secs_f64() * 1e3)
+    }
+}
+
+/// The structured attempt trail of a failed (or deadline-cut) mapping run:
+/// every ladder rung that ran, with stage, shape, II, failure cause and
+/// elapsed time — infeasibility as evidence instead of a bare error.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MapReport {
+    /// The rungs attempted, in ladder order.
+    pub attempts: Vec<Attempt>,
+    /// Total wall time across all rungs.
+    pub elapsed: Duration,
+}
+
+impl MapReport {
+    /// The failure cause of the last completed rung, if any rung completed.
+    pub fn last_cause(&self) -> Option<&str> {
+        self.attempts.last().map(|a| a.cause.as_str())
+    }
+}
+
+impl fmt::Display for MapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} attempt(s) in {:.1} ms",
+            self.attempts.len(),
+            self.elapsed.as_secs_f64() * 1e3
+        )?;
+        for attempt in &self.attempts {
+            write!(f, "\n  {attempt}")?;
+        }
+        Ok(())
+    }
 }
 
 impl HiMapOptions {
@@ -108,6 +227,8 @@ impl Default for HiMapOptions {
             parallel_threshold: 8,
             oversubscribe: false,
             verify: false,
+            deadline: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -131,6 +252,39 @@ pub enum HiMapError {
     /// [`set_verify_hook`](crate::set_verify_hook)). Carries the rendered
     /// diagnostics.
     Verification(String),
+    /// A worker thread of the candidate walk panicked; the panic was caught
+    /// and surfaced instead of aborting the process. Carries the panic
+    /// message.
+    Internal(String),
+    /// Every rung of the recovery ladder failed. Carries the structured
+    /// attempt trail. Only produced when the ladder actually climbed (more
+    /// than one rung ran, or a deadline was set) — a single-rung no-policy
+    /// run keeps returning the bare underlying error.
+    Exhausted(MapReport),
+    /// The [`HiMapOptions::deadline`] passed before any rung succeeded.
+    /// Carries the attempt trail up to the cut.
+    DeadlineExceeded(MapReport),
+}
+
+impl HiMapError {
+    /// Whether the recovery ladder may climb past this error: shape/search/
+    /// routing dead ends are recoverable by escalation, while kernel,
+    /// DFG-construction, verification and internal errors would fail every
+    /// rung identically.
+    pub fn is_recoverable(&self) -> bool {
+        matches!(
+            self,
+            HiMapError::NoSubMapping | HiMapError::NoSystolicMapping | HiMapError::RoutingFailed
+        )
+    }
+
+    /// The structured attempt trail, when this error carries one.
+    pub fn report(&self) -> Option<&MapReport> {
+        match self {
+            HiMapError::Exhausted(report) | HiMapError::DeadlineExceeded(report) => Some(report),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for HiMapError {
@@ -148,6 +302,14 @@ impl fmt::Display for HiMapError {
             HiMapError::Verification(why) => {
                 write!(f, "static verification rejected the mapping: {why}")
             }
+            HiMapError::Internal(why) => write!(f, "internal error: {why}"),
+            HiMapError::Exhausted(report) => {
+                write!(f, "every recovery rung failed: {report}")
+            }
+            HiMapError::DeadlineExceeded(report) => match report.last_cause() {
+                Some(_) => write!(f, "deadline exceeded: {report}"),
+                None => write!(f, "deadline exceeded before any mapping attempt completed"),
+            },
         }
     }
 }

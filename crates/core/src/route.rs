@@ -410,10 +410,19 @@ fn edge_source(
             let (_, desc) = descriptor(dfg, layout, carrier.id, src_iter);
             let pattern = patterns[class].routes.get(&desc)?;
             let rep_iter = dfg.iteration_at(classes.reps[class]);
+            // A translated tap landing on a faulted resource cannot carry
+            // the signal there; drop it. (Replication later rejects any
+            // pattern whose member translation crosses a fault, so this
+            // filter only keeps the negotiation from chasing dead taps.)
+            let spec = layout.vsa().spec();
             let net: Vec<(RNode, i64)> = pattern
                 .iter()
                 .map(|&step| translate_step(layout, dfg, rep_iter, src_iter, step))
+                .filter(|&(n, _)| !spec.faults.masks(spec, n))
                 .collect();
+            if net.is_empty() {
+                return None;
+            }
             Some(EdgeSource::Net(net_sources(&net)))
         }
         (EdgeKind::Flow, NodeKind::Route) => None,
@@ -463,6 +472,7 @@ fn mem_sources(dfg: &Dfg, layout: &Layout, input: NodeId) -> Vec<(RNode, i64)> {
         min_abs = min_abs.max(p_slot.abs + 2);
     }
     let spe = himap_cgra::SpeId::new(pos.x as usize, pos.y as usize);
+    let spec = layout.vsa().spec();
     let mut out = Vec::new();
     for lx in 0..layout.sub().s1 {
         for ly in 0..layout.sub().s2 {
@@ -473,7 +483,12 @@ fn mem_sources(dfg: &Dfg, layout: &Layout, input: NodeId) -> Vec<(RNode, i64)> {
                     continue;
                 }
                 let cycle = abs.rem_euclid(layout.iib() as i64) as u32;
-                out.push((RNode::new(pe, cycle, RKind::Mem), abs));
+                let node = RNode::new(pe, cycle, RKind::Mem);
+                // A disabled memory bank (or dead PE) is not a source.
+                if spec.faults.masks(spec, node) {
+                    continue;
+                }
+                out.push((node, abs));
             }
         }
     }
@@ -501,16 +516,20 @@ impl BBox {
 fn route_bbox(dfg: &Dfg, layout: &Layout, e: EdgeId) -> BBox {
     let (src, dst) = dfg.graph().edge_endpoints(e);
     let (s1, s2) = (layout.sub().s1 as i32, layout.sub().s2 as i32);
+    // SPE positions are relative to the VSA origin, which is non-zero when
+    // the VSA is cropped around dead PEs.
+    let origin = layout.vsa().origin();
+    let (ox, oy) = (origin.x as i32, origin.y as i32);
     let mut x0 = i32::MAX;
     let mut x1 = i32::MIN;
     let mut y0 = i32::MAX;
     let mut y1 = i32::MIN;
     for node in [src, dst] {
         let pos = layout.position(dfg, dfg.graph()[node].iter);
-        x0 = x0.min(pos.x * s1);
-        x1 = x1.max(pos.x * s1 + s1 - 1);
-        y0 = y0.min(pos.y * s2);
-        y1 = y1.max(pos.y * s2 + s2 - 1);
+        x0 = x0.min(ox + pos.x * s1);
+        x1 = x1.max(ox + pos.x * s1 + s1 - 1);
+        y0 = y0.min(oy + pos.y * s2);
+        y1 = y1.max(oy + pos.y * s2 + s2 - 1);
     }
     BBox { x0, x1, y0, y1 }
 }
@@ -555,7 +574,11 @@ pub fn replicate_and_verify(
             }
         }
     }
-    // Stamp every in-edge's translated route.
+    // Stamp every in-edge's translated route. A step whose translation
+    // lands on a faulted resource invalidates the whole pattern for that
+    // member: collect the offending steps in the representative frame so
+    // the feedback loop steers the next negotiation round around them.
+    let mut faulted_steps: Vec<RNode> = Vec::new();
     for e in dfg.graph().edge_ids() {
         let (src, dst) = dfg.graph().edge_endpoints(e);
         let dst_iter = dfg.graph()[dst].iter;
@@ -576,11 +599,22 @@ pub fn replicate_and_verify(
                     if !occ.contains(&(root.index() as u32)) {
                         occ.push(root.index() as u32);
                     }
+                } else if spec.faults.masks(spec, node) {
+                    let (rep_node, _) = translate_step(layout, dfg, rep_iter, rep_iter, step);
+                    faulted_steps.push(rep_node);
                 }
             }
             steps.push((node, abs));
         }
         routes.push(FullRoute { edge: e, steps });
+    }
+    if !faulted_steps.is_empty() {
+        faulted_steps.sort();
+        faulted_steps.dedup();
+        return Err(RouteError::ReplicaConflicts {
+            count: faulted_steps.len(),
+            rep_frame: faulted_steps,
+        });
     }
     // Capacity check. On conflicts, translate the offending steps back into
     // their representatives' frames so the caller can penalize them in the

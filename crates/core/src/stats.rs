@@ -21,6 +21,8 @@ use std::time::{Duration, Instant};
 
 use himap_mapper::RouterStats;
 
+use crate::options::Attempt;
+
 /// One work-queue worker's share of the parallel candidate walk.
 ///
 /// The scheduler records one entry per spawned worker (none on the
@@ -134,6 +136,10 @@ pub struct PipelineStats {
     /// Per-worker busy/cancel counters from the work-queue scheduler; empty
     /// when the walk ran sequentially.
     pub workers: Vec<WorkerStats>,
+    /// Recovery-ladder attempt trail: one entry per failed rung. Empty when
+    /// the first attempt succeeded (the common case) or the ladder is
+    /// disabled.
+    pub attempts: Vec<Attempt>,
 }
 
 impl PipelineStats {
@@ -207,6 +213,9 @@ impl PipelineStats {
                 ms(w.busy),
             ));
         }
+        for a in &self.attempts {
+            out.push_str(&format!("\n  ladder   {a}"));
+        }
         out
     }
 }
@@ -251,6 +260,11 @@ pub(crate) struct StatsCollector {
     router_epoch_resets: AtomicU64,
     router_searches_cancelled: AtomicU64,
     workers: Mutex<Vec<WorkerStats>>,
+    /// Ladder attempt trail (written by the climb, not by workers).
+    pub(crate) attempts: Mutex<Vec<Attempt>>,
+    /// Best `(s1, s2, t)` sub-candidate of the most recent walk — the shape
+    /// provenance of each ladder attempt's closest miss.
+    pub(crate) best_sub_shape: Mutex<Option<(usize, usize, usize)>>,
 }
 
 /// The instrumented stages (each maps to one nanosecond accumulator).
@@ -349,6 +363,7 @@ impl StatsCollector {
             router_epoch_resets: self.router_epoch_resets.load(Ordering::Relaxed),
             router_searches_cancelled: self.router_searches_cancelled.load(Ordering::Relaxed),
             workers,
+            attempts: crate::himap::lock(&self.attempts).clone(),
         }
     }
 }

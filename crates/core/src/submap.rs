@@ -13,7 +13,7 @@ use himap_cgra::{CgraSpec, Mrrg, PeId, RKind, RNode};
 use himap_dfg::{Dfg, NodeKind};
 use himap_graph::NodeId;
 use himap_kernels::Kernel;
-use himap_mapper::{Router, RouterConfig, RouterStats, SignalId};
+use himap_mapper::{CancelToken, Router, RouterConfig, RouterStats, SignalId};
 
 use crate::options::HiMapOptions;
 
@@ -54,15 +54,20 @@ pub struct SubMapStats {
 /// iterations carry the full steady-state structure (all chains pass
 /// through them).
 pub fn map_idfg(kernel: &Kernel, cgra: &CgraSpec, options: &HiMapOptions) -> Vec<SubMapping> {
-    map_idfg_counted(kernel, cgra, options).0
+    map_idfg_counted(kernel, cgra, options, None).0
 }
 
 /// [`map_idfg`], additionally reporting how many shape/depth combinations
 /// were attempted — the instrumentation feed for pipeline statistics.
+///
+/// `cancel` (deadline enforcement) is polled between shape probes and armed
+/// on the probe router, so a passed deadline stops the enumeration within
+/// one search's poll interval; the shapes probed so far are still returned.
 pub fn map_idfg_counted(
     kernel: &Kernel,
     cgra: &CgraSpec,
     options: &HiMapOptions,
+    cancel: Option<&CancelToken>,
 ) -> (Vec<SubMapping>, SubMapStats) {
     let mut stats = SubMapStats::default();
     let probe_block: Vec<usize> = vec![3; kernel.dims()];
@@ -74,7 +79,7 @@ pub fn map_idfg_counted(
     let idfg = probe.idfg(interior);
     let ops = kernel.compute_ops_per_iteration();
     let mut out = Vec::new();
-    for s1 in 1..=cgra.rows.min(ops) {
+    'shapes: for s1 in 1..=cgra.rows.min(ops) {
         if !cgra.rows.is_multiple_of(s1) {
             continue;
         }
@@ -84,9 +89,12 @@ pub fn map_idfg_counted(
             }
             let t_min = ops.div_ceil(s1 * s2).max(1);
             for t in t_min..=t_min + options.max_time_slack {
+                if cancel.is_some_and(CancelToken::is_cancelled) {
+                    break 'shapes;
+                }
                 stats.shapes_tried += 1;
                 if let Some(sub) =
-                    try_shape(&probe, &idfg, cgra, s1, s2, t, options, &mut stats.router)
+                    try_shape(&probe, &idfg, cgra, s1, s2, t, options, cancel, &mut stats.router)
                 {
                     out.push(sub);
                 }
@@ -113,13 +121,17 @@ fn try_shape(
     s2: usize,
     t: usize,
     options: &HiMapOptions,
+    cancel: Option<&CancelToken>,
     router_stats: &mut RouterStats,
 ) -> Option<SubMapping> {
-    let sub_spec = CgraSpec { rows: s1, cols: s2, ..cgra.clone() };
+    // Probing is position-agnostic: the relative mapping is replicated only
+    // onto healthy tiles, so the sub-CGRA spec drops the physical fault map.
+    let sub_spec = CgraSpec { rows: s1, cols: s2, ..cgra.fault_free() };
     // `Router::new` resolves the (sub-spec, t) pair through the shared dense
     // index cache, so repeated probes of the same shape reuse one build.
     let mrrg = Mrrg::new(sub_spec.clone(), t);
     let mut router = Router::new(mrrg, RouterConfig::default());
+    router.set_cancel_token(cancel.cloned());
     // Topological order over the internal edges of the IDFG.
     let order = internal_topo_order(probe, idfg, options.depth_priority_scheduling);
     let mut result = None;

@@ -3,9 +3,33 @@
 
 #![allow(clippy::unwrap_used, clippy::expect_used)]
 
+use std::time::Duration;
+
 use himap_cgra::CgraSpec;
-use himap_core::{HiMap, HiMapError, HiMapOptions};
+use himap_core::{set_verify_hook, HiMap, HiMapError, HiMapOptions, Mapping, RecoveryPolicy};
 use himap_kernels::{AffineExpr, ArrayRef, Expr, KernelBuilder, OpKind};
+
+/// Per-process verify hook shared by the tests in this binary. It keys off
+/// the CGRA size so that only the tests that opt into a marker fabric (2x2
+/// panics, 3x3 rejects) observe injected behaviour; every other spec passes.
+fn selective_hook(mapping: &Mapping) -> Result<(), String> {
+    match mapping.spec().rows {
+        2 => panic!("injected hook panic"),
+        3 => Err("injected rejection".to_string()),
+        _ => Ok(()),
+    }
+}
+
+fn install_selective_hook() {
+    set_verify_hook(selective_hook);
+}
+
+fn assert_display_style(err: &HiMapError) {
+    let msg = err.to_string();
+    assert!(!msg.is_empty());
+    assert!(msg.chars().next().is_some_and(|c| c.is_lowercase()), "{msg}");
+    assert!(!msg.ends_with('.'), "{msg}");
+}
 
 /// A Jacobi-style kernel: `a[i][j] = a[i][j-1] + a[i][j+1]` reads its east
 /// neighbour *before* that element is overwritten — an anti-dependence the
@@ -84,13 +108,118 @@ fn tiny_candidate_budget_still_works_or_fails_cleanly() {
 }
 
 #[test]
+fn zero_pathfinder_rounds_report_no_sub_mapping() {
+    // With no PathFinder rounds MAP() cannot legalise any sub-mapping shape,
+    // so the walk fails before systolic search even starts.
+    let options = HiMapOptions { pathfinder_rounds: 0, ..HiMapOptions::default() };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(4))
+        .expect_err("no rounds means no sub-mapping");
+    assert_eq!(err, HiMapError::NoSubMapping);
+    assert_display_style(&err);
+}
+
+#[test]
+fn degenerate_free_extents_report_no_systolic_mapping() {
+    // A zero free extent makes every candidate's probe block empty, so each
+    // candidate is pruned and the systolic search comes up dry.
+    let options = HiMapOptions { free_extents: vec![0], ..HiMapOptions::default() };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(4))
+        .expect_err("zero-extent blocks prune every candidate");
+    assert_eq!(err, HiMapError::NoSystolicMapping);
+    assert_display_style(&err);
+}
+
+#[test]
+fn ladder_exhaustion_carries_attempt_trail() {
+    // `pathfinder_rounds: 0` fails identically on every rung, so a full
+    // recovery policy climbs the whole ladder and reports each attempt.
+    let options = HiMapOptions {
+        pathfinder_rounds: 0,
+        recovery: RecoveryPolicy::full(),
+        ..HiMapOptions::default()
+    };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(4))
+        .expect_err("every rung inherits the zero-round handicap");
+    let HiMapError::Exhausted(report) = &err else {
+        panic!("expected Exhausted, got {err}");
+    };
+    // base + two II bumps + the widened rung.
+    assert_eq!(report.attempts.len(), 4);
+    assert!(report.attempts.iter().all(|a| !a.cause.is_empty()));
+    assert!(report.attempts.iter().enumerate().all(|(i, a)| a.rung == i));
+    assert!(err.to_string().starts_with("every recovery rung failed"));
+    assert_display_style(&err);
+}
+
+#[test]
+fn zero_deadline_reports_deadline_exceeded() {
+    let options = HiMapOptions { deadline: Some(Duration::ZERO), ..HiMapOptions::default() };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(4))
+        .expect_err("a zero budget cannot map anything");
+    let HiMapError::DeadlineExceeded(report) = &err else {
+        panic!("expected DeadlineExceeded, got {err}");
+    };
+    assert!(report.attempts.is_empty(), "no attempt can complete in zero time");
+    assert_eq!(err.to_string(), "deadline exceeded before any mapping attempt completed");
+    assert_display_style(&err);
+}
+
+#[test]
+fn verification_rejection_surfaces_through_map() {
+    install_selective_hook();
+    let options = HiMapOptions { verify: true, ..HiMapOptions::default() };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(3))
+        .expect_err("the hook rejects every 3x3 mapping");
+    let HiMapError::Verification(why) = &err else {
+        panic!("expected Verification, got {err}");
+    };
+    assert!(why.contains("injected rejection"), "{why}");
+    assert!(err.to_string().starts_with("static verification rejected"));
+    assert_display_style(&err);
+}
+
+#[test]
+fn hook_panic_is_caught_as_internal_error() {
+    install_selective_hook();
+    let options = HiMapOptions { verify: true, ..HiMapOptions::default() };
+    let err = HiMap::new(options)
+        .map(&himap_kernels::suite::gemm(), &CgraSpec::square(2))
+        .expect_err("the hook panics on every 2x2 mapping");
+    let HiMapError::Internal(why) = &err else {
+        panic!("expected Internal, got {err}");
+    };
+    assert!(why.contains("injected hook panic"), "{why}");
+    assert_display_style(&err);
+}
+
+#[test]
 fn error_display_is_informative() {
+    let trail = himap_core::MapReport {
+        attempts: vec![himap_core::Attempt {
+            rung: 0,
+            stage: "himap".to_string(),
+            shape: Some((1, 1, 2)),
+            ii: Some(2),
+            cause: "detailed routing failed".to_string(),
+            elapsed: Duration::from_millis(7),
+        }],
+        elapsed: Duration::from_millis(9),
+    };
     let errors = [
         HiMapError::NoSubMapping,
         HiMapError::NoSystolicMapping,
         HiMapError::RoutingFailed,
         HiMapError::Dfg("boom".into()),
         HiMapError::UnsupportedKernel("why".into()),
+        HiMapError::Verification("V001 mismatch".into()),
+        HiMapError::Internal("worker panicked".into()),
+        HiMapError::Exhausted(trail.clone()),
+        HiMapError::DeadlineExceeded(trail),
     ];
     for e in errors {
         let msg = e.to_string();

@@ -4,6 +4,7 @@ use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use himap_cgra::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
 
@@ -122,23 +123,41 @@ impl RouterStats {
 pub struct CancelToken {
     bound: Arc<AtomicUsize>,
     threshold: usize,
+    /// Optional wall-clock deadline: the token also cancels once `Instant::now()`
+    /// reaches it, independent of the shared bound.
+    deadline: Option<Instant>,
 }
 
 impl CancelToken {
     /// A token that cancels once `bound` drops below `threshold`.
     pub fn new(bound: Arc<AtomicUsize>, threshold: usize) -> Self {
-        CancelToken { bound, threshold }
+        CancelToken { bound, threshold, deadline: None }
+    }
+
+    /// A token that cancels only once the wall clock reaches `deadline`.
+    pub fn until(deadline: Instant) -> Self {
+        CancelToken::never().with_deadline(Some(deadline))
     }
 
     /// A token that can never cancel (every bound is `>= 0`).
     pub fn never() -> Self {
-        CancelToken { bound: Arc::new(AtomicUsize::new(usize::MAX)), threshold: 0 }
+        CancelToken { bound: Arc::new(AtomicUsize::new(usize::MAX)), threshold: 0, deadline: None }
     }
 
-    /// Whether the shared bound has dropped below this token's threshold.
+    /// This token with `deadline` installed (or cleared with `None`),
+    /// keeping the shared-bound condition intact.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Option<Instant>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Whether the shared bound has dropped below this token's threshold or
+    /// the deadline (if any) has passed.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.bound.load(AtomicOrdering::Acquire) < self.threshold
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 }
 

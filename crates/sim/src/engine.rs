@@ -61,6 +61,14 @@ pub enum SimError {
     },
     /// The mapping's block extents do not match its kernel's loop nest.
     BlockMismatch,
+    /// An op executes on, or a route drives, a resource the architecture's
+    /// fault map marks dead, severed or disabled.
+    FaultedResource {
+        /// The faulted resource.
+        node: RNode,
+        /// Absolute cycle.
+        abs: i64,
+    },
     /// The final memory differs from the reference interpreter.
     ResultMismatch {
         /// Array holding the element.
@@ -85,6 +93,9 @@ impl fmt::Display for SimError {
             }
             SimError::RouteCorrupted { edge } => write!(f, "route of {edge:?} corrupted"),
             SimError::OpUnplaced { node } => write!(f, "op {node:?} has no fu slot"),
+            SimError::FaultedResource { node, abs } => {
+                write!(f, "faulted resource {node} driven at cycle {abs}")
+            }
             SimError::BlockMismatch => write!(f, "block extents do not match the kernel"),
             SimError::ResultMismatch { array, element, expected, actual } => write!(
                 f,
@@ -120,11 +131,17 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
     // Results per op node; load values per (input node, edge).
     let mut results: HashMap<NodeId, i64> = HashMap::new();
 
-    // Execute ops in absolute schedule order.
+    // Execute ops in absolute schedule order. Executing on a faulted PE is
+    // a hard error: the silicon is not there.
+    let spec = mapping.spec();
     let mut ops: Vec<(i64, NodeId)> = Vec::new();
     for (n, w) in graph.nodes() {
         if w.kind.is_op() {
             let slot = mapping.op_slot(n).ok_or(SimError::OpUnplaced { node: n })?;
+            let fu = RNode::new(slot.pe, slot.cycle_mod, himap_cgra::RKind::Fu);
+            if spec.faults.masks(spec, fu) {
+                return Err(SimError::FaultedResource { node: fu, abs: slot.abs });
+            }
             ops.push((slot.abs, n));
         }
     }
@@ -196,6 +213,9 @@ pub fn simulate(mapping: &Mapping, seed: u64) -> Result<SimReport, SimError> {
             NodeKind::Route => return Err(SimError::RouteCorrupted { edge: route.edge }),
         };
         for &(node, abs) in &route.steps {
+            if spec.faults.masks(spec, node) {
+                return Err(SimError::FaultedResource { node, abs });
+            }
             if node.kind == himap_cgra::RKind::Fu {
                 // FU endpoints hold op results, accounted separately.
                 continue;

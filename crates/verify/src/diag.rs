@@ -52,6 +52,9 @@ pub enum Code {
     /// Configuration-memory bound: a PE needs more unique instruction words
     /// than its config memory holds.
     V005,
+    /// Fault avoidance: a placement or route uses a resource the
+    /// architecture's fault map marks dead, severed or disabled.
+    V006,
     /// Avoidable detour: a route spends more wire hops than the Manhattan
     /// distance between its endpoints.
     W101,
@@ -77,6 +80,7 @@ impl Code {
             Code::V003 => "V003",
             Code::V004 => "V004",
             Code::V005 => "V005",
+            Code::V006 => "V006",
             Code::W101 => "W101",
             Code::W102 => "W102",
             Code::W103 => "W103",

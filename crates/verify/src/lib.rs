@@ -14,6 +14,7 @@
 //! | V003 | error    | operands arrive at the consuming FU's cycle; memory causality |
 //! | V004 | error    | register-file size and port limits |
 //! | V005 | error    | per-PE unique instructions fit the config memory |
+//! | V006 | error    | no placement or route touches a faulted resource |
 //! | W101 | warning  | no avoidable wire detours |
 //! | W102 | warning  | no route dwells longer than one modulo window |
 //! | W103 | warning  | mapper statistics match recomputed values |

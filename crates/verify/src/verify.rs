@@ -25,7 +25,8 @@ use crate::diag::{Code, Diagnostic, DiagnosticSink};
 /// **V004**), producer→consumer schedule consistency including memory
 /// causality (**V003**), modulo resource exclusivity recomputed from the
 /// routes (**V001**, RF port pressure as **V004**), the configuration
-/// memory bound (**V005**), and the quality lints (**W101**–**W103**).
+/// memory bound (**V005**), fault avoidance for placements and routes on a
+/// faulted fabric (**V006**), and the quality lints (**W101**–**W103**).
 pub fn verify_mapping(mapping: &Mapping) -> DiagnosticSink {
     let mut sink = DiagnosticSink::new();
     let iib = mapping.stats().iib.max(1);
@@ -72,13 +73,18 @@ fn check_placement(mapping: &Mapping, mrrg: &Mrrg, sink: &mut DiagnosticSink) ->
         };
         let fu = RNode::new(slot.pe, slot.cycle_mod, RKind::Fu);
         if !mrrg.contains(fu) {
+            // A faulted FU is architecturally present but masked; report it
+            // as a fault-avoidance violation, not a shape error.
+            let spec = mapping.spec();
+            let (code, what) = if spec.faults.masks(spec, fu) {
+                (Code::V006, "on a faulted resource")
+            } else {
+                (Code::V002, "outside the architecture")
+            };
             sink.push(
-                Diagnostic::error(
-                    Code::V002,
-                    format!("op n{} is placed outside the architecture", node.index()),
-                )
-                .at_resource(fu)
-                .at_node(node),
+                Diagnostic::error(code, format!("op n{} is placed {what}", node.index()))
+                    .at_resource(fu)
+                    .at_node(node),
             );
         }
         if slot.abs.rem_euclid(iib) != slot.cycle_mod as i64 {
@@ -151,12 +157,16 @@ fn check_route_path(
     for &(node, abs) in &route.steps {
         if !mrrg.contains(node) {
             let spec = mapping.spec();
-            let (code, what) = match node.kind {
-                RKind::Reg(r) if (r as usize) >= spec.rf_size && spec.contains(node.pe) => (
-                    Code::V004,
-                    format!("register r{r} exceeds the {}-entry register file", spec.rf_size),
-                ),
-                _ => (Code::V002, "resource outside the architecture".to_string()),
+            let (code, what) = if spec.faults.masks(spec, node) {
+                (Code::V006, "resource is faulted (dead, severed or disabled)".to_string())
+            } else {
+                match node.kind {
+                    RKind::Reg(r) if (r as usize) >= spec.rf_size && spec.contains(node.pe) => (
+                        Code::V004,
+                        format!("register r{r} exceeds the {}-entry register file", spec.rf_size),
+                    ),
+                    _ => (Code::V002, "resource outside the architecture".to_string()),
+                }
             };
             sink.push(
                 Diagnostic::error(

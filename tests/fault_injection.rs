@@ -1,0 +1,198 @@
+//! Fault-injection harness: random fault maps over the suite kernels.
+//!
+//! The contract under test is a trichotomy — for *any* fault map, mapping
+//! either (a) succeeds and the result verifies clean (including rule V006:
+//! no faulted resource in any placement or route) and simulates correctly,
+//! (b) fails with a typed [`HiMapError`], or (c) reports
+//! [`HiMapError::DeadlineExceeded`] within its budget. A panic, or a mapping
+//! that silently uses a faulted resource, is never acceptable.
+//!
+//! The wide sweep (`random_fault_maps_respect_the_trichotomy`) is `#[ignore]`d
+//! so the default `cargo test` stays fast; the dedicated CI stage runs it
+//! with `-- --ignored` in release mode. The proptest shim derives each
+//! case's RNG from the test name and case index, so every run — local or
+//! CI — replays the identical fault maps (a pinned seed by construction).
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Duration;
+
+use himap_repro::cgra::{CgraSpec, FaultMap, PeId, ALL_DIRS};
+use himap_repro::core::{HiMap, HiMapError, HiMapOptions, RecoveryPolicy};
+use himap_repro::kernels::suite;
+use himap_repro::sim::simulate;
+use himap_repro::verify::verify_mapping;
+use proptest::prelude::*;
+
+/// One injected fault, encoded for the strategy layer.
+#[derive(Clone, Debug)]
+enum Fault {
+    DeadPe(usize, usize),
+    SeveredLink(usize, usize, usize),
+    DisabledReg(usize, usize, usize),
+    DisabledMem(usize, usize),
+}
+
+/// A single random fault on an `n x n` fabric, drawn from all four classes.
+fn arb_fault(n: usize) -> impl Strategy<Value = Fault> {
+    (0usize..4, 0usize..n, 0usize..n, 0usize..8).prop_map(|(class, r, c, x)| match class {
+        0 => Fault::DeadPe(r, c),
+        1 => Fault::SeveredLink(r, c, x % ALL_DIRS.len()),
+        2 => Fault::DisabledReg(r, c, x),
+        _ => Fault::DisabledMem(r, c),
+    })
+}
+
+/// Up to `max` random faults on an `n x n` fabric.
+fn arb_fault_map(n: usize, max: usize) -> impl Strategy<Value = FaultMap> {
+    proptest::collection::vec(arb_fault(n), 0..max + 1).prop_map(|faults| {
+        let mut map = FaultMap::new();
+        for fault in faults {
+            match fault {
+                Fault::DeadPe(r, c) => map.kill_pe(PeId::new(r, c)),
+                Fault::SeveredLink(r, c, d) => map.sever_link(PeId::new(r, c), ALL_DIRS[d]),
+                Fault::DisabledReg(r, c, x) => map.disable_reg(PeId::new(r, c), x),
+                Fault::DisabledMem(r, c) => map.disable_mem(PeId::new(r, c)),
+            };
+        }
+        map
+    })
+}
+
+/// Drives one `(kernel, faulted spec)` pair through the full pipeline and
+/// asserts the trichotomy (the shim's `prop_assert!` panics on failure, so
+/// a plain call suffices).
+fn assert_trichotomy(
+    kernel: &himap_repro::kernels::Kernel,
+    spec: &CgraSpec,
+    seed: u64,
+    deadline: Duration,
+) {
+    let options = HiMapOptions {
+        deadline: Some(deadline),
+        recovery: RecoveryPolicy::full(),
+        ..HiMapOptions::default()
+    };
+    match HiMap::new(options).map(kernel, spec) {
+        Ok(mapping) => {
+            // (a) mapped: the independent verifier must find nothing — in
+            // particular no V006 (faulted resource in a placement or route) —
+            // and cycle-accurate simulation must validate the result (the
+            // simulator hard-errors on any faulted resource it is driven
+            // over).
+            let report = verify_mapping(&mapping);
+            prop_assert!(
+                !report.has_errors(),
+                "{} on faulted {}x{} fabric ({}) maps but fails verification:\n{}",
+                kernel.name(),
+                spec.rows,
+                spec.cols,
+                spec.faults,
+                report.render_pretty()
+            );
+            let sim = simulate(&mapping, seed);
+            prop_assert!(
+                sim.is_ok(),
+                "{} on faulted fabric ({}) verifies but fails simulation: {}",
+                kernel.name(),
+                spec.faults,
+                sim.err().map_or_else(String::new, |e| e.to_string())
+            );
+        }
+        // (c) deadline: allowed, and the Display must render (possibly with
+        // a partial attempt trail).
+        Err(err @ HiMapError::DeadlineExceeded(_)) => {
+            prop_assert!(!err.to_string().is_empty());
+        }
+        // (b) typed failure: allowed. A ladder-exhaustion error must carry
+        // its full attempt trail as evidence.
+        Err(err) => {
+            prop_assert!(!err.to_string().is_empty());
+            if let HiMapError::Exhausted(report) = &err {
+                prop_assert!(
+                    !report.attempts.is_empty(),
+                    "Exhausted must carry at least one attempt"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The wide sweep: every suite kernel, random fault maps on 4x4 and 8x8
+    /// fabrics. Heavy — run by the dedicated CI stage via `-- --ignored`.
+    #[test]
+    #[ignore = "heavy sweep; exercised by the fault-injection CI stage"]
+    fn random_fault_maps_respect_the_trichotomy(
+        kernel_idx in 0usize..8,
+        big in 0usize..2,
+        faults_small in arb_fault_map(4, 3),
+        faults_big in arb_fault_map(8, 6),
+        seed in any::<u64>(),
+    ) {
+        let kernels = suite::all();
+        let kernel = &kernels[kernel_idx % kernels.len()];
+        let (n, faults) = if big == 1 { (8, faults_big) } else { (4, faults_small) };
+        let spec = CgraSpec::square(n).with_faults(faults);
+        assert_trichotomy(kernel, &spec, seed, Duration::from_secs(5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A cheap always-on slice of the sweep: GEMM against random fault maps
+    /// on a 4x4 fabric. Keeps the trichotomy guarded in every `cargo test`
+    /// run without the full sweep's cost.
+    #[test]
+    fn gemm_survives_random_faults_on_4x4(
+        faults in arb_fault_map(4, 3),
+        seed in any::<u64>(),
+    ) {
+        let spec = CgraSpec::square(4).with_faults(faults);
+        assert_trichotomy(&suite::gemm(), &spec, seed, Duration::from_secs(5));
+    }
+}
+
+/// The acceptance scenario: one dead PE on an 8x8 fabric must not stop
+/// GEMM — replication simply skips the dead tile and routing flows around
+/// it. The mapping must be V006-clean and simulate correctly.
+#[test]
+fn gemm_8x8_routes_around_a_single_dead_pe() {
+    let mut faults = FaultMap::new();
+    faults.kill_pe(PeId::new(3, 4));
+    let spec = CgraSpec::square(8).with_faults(faults);
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&suite::gemm(), &spec)
+        .expect("one dead PE leaves a mappable 8x8 fabric");
+    let report = verify_mapping(&mapping);
+    assert!(
+        !report.has_errors(),
+        "mapping around the dead PE fails verification:\n{}",
+        report.render_pretty()
+    );
+    let sim = simulate(&mapping, 7).expect("mapping simulates despite the dead PE");
+    assert!(sim.elements_checked > 0);
+    // Utilization is measured against the healthy fabric; with 63 of 64
+    // tiles alive the mapper should still use a substantial share.
+    assert!(mapping.utilization() > 0.0);
+}
+
+/// Faults only reduce the usable fabric: a fully-faulted spec (every PE
+/// dead) must fail with a typed error, never panic.
+#[test]
+fn fully_dead_fabric_fails_with_typed_error() {
+    let mut faults = FaultMap::new();
+    for r in 0..4 {
+        for c in 0..4 {
+            faults.kill_pe(PeId::new(r, c));
+        }
+    }
+    let spec = CgraSpec::square(4).with_faults(faults);
+    let err = HiMap::new(HiMapOptions::default())
+        .map(&suite::gemm(), &spec)
+        .expect_err("nothing can map onto a dead fabric");
+    assert!(!err.to_string().is_empty());
+}
