@@ -73,4 +73,21 @@ stage "bench regression check" \
   cargo run -q -p himap-bench --release --bin bench_summary -- \
     --check BENCH_pr4.json --tolerance 0.25
 
+# Exact-oracle gate: certify minimal IIs on the tuned 4x4 blocks and print
+# the optimality-gap table (EXPERIMENTS.md). The binary exits non-zero when
+# fewer than four suite kernels certify; the per-kernel budget time-boxes
+# the sweep (~10 s total, 6/8 certified on the committed blocks).
+stage "exact oracle sweep (4x4)" \
+  cargo run -q -p himap-exact --release --bin exact_oracle -- \
+    --size 4 --budget-secs 20
+
+# Portfolio-race gate: re-race himap/bhc/exact on the committed BENCH_pr6
+# rows; fails on a wall-time regression beyond 50 % + 2 ms, a different
+# deterministic winner, or a worse II. Race wall-time includes the losing
+# backends' cancellation latency, which is noisier than the solo-mapper
+# rows in BENCH_pr4, hence the wider tolerance.
+stage "portfolio race check" \
+  cargo run -q -p himap-bench --release --bin bench_summary -- \
+    --portfolio-check BENCH_pr6.json --tolerance 0.5
+
 echo "CI green."

@@ -40,7 +40,7 @@ mod spr;
 
 pub use bhc::{baseline_block, bhc, BhcResult};
 pub use sa::SaMapper;
-pub use spr::SprMapper;
+pub use spr::{anti_deps_ok, mem_aware_topo_order, SprMapper, STORE_LATENCY};
 
 use std::collections::HashMap;
 use std::time::Duration;

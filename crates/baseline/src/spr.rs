@@ -83,7 +83,7 @@ type OpSlots = HashMap<NodeId, (himap_cgra::PeId, i64)>;
 /// Topological order over DFG edges *plus* memory-routed store → load
 /// dependences, so that every pivot producer is scheduled before the ops
 /// that load it.
-pub(crate) fn mem_aware_topo_order(dfg: &Dfg) -> Vec<NodeId> {
+pub fn mem_aware_topo_order(dfg: &Dfg) -> Vec<NodeId> {
     let graph = dfg.graph();
     let n = graph.node_count();
     let mut extra_out: HashMap<usize, Vec<NodeId>> = HashMap::new();
@@ -117,13 +117,13 @@ pub(crate) fn mem_aware_topo_order(dfg: &Dfg) -> Vec<NodeId> {
 
 /// Cycles between a store-producing op and the earliest legal load of its
 /// value (register the result, then write to memory).
-pub(crate) const STORE_LATENCY: i64 = 2;
+pub const STORE_LATENCY: i64 = 2;
 
 /// Anti-dependences: every live-in reader's consuming op must be scheduled
 /// before the overwriting op's store becomes visible. Conservative: the
 /// load happens no later than its consumer, so consumer_abs <= writer_abs + 1
 /// suffices.
-pub(crate) fn anti_deps_ok(dfg: &Dfg, slots: &OpSlots) -> bool {
+pub fn anti_deps_ok(dfg: &Dfg, slots: &OpSlots) -> bool {
     for &(reader, writer) in dfg.anti_deps() {
         let Some(&(_, w_abs)) = slots.get(&writer) else { continue };
         for consumer in dfg.graph().out_neighbors(reader) {

@@ -17,13 +17,23 @@
 //! run-to-run spread of sub-100 ms mapping runs on a loaded CI machine;
 //! legitimate regressions from scheduler or router changes are far larger
 //! than that (the pre-scheduler parallel walk was 3.4x slower, not 1.25x).
+//!
+//! # Portfolio-race mode
+//!
+//! `bench_summary --portfolio` measures the backend-portfolio races
+//! (himap vs bhc vs exact, first-feasible) and writes `BENCH_pr6.json`;
+//! `bench_summary --portfolio-check BENCH_pr6.json` re-races the gated rows
+//! with the same tolerance rule and additionally pins the deterministic
+//! winner and its II.
 
 use std::time::{Duration, Instant};
 
-use himap_bench::check::{limit_ms, parse, scaling_rows, RowVerdict, ScalingRow};
+use himap_bench::check::{limit_ms, parse, race_rows, scaling_rows, RowVerdict, ScalingRow};
 use himap_bench::run_himap;
 use himap_cgra::{CgraSpec, FaultMap, Mrrg, MrrgIndex, PeId, RKind, RNode};
+use himap_core::backend::{race, Backend, BhcBackend, HiMapBackend, MapRequest, RaceMode};
 use himap_core::{HiMap, HiMapOptions};
+use himap_exact::ExactBackend;
 use himap_kernels::suite;
 use himap_mapper::{ReferenceRouter, Router, RouterConfig, SignalId};
 
@@ -97,6 +107,140 @@ fn measure_scaling(kernel_name: &str, c: usize, threads: usize) -> Option<Durati
         run();
     }
     Some(sample(SCALING_SAMPLES, run))
+}
+
+/// The portfolio-race workload: kernel × array side, raced with the full
+/// backend lineup (himap, bhc, exact) under `FirstFeasible`. HiMap wins on
+/// every row; the row's metric is the whole race's wall time — winner
+/// latency plus the cooperative-cancellation latency of the losers, which
+/// is exactly what a regression in the token plumbing would inflate.
+const RACE_CASES: [(&str, usize); 2] = [("mvt", 4), ("gemm", 4)];
+
+/// A 10 s ceiling so a wedged backend fails the bench instead of hanging it.
+const RACE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Warmup-then-median wall time of one portfolio race, plus the (winner,
+/// II) pair of the last run — deterministic under the lowest-index
+/// tie-break, so any run is as good as any other.
+fn measure_race(kernel_name: &str, c: usize) -> Option<(Duration, &'static str, usize)> {
+    let kernel = suite::by_name(kernel_name)?;
+    let req = MapRequest::new(kernel, CgraSpec::square(c)).with_deadline(RACE_DEADLINE);
+    let himap = HiMapBackend::default();
+    let bhc = BhcBackend::default().with_block(vec![2; req.kernel.dims()]);
+    let exact = ExactBackend::default();
+    let backends: [&dyn Backend; 3] = [&himap, &bhc, &exact];
+    let mut last: Option<(&'static str, usize)> = None;
+    let mut run = || {
+        let outcome = race(&backends, &req, RaceMode::FirstFeasible)
+            .unwrap_or_else(|e| panic!("race {kernel_name} {c}x{c} found no winner: {e}"));
+        last = Some((outcome.winner, outcome.mapping.stats().iib));
+    };
+    for _ in 0..WARMUP {
+        run();
+    }
+    let t = sample(SCALING_SAMPLES, run);
+    let (winner, ii) = last?;
+    Some((t, winner, ii))
+}
+
+/// `--portfolio` mode: measure the race rows and write `BENCH_pr6.json`.
+fn run_portfolio_generate() -> i32 {
+    let mut rows = Vec::new();
+    for (kernel, c) in RACE_CASES {
+        let Some((t, winner, ii)) = measure_race(kernel, c) else {
+            eprintln!("unknown race kernel `{kernel}`");
+            return 1;
+        };
+        let ms = t.as_secs_f64() * 1e3;
+        eprintln!("  race {kernel} {c}x{c}: {ms:.3} ms, winner {winner} (II {ii})");
+        rows.push(format!(
+            "    {{\"kernel\": \"{kernel}\", \"cgra\": \"{c}x{c}\", \"median_ms\": {ms:.3}, \
+             \"winner\": \"{winner}\", \"ii\": {ii}, \"check\": {}}}",
+            ms <= CHECK_BUDGET_MS
+        ));
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"pr6_portfolio_race\",\n\
+         \x20 \"machine\": {{\"available_parallelism\": {cores}}},\n\
+         \x20 \"protocol\": {{\"warmup\": {WARMUP}, \"samples\": {SCALING_SAMPLES}, \
+         \"statistic\": \"median\", \"deadline_s\": {}, \"mode\": \"first_feasible\", \
+         \"backends\": [\"himap\", \"bhc\", \"exact\"]}},\n\
+         \x20 \"portfolio_race\": [\n{}\n  ]\n\
+         }}\n",
+        RACE_DEADLINE.as_secs(),
+        rows.join(",\n"),
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH_pr6.json", &json) {
+        eprintln!("could not write BENCH_pr6.json: {e}");
+        return 1;
+    }
+    eprintln!("wrote BENCH_pr6.json ({} race rows)", RACE_CASES.len());
+    0
+}
+
+/// `--portfolio-check` mode: re-race every gated row of `baseline_path`;
+/// fail on a wall-time regression beyond tolerance, a different winner, or
+/// a worse II — the race's determinism promise, checked end to end.
+fn run_portfolio_check(baseline_path: &str, tolerance: f64) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let rows = match parse(&text).and_then(|doc| race_rows(&doc)) {
+        Ok(rows) => rows,
+        Err(e) => {
+            eprintln!("cannot parse baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let gated: Vec<_> = rows.iter().filter(|r| r.check).collect();
+    if gated.is_empty() {
+        eprintln!("baseline {baseline_path} gates no race rows; nothing to verify");
+        return 1;
+    }
+    println!(
+        "portfolio race check: {} gated rows, tolerance {:.0}% + 2 ms",
+        gated.len(),
+        tolerance * 100.0
+    );
+    let mut failures = 0usize;
+    for row in gated {
+        let Some((fresh, winner, ii)) = measure_race(&row.kernel, row.cgra) else {
+            eprintln!("unknown kernel `{}` in baseline", row.kernel);
+            failures += 1;
+            continue;
+        };
+        let fresh_ms = fresh.as_secs_f64() * 1e3;
+        let limit = limit_ms(row.median_ms, tolerance);
+        let time_ok = fresh_ms <= limit;
+        let winner_ok = winner == row.winner && ii <= row.ii;
+        println!(
+            "{} race {:>6} {c}x{c} {fresh_ms:>9.3} ms vs baseline {:>9.3} ms \
+             (limit {limit:>9.3} ms), winner {winner} II {ii} vs {} II {}",
+            if time_ok && winner_ok { "PASS" } else { "FAIL" },
+            row.kernel,
+            row.median_ms,
+            row.winner,
+            row.ii,
+            c = row.cgra,
+        );
+        if !(time_ok && winner_ok) {
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("portfolio race check FAILED: {failures} row(s)");
+        1
+    } else {
+        println!("portfolio race check passed");
+        0
+    }
 }
 
 /// `--check` mode: re-measure every gated row of `baseline_path` and exit
@@ -344,6 +488,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut baseline: Option<String> = None;
     let mut fault_overhead: Option<String> = None;
+    let mut portfolio = false;
+    let mut portfolio_check: Option<String> = None;
     let mut tolerance = 0.25f64;
     let mut i = 0;
     while i < args.len() {
@@ -364,6 +510,18 @@ fn main() {
                 fault_overhead = Some(args[i + 1].clone());
                 i += 2;
             }
+            "--portfolio" => {
+                portfolio = true;
+                i += 1;
+            }
+            "--portfolio-check" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--portfolio-check requires a baseline path");
+                    std::process::exit(2);
+                }
+                portfolio_check = Some(args[i + 1].clone());
+                i += 2;
+            }
             "--tolerance" => {
                 let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
                     eprintln!("--tolerance requires a number (e.g. 0.25)");
@@ -375,16 +533,19 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: \
-                     bench_summary [--check FILE] [--fault-overhead FILE] [--tolerance X]"
+                     bench_summary [--check FILE] [--fault-overhead FILE] \
+                     [--portfolio] [--portfolio-check FILE] [--tolerance X]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let code = match (baseline, fault_overhead) {
-        (Some(path), _) => run_check(&path, tolerance),
-        (None, Some(path)) => run_fault_overhead(&path),
-        (None, None) => run_generate(),
+    let code = match (baseline, fault_overhead, portfolio_check, portfolio) {
+        (Some(path), _, _, _) => run_check(&path, tolerance),
+        (None, Some(path), _, _) => run_fault_overhead(&path),
+        (None, None, Some(path), _) => run_portfolio_check(&path, tolerance),
+        (None, None, None, true) => run_portfolio_generate(),
+        (None, None, None, false) => run_generate(),
     };
     std::process::exit(code);
 }

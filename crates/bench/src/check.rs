@@ -305,6 +305,65 @@ pub fn scaling_rows(doc: &Json) -> Result<Vec<ScalingRow>, String> {
         .collect()
 }
 
+/// One `portfolio_race` row of a bench baseline (`BENCH_pr6.json`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RaceRow {
+    /// Kernel name (`suite::by_name` key).
+    pub kernel: String,
+    /// CGRA side length.
+    pub cgra: usize,
+    /// Median race wall time in milliseconds.
+    pub median_ms: f64,
+    /// The deterministic winner's backend name.
+    pub winner: String,
+    /// The winning mapping's II.
+    pub ii: usize,
+    /// Whether `--portfolio-check` re-measures this row.
+    pub check: bool,
+}
+
+/// Extracts the `portfolio_race` rows from a parsed baseline document.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn race_rows(doc: &Json) -> Result<Vec<RaceRow>, String> {
+    let rows = doc
+        .get("portfolio_race")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no `portfolio_race` array")?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let field = |key: &str| row.get(key).ok_or_else(|| format!("row {i} missing `{key}`"));
+            let cgra = field("cgra")?
+                .as_str()
+                .and_then(|s| s.split('x').next())
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| format!("row {i}: `cgra` is not like \"4x4\""))?;
+            Ok(RaceRow {
+                kernel: field("kernel")?
+                    .as_str()
+                    .ok_or_else(|| format!("row {i}: `kernel` is not a string"))?
+                    .to_string(),
+                cgra,
+                median_ms: field("median_ms")?
+                    .as_f64()
+                    .ok_or_else(|| format!("row {i}: `median_ms` is not a number"))?,
+                winner: field("winner")?
+                    .as_str()
+                    .ok_or_else(|| format!("row {i}: `winner` is not a string"))?
+                    .to_string(),
+                ii: field("ii")?.as_f64().ok_or_else(|| format!("row {i}: `ii` is not a number"))?
+                    as usize,
+                check: field("check")?
+                    .as_bool()
+                    .ok_or_else(|| format!("row {i}: `check` is not a boolean"))?,
+            })
+        })
+        .collect()
+}
+
 /// The pass/fail threshold for a fresh measurement against a baseline
 /// median: `baseline * (1 + tolerance) + 2 ms`.
 pub fn limit_ms(baseline_ms: f64, tolerance: f64) -> f64 {
@@ -394,6 +453,23 @@ mod tests {
         assert!(rows[0].check);
         assert!(!rows[1].check);
         assert_eq!(rows[1].cgra, 4);
+    }
+
+    #[test]
+    fn round_trips_a_portfolio_baseline_shape() {
+        let text = r#"{
+          "bench": "pr6_portfolio_race",
+          "portfolio_race": [
+            {"kernel": "mvt", "cgra": "4x4", "median_ms": 12.0, "winner": "himap",
+             "ii": 2, "check": true}
+          ]
+        }"#;
+        let rows = race_rows(&parse(text).expect("parses")).expect("rows");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].kernel, "mvt");
+        assert_eq!(rows[0].winner, "himap");
+        assert_eq!(rows[0].ii, 2);
+        assert!(rows[0].check);
     }
 
     #[test]

@@ -1,0 +1,417 @@
+//! Pluggable mapping backends and the portfolio racer.
+//!
+//! Every mapper in the workspace — HiMap's hierarchical pipeline, the
+//! whole-DFG BHC baselines, and the exact SAT backend in `himap-exact` —
+//! answers the same question: *map this kernel onto this fabric within this
+//! budget*. The [`Backend`] trait captures that contract, and [`race`] runs
+//! several backends concurrently under the shared [`CancelToken`] machinery:
+//! the first backend (in priority order) to produce a feasible mapping wins
+//! and the losers are cancelled cooperatively.
+//!
+//! # Determinism of the race
+//!
+//! The winner is the **lowest-index** backend that succeeds, not the first
+//! to cross the finish line. Backend `i` is only ever cancelled after some
+//! `j < i` has already succeeded — in which case the winner is `≤ j`
+//! regardless of what `i` would have returned — so scheduling jitter can
+//! change wall time but never the winner. [`RaceMode::BestII`] instead lets
+//! every backend finish and picks the lowest achieved II (ties by index).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use himap_baseline::{baseline_block, BaselineFailure, BaselineOptions, SaMapper, SprMapper};
+use himap_cgra::CgraSpec;
+use himap_dfg::Dfg;
+use himap_kernels::Kernel;
+use himap_mapper::CancelToken;
+
+use crate::lower::{route_placement, LowerError};
+use crate::mapping::Mapping;
+use crate::options::{Attempt, HiMapError, HiMapOptions, MapReport};
+use crate::HiMap;
+
+/// One mapping problem, phrased identically for every backend: the kernel,
+/// the (possibly faulted) fabric, and an optional wall-clock budget.
+#[derive(Clone, Debug)]
+pub struct MapRequest {
+    /// The kernel to map.
+    pub kernel: Kernel,
+    /// The target fabric.
+    pub spec: CgraSpec,
+    /// Wall-clock budget for the whole request. Backends fold it into their
+    /// own timeout machinery; [`race`] additionally arms every backend's
+    /// [`CancelToken`] with it.
+    pub deadline: Option<Duration>,
+}
+
+impl MapRequest {
+    /// A request with no deadline.
+    pub fn new(kernel: Kernel, spec: CgraSpec) -> Self {
+        MapRequest { kernel, spec, deadline: None }
+    }
+
+    /// This request with `deadline` installed.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a backend produced no mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BackendError {
+    /// The cancel token fired (a sibling backend won the race).
+    Cancelled,
+    /// The wall-clock budget passed before a mapping completed.
+    Deadline(String),
+    /// The backend proved or concluded the problem infeasible for it.
+    Infeasible(String),
+    /// The backend does not handle this request shape.
+    Unsupported(String),
+    /// The backend failed internally (a bug, not a property of the input).
+    Internal(String),
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Cancelled => write!(f, "cancelled by the race"),
+            BackendError::Deadline(why) => write!(f, "deadline exceeded: {why}"),
+            BackendError::Infeasible(why) => write!(f, "infeasible: {why}"),
+            BackendError::Unsupported(why) => write!(f, "unsupported request: {why}"),
+            BackendError::Internal(why) => write!(f, "internal backend error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// A pluggable mapping engine. Implementations must be cheap to share
+/// across threads (`Sync`) — [`race`] calls [`Backend::map`] from a scoped
+/// worker per backend.
+pub trait Backend: Sync {
+    /// Stable name for reports and tie-break documentation.
+    fn name(&self) -> &'static str;
+
+    /// Maps the request, polling `cancel` cooperatively.
+    ///
+    /// # Errors
+    ///
+    /// [`BackendError::Cancelled`] when the token fired for a non-deadline
+    /// reason, [`BackendError::Deadline`] on budget expiry, and the other
+    /// variants for infeasibility/unsupported inputs/internal failures.
+    fn map(&self, req: &MapRequest, cancel: &CancelToken) -> Result<Mapping, BackendError>;
+}
+
+/// The HiMap hierarchical pipeline as a [`Backend`].
+#[derive(Clone, Debug, Default)]
+pub struct HiMapBackend {
+    /// Pipeline options. The request's deadline (and the race's token) are
+    /// layered on top: an explicit `options.deadline` is kept only when it
+    /// is tighter than the request's.
+    pub options: HiMapOptions,
+}
+
+impl HiMapBackend {
+    /// A backend over the given options.
+    pub fn new(options: HiMapOptions) -> Self {
+        HiMapBackend { options }
+    }
+}
+
+impl Backend for HiMapBackend {
+    fn name(&self) -> &'static str {
+        "himap"
+    }
+
+    fn map(&self, req: &MapRequest, cancel: &CancelToken) -> Result<Mapping, BackendError> {
+        let mut options = self.options.clone();
+        options.deadline = match (options.deadline, req.deadline) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let mapper = HiMap::new(options);
+        let (result, _) = mapper.map_cancellable(&req.kernel, &req.spec, Some(cancel));
+        result.map_err(|err| {
+            if cancel.is_cancelled() && !cancel.deadline_passed() {
+                return BackendError::Cancelled;
+            }
+            match err {
+                HiMapError::DeadlineExceeded(report) => BackendError::Deadline(report.to_string()),
+                HiMapError::UnsupportedKernel(why) => BackendError::Unsupported(why),
+                HiMapError::Verification(why) | HiMapError::Internal(why) => {
+                    BackendError::Internal(why)
+                }
+                other => BackendError::Infeasible(other.to_string()),
+            }
+        })
+    }
+}
+
+/// The whole-DFG BHC baseline (best of the SPR-style and simulated-annealing
+/// mappers) as a [`Backend`], with the winning placement lowered to a fully
+/// routed [`Mapping`] via [`route_placement`] so its output obeys the same
+/// contract as every other backend.
+#[derive(Clone, Debug)]
+pub struct BhcBackend {
+    /// Baseline mapper options (node limit, timeout, II slack, seeds).
+    pub options: BaselineOptions,
+    /// Block to unroll. `None` picks the largest uniform block under the
+    /// node limit ([`baseline_block`]); tests pin small blocks explicitly.
+    pub block: Option<Vec<usize>>,
+    /// PathFinder rounds for lowering the winning placement to routes.
+    pub lower_rounds: usize,
+}
+
+impl Default for BhcBackend {
+    fn default() -> Self {
+        BhcBackend { options: BaselineOptions::default(), block: None, lower_rounds: 12 }
+    }
+}
+
+impl BhcBackend {
+    /// A backend over the given baseline options.
+    pub fn new(options: BaselineOptions) -> Self {
+        BhcBackend { options, ..BhcBackend::default() }
+    }
+
+    /// This backend with the unroll block pinned.
+    #[must_use]
+    pub fn with_block(mut self, block: Vec<usize>) -> Self {
+        self.block = Some(block);
+        self
+    }
+}
+
+impl Backend for BhcBackend {
+    fn name(&self) -> &'static str {
+        "bhc"
+    }
+
+    fn map(&self, req: &MapRequest, cancel: &CancelToken) -> Result<Mapping, BackendError> {
+        let started = Instant::now();
+        let mut options = self.options.clone();
+        if let Some(budget) = req.deadline {
+            options.timeout = options.timeout.min(budget);
+        }
+        let block = self.block.clone().unwrap_or_else(|| baseline_block(&req.kernel, &options));
+        let dfg = Dfg::build(&req.kernel, &block)
+            .map_err(|e| BackendError::Infeasible(format!("dfg construction failed: {e}")))?;
+        let failure = |e: BaselineFailure| match e {
+            BaselineFailure::Timeout => BackendError::Deadline("baseline budget spent".into()),
+            other => BackendError::Infeasible(other.to_string()),
+        };
+        // SPR first, then (token permitting) SA; keep the better mapping —
+        // the same "best of both" rule as `himap_baseline::bhc`, with a
+        // cancellation poll between the two runs.
+        let spr = SprMapper::run(&dfg, &req.spec, &options);
+        if cancel.is_cancelled() && !cancel.deadline_passed() {
+            return Err(BackendError::Cancelled);
+        }
+        let remaining = options.timeout.saturating_sub(started.elapsed());
+        let sa = if remaining.is_zero() {
+            Err(BaselineFailure::Timeout)
+        } else {
+            SaMapper::run(&dfg, &req.spec, &BaselineOptions { timeout: remaining, ..options })
+        };
+        let best = match (&spr, &sa) {
+            (Ok(a), Ok(b)) => {
+                if (b.utilization, a.ii) > (a.utilization, b.ii) {
+                    b
+                } else {
+                    a
+                }
+            }
+            (Ok(a), Err(_)) => a,
+            (Err(_), Ok(b)) => b,
+            (Err(a), Err(_)) => return Err(failure(a.clone())),
+        };
+        route_placement(
+            &dfg,
+            &req.spec,
+            best.ii,
+            &best.op_slots,
+            &block,
+            self.lower_rounds,
+            Some(cancel),
+        )
+        .map_err(|e| match e {
+            LowerError::Cancelled if !cancel.deadline_passed() => BackendError::Cancelled,
+            LowerError::Cancelled => BackendError::Deadline("lowering cut by deadline".into()),
+            other => BackendError::Infeasible(format!("placement does not lower: {other}")),
+        })
+    }
+}
+
+/// Which rule crowns the race winner.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RaceMode {
+    /// First feasible mapping in priority order wins; later backends are
+    /// cancelled as soon as an earlier one succeeds.
+    #[default]
+    FirstFeasible,
+    /// Every backend runs to completion (or deadline); the lowest achieved
+    /// II wins, ties broken by priority order.
+    BestII,
+}
+
+/// One backend's result inside a [`RaceOutcome`].
+#[derive(Clone, Debug)]
+pub struct BackendOutcome {
+    /// The backend's [`Backend::name`].
+    pub name: &'static str,
+    /// Priority index in the race.
+    pub index: usize,
+    /// Achieved II on success.
+    pub ii: Option<usize>,
+    /// Achieved utilization on success.
+    pub utilization: Option<f64>,
+    /// The error, when the backend failed or was cancelled.
+    pub error: Option<BackendError>,
+    /// Wall time this backend ran.
+    pub elapsed: Duration,
+}
+
+/// The result of a successful [`race`].
+#[derive(Clone, Debug)]
+pub struct RaceOutcome {
+    /// Winning backend's name.
+    pub winner: &'static str,
+    /// Winning backend's priority index.
+    pub winner_index: usize,
+    /// The winning mapping.
+    pub mapping: Mapping,
+    /// Wall time of the whole race.
+    pub elapsed: Duration,
+    /// Per-backend outcomes, in priority order.
+    pub outcomes: Vec<BackendOutcome>,
+}
+
+/// Races `backends` on `req` concurrently — one scoped thread each — under
+/// a shared deadline and cooperative cancellation.
+///
+/// The deterministic tie-break rule is documented on [`RaceMode`]; under
+/// [`RaceMode::FirstFeasible`] each backend's token cancels once a
+/// strictly-higher-priority backend succeeds.
+///
+/// # Errors
+///
+/// With no winner: [`HiMapError::DeadlineExceeded`] when the request's
+/// deadline passed (per-backend failures as the attempt trail), otherwise
+/// [`HiMapError::Exhausted`] with the same trail.
+pub fn race(
+    backends: &[&dyn Backend],
+    req: &MapRequest,
+    mode: RaceMode,
+) -> Result<RaceOutcome, HiMapError> {
+    let started = Instant::now();
+    let deadline = req.deadline.map(|budget| started + budget);
+    // Lowest priority index that has succeeded so far; backend `i`'s token
+    // cancels once `best < i` — exactly the candidate-walk invariant.
+    let best = Arc::new(AtomicUsize::new(usize::MAX));
+    let cells: Vec<OnceLock<(Result<Mapping, BackendError>, Duration)>> =
+        backends.iter().map(|_| OnceLock::new()).collect();
+    std::thread::scope(|scope| {
+        for (idx, backend) in backends.iter().enumerate() {
+            let best = Arc::clone(&best);
+            let cells = &cells;
+            scope.spawn(move || {
+                let begun = Instant::now();
+                let token = match mode {
+                    RaceMode::FirstFeasible => CancelToken::new(Arc::clone(&best), idx),
+                    RaceMode::BestII => CancelToken::never(),
+                }
+                .with_deadline(deadline);
+                let result = backend.map(req, &token);
+                if result.is_ok() && mode == RaceMode::FirstFeasible {
+                    best.fetch_min(idx, Ordering::AcqRel);
+                }
+                let stored = cells[idx].set((result, begun.elapsed()));
+                debug_assert!(stored.is_ok(), "backend {idx} reported twice");
+            });
+        }
+    });
+    let mut results: Vec<(Result<Mapping, BackendError>, Duration)> = cells
+        .into_iter()
+        .map(|cell| {
+            cell.into_inner().unwrap_or_else(|| {
+                (Err(BackendError::Internal("backend worker vanished".into())), Duration::ZERO)
+            })
+        })
+        .collect();
+    let winner_index = match mode {
+        RaceMode::FirstFeasible => results.iter().position(|(r, _)| r.is_ok()),
+        RaceMode::BestII => results
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (r, _))| r.as_ref().ok().map(|m| (m.stats().iib, i)))
+            .min()
+            .map(|(_, i)| i),
+    };
+    let elapsed = started.elapsed();
+    let outcomes: Vec<BackendOutcome> = results
+        .iter()
+        .zip(backends)
+        .enumerate()
+        .map(|(index, ((result, spent), backend))| match result {
+            Ok(mapping) => BackendOutcome {
+                name: backend.name(),
+                index,
+                ii: Some(mapping.stats().iib),
+                utilization: Some(mapping.utilization()),
+                error: None,
+                elapsed: *spent,
+            },
+            Err(err) => BackendOutcome {
+                name: backend.name(),
+                index,
+                ii: None,
+                utilization: None,
+                error: Some(err.clone()),
+                elapsed: *spent,
+            },
+        })
+        .collect();
+    match winner_index {
+        Some(idx) => {
+            let (result, _) = results.swap_remove(idx);
+            let mapping = result.map_err(|_| {
+                HiMapError::Internal("winner index points at a failed backend".into())
+            })?;
+            Ok(RaceOutcome {
+                winner: backends[idx].name(),
+                winner_index: idx,
+                mapping,
+                elapsed,
+                outcomes,
+            })
+        }
+        None => {
+            let attempts: Vec<Attempt> = outcomes
+                .iter()
+                .map(|o| Attempt {
+                    rung: o.index,
+                    stage: format!("backend-{}", o.name),
+                    shape: None,
+                    ii: None,
+                    cause: o
+                        .error
+                        .as_ref()
+                        .map_or_else(|| "unknown".to_string(), ToString::to_string),
+                    elapsed: o.elapsed,
+                })
+                .collect();
+            let report = MapReport { attempts, elapsed };
+            let deadline_hit = deadline.is_some_and(|d| Instant::now() >= d)
+                || outcomes.iter().any(|o| matches!(o.error, Some(BackendError::Deadline(_))));
+            if deadline_hit {
+                Err(HiMapError::DeadlineExceeded(report))
+            } else {
+                Err(HiMapError::Exhausted(report))
+            }
+        }
+    }
+}

@@ -175,9 +175,29 @@ impl HiMap {
         kernel: &Kernel,
         cgra: &CgraSpec,
     ) -> (Result<Mapping, HiMapError>, PipelineStats) {
+        self.map_cancellable(kernel, cgra, None)
+    }
+
+    /// [`HiMap::map_with_stats`] under an external [`CancelToken`]: the
+    /// token is chained under every internal cancellation scope (the walk's
+    /// deadline token and each parallel candidate's bound token), so firing
+    /// it stops probe routing, candidate evaluation and detailed routing
+    /// within a poll interval. The portfolio racer uses this to cut losing
+    /// backends.
+    ///
+    /// External cancellation surfaces as [`HiMapError::DeadlineExceeded`]
+    /// with the partial attempt trail; callers that need to distinguish a
+    /// fired bound from a passed deadline ask the token
+    /// ([`CancelToken::deadline_passed`]).
+    pub fn map_cancellable(
+        &self,
+        kernel: &Kernel,
+        cgra: &CgraSpec,
+        external: Option<&CancelToken>,
+    ) -> (Result<Mapping, HiMapError>, PipelineStats) {
         let wall = Instant::now();
         let stats = StatsCollector::default();
-        let result = self.climb(kernel, cgra, &stats, wall);
+        let result = self.climb(kernel, cgra, &stats, wall, external);
         let pipeline = stats.snapshot(wall.elapsed(), self.options.effective_threads());
         let result = result.map(|mut mapping| {
             mapping.set_pipeline_stats(pipeline.clone());
@@ -206,7 +226,7 @@ impl HiMap {
     ) -> (Result<Recovered, HiMapError>, PipelineStats) {
         let wall = Instant::now();
         let stats = StatsCollector::default();
-        let climbed = self.climb(kernel, cgra, &stats, wall);
+        let climbed = self.climb(kernel, cgra, &stats, wall, None);
         let result = match climbed {
             Ok(mapping) => Ok(Recovered::HiMap(Box::new(mapping))),
             Err(err) => self.baseline_rung(kernel, cgra, &stats, wall, err),
@@ -236,17 +256,20 @@ impl HiMap {
         cgra: &CgraSpec,
         stats: &StatsCollector,
         started: Instant,
+        external: Option<&CancelToken>,
     ) -> Result<Mapping, HiMapError> {
         let deadline = self.options.deadline.map(|budget| started + budget);
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut last: Option<HiMapError> = None;
         for (rung, (stage, options)) in self.rung_plan().into_iter().enumerate() {
-            if deadline.is_some_and(|d| Instant::now() >= d) {
+            if deadline.is_some_and(|d| Instant::now() >= d)
+                || external.is_some_and(CancelToken::is_cancelled)
+            {
                 return Err(HiMapError::DeadlineExceeded(report(stats, attempts, started)));
             }
             let attempt_start = Instant::now();
             let mapper = HiMap { options };
-            let outcome = mapper.walk(kernel, cgra, stats, deadline);
+            let outcome = mapper.walk(kernel, cgra, stats, deadline, external);
             match outcome {
                 Ok(mapping) => {
                     // A success after failed rungs still surfaces the trail
@@ -264,7 +287,9 @@ impl HiMap {
                         cause: err.to_string(),
                         elapsed: attempt_start.elapsed(),
                     });
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                    if deadline.is_some_and(|d| Instant::now() >= d)
+                        || external.is_some_and(CancelToken::is_cancelled)
+                    {
                         return Err(HiMapError::DeadlineExceeded(report(stats, attempts, started)));
                     }
                     if !err.is_recoverable() {
@@ -401,6 +426,7 @@ impl HiMap {
         cgra: &CgraSpec,
         stats: &StatsCollector,
         deadline: Option<Instant>,
+        external: Option<&CancelToken>,
     ) -> Result<Mapping, HiMapError> {
         if kernel.dims() < 2 {
             return Err(HiMapError::UnsupportedKernel(format!(
@@ -409,7 +435,14 @@ impl HiMap {
                 kernel.dims()
             )));
         }
-        let token = deadline.map(CancelToken::until);
+        // Merge the walk's own deadline scope with the caller's token: the
+        // chained token cancels when either does.
+        let token = match (deadline, external) {
+            (Some(d), Some(ext)) => Some(CancelToken::until(d).with_parent(ext.clone())),
+            (Some(d), None) => Some(CancelToken::until(d)),
+            (None, Some(ext)) => Some(ext.clone()),
+            (None, None) => None,
+        };
         let (subs, sub_stats) = stats
             .timed(Stage::Map, || map_idfg_counted(kernel, cgra, &self.options, token.as_ref()));
         StatsCollector::add(&stats.sub_shapes_tried, sub_stats.shapes_tried);
@@ -438,7 +471,7 @@ impl HiMap {
         let verdicts = if workers <= 1 {
             evaluate_sequential(&ctx, &candidates, token.as_ref())
         } else {
-            evaluate_parallel(&ctx, &candidates, workers, deadline)
+            evaluate_parallel(&ctx, &candidates, workers, deadline, external)
         };
         // The winner is the lowest-priority terminal verdict; with none, the
         // walk's error is the furthest stage any candidate reached.
@@ -636,6 +669,7 @@ fn evaluate_parallel(
     candidates: &[Candidate],
     workers: usize,
     deadline: Option<Instant>,
+    external: Option<&CancelToken>,
 ) -> Vec<Verdict> {
     let mut order: Vec<usize> = (0..candidates.len()).collect();
     order.sort_by_key(|&idx| prefilter_cost(&candidates[idx]));
@@ -663,7 +697,11 @@ fn evaluate_parallel(
                         set_verdict(verdicts, idx, Verdict::Abandoned);
                         continue;
                     }
-                    let token = CancelToken::new(Arc::clone(&best), idx).with_deadline(deadline);
+                    let mut token =
+                        CancelToken::new(Arc::clone(&best), idx).with_deadline(deadline);
+                    if let Some(ext) = external {
+                        token = token.with_parent(ext.clone());
+                    }
                     // A panicking evaluation must not take the whole walk
                     // (and its sibling workers' verdicts) down with it; it
                     // becomes a terminal `Internal` verdict instead.

@@ -35,9 +35,11 @@
 //! # Ok::<(), himap_core::HiMapError>(())
 //! ```
 
+pub mod backend;
 pub mod config;
 mod himap;
 mod layout;
+pub mod lower;
 mod mapping;
 mod options;
 pub mod route;
@@ -47,10 +49,15 @@ pub mod unique;
 mod verify_hook;
 pub mod viz;
 
+pub use backend::{
+    race, Backend, BackendError, BackendOutcome, BhcBackend, HiMapBackend, MapRequest, RaceMode,
+    RaceOutcome,
+};
 pub use config::{ConfigImage, DstPort, Instr, Move, SrcPort};
 pub use himap::{HiMap, Recovered};
 pub use himap_baseline::BaselineMapping;
 pub use layout::{Layout, Slot};
+pub use lower::{route_placement, LowerError};
 pub use mapping::{Mapping, MappingParts, MappingStats, RouteInstance};
 pub use options::{Attempt, HiMapError, HiMapOptions, MapReport, RecoveryPolicy};
 pub use stats::{PipelineStats, StageTimes, WorkerStats};

@@ -1,0 +1,25 @@
+//! The placement-lowering path the oracle depends on: a placement that a
+//! baseline mapper already routed must lower to a verifier-clean mapping.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use himap_baseline::{BaselineOptions, SprMapper};
+use himap_cgra::CgraSpec;
+use himap_core::route_placement;
+use himap_dfg::Dfg;
+use himap_kernels::suite;
+
+#[test]
+fn spr_placement_lowers_and_verifies() {
+    let kernel = suite::gemm();
+    let block = [2usize, 2, 2];
+    let dfg = Dfg::build(&kernel, &block).unwrap();
+    let spec = CgraSpec::square(4);
+    let baseline = SprMapper::run(&dfg, &spec, &BaselineOptions::default())
+        .expect("spr maps gemm 2x2x2 on 4x4");
+    let mapping = route_placement(&dfg, &spec, baseline.ii, &baseline.op_slots, &block, 12, None)
+        .expect("spr placement lowers");
+    assert_eq!(mapping.stats().iib, baseline.ii);
+    let sink = himap_verify::verify_mapping(&mapping);
+    assert!(!sink.has_errors(), "{}", sink.render_pretty());
+}

@@ -126,12 +126,16 @@ pub struct CancelToken {
     /// Optional wall-clock deadline: the token also cancels once `Instant::now()`
     /// reaches it, independent of the shared bound.
     deadline: Option<Instant>,
+    /// Optional parent token: cancellation of the parent cancels this token
+    /// too, letting nested scopes (a portfolio race around HiMap's own
+    /// candidate walk) compose without merging their bounds.
+    parent: Option<Arc<CancelToken>>,
 }
 
 impl CancelToken {
     /// A token that cancels once `bound` drops below `threshold`.
     pub fn new(bound: Arc<AtomicUsize>, threshold: usize) -> Self {
-        CancelToken { bound, threshold, deadline: None }
+        CancelToken { bound, threshold, deadline: None, parent: None }
     }
 
     /// A token that cancels only once the wall clock reaches `deadline`.
@@ -141,7 +145,12 @@ impl CancelToken {
 
     /// A token that can never cancel (every bound is `>= 0`).
     pub fn never() -> Self {
-        CancelToken { bound: Arc::new(AtomicUsize::new(usize::MAX)), threshold: 0, deadline: None }
+        CancelToken {
+            bound: Arc::new(AtomicUsize::new(usize::MAX)),
+            threshold: 0,
+            deadline: None,
+            parent: None,
+        }
     }
 
     /// This token with `deadline` installed (or cleared with `None`),
@@ -152,12 +161,29 @@ impl CancelToken {
         self
     }
 
-    /// Whether the shared bound has dropped below this token's threshold or
-    /// the deadline (if any) has passed.
+    /// This token chained under `parent`: it cancels when its own condition
+    /// fires *or* when `parent` (or any ancestor) is cancelled.
+    #[must_use]
+    pub fn with_parent(mut self, parent: CancelToken) -> Self {
+        self.parent = Some(Arc::new(parent));
+        self
+    }
+
+    /// Whether the deadline (if any) of this token or an ancestor has
+    /// passed. Distinguishes wall-clock expiry from bound-based
+    /// cancellation, so callers can report `DeadlineExceeded` vs `Cancelled`.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_deref().is_some_and(CancelToken::deadline_passed)
+    }
+
+    /// Whether the shared bound has dropped below this token's threshold,
+    /// the deadline (if any) has passed, or an ancestor is cancelled.
     #[inline]
     pub fn is_cancelled(&self) -> bool {
         self.bound.load(AtomicOrdering::Acquire) < self.threshold
             || self.deadline.is_some_and(|d| Instant::now() >= d)
+            || self.parent.as_deref().is_some_and(CancelToken::is_cancelled)
     }
 }
 
@@ -1060,6 +1086,30 @@ mod tests {
         r.set_cancel_token(Some(token));
         assert!(r.route_one(SignalId(1), fu(0, 0, 0), fu(1, 1, 2), Some(2)).is_some());
         assert_eq!(r.search_stats().cancelled, 0);
+    }
+
+    #[test]
+    fn parent_cancellation_propagates_to_children() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        // A live child under a live parent is not cancelled.
+        let parent_bound = Arc::new(AtomicUsize::new(usize::MAX));
+        let parent = CancelToken::new(Arc::clone(&parent_bound), 5);
+        let child = CancelToken::never().with_parent(parent.clone());
+        assert!(!child.is_cancelled());
+        // Cancelling the parent cancels the child — and a grandchild.
+        parent_bound.store(0, std::sync::atomic::Ordering::Release);
+        assert!(parent.is_cancelled());
+        assert!(child.is_cancelled());
+        let grandchild = CancelToken::never().with_parent(child);
+        assert!(grandchild.is_cancelled());
+        // Bound-based cancellation is not a deadline expiry…
+        assert!(!grandchild.deadline_passed());
+        // …but a passed deadline on an ancestor is visible from the leaf.
+        let expired = CancelToken::until(Instant::now() - std::time::Duration::from_millis(1));
+        let leaf = CancelToken::never().with_parent(expired);
+        assert!(leaf.is_cancelled());
+        assert!(leaf.deadline_passed());
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub use himap_baseline as baseline;
 pub use himap_cgra as cgra;
 pub use himap_core as core;
 pub use himap_dfg as dfg;
+pub use himap_exact as exact;
 pub use himap_graph as graph;
 pub use himap_kernels as kernels;
 pub use himap_mapper as mapper;

@@ -1,86 +1,100 @@
-//! Cross-crate checks of the HiMap-vs-baseline comparison machinery.
+//! Cross-crate checks of the HiMap-vs-baseline comparison machinery, routed
+//! through the pluggable [`Backend`] trait the portfolio racer uses — every
+//! mapper answers the same `MapRequest`, and every success is a fully
+//! routed, verifier-checkable `Mapping`.
 
 use std::time::Duration;
 
-use himap_repro::baseline::{baseline_block, bhc, BaselineFailure, BaselineOptions};
+use himap_repro::baseline::BaselineOptions;
 use himap_repro::cgra::CgraSpec;
-use himap_repro::core::{HiMap, HiMapOptions};
+use himap_repro::core::backend::{Backend, BackendError, BhcBackend, HiMapBackend, MapRequest};
 use himap_repro::dfg::Dfg;
 use himap_repro::kernels::suite;
+use himap_repro::mapper::CancelToken;
+use himap_repro::verify::verify_mapping;
 
 #[test]
 fn bhc_maps_small_blocks() {
-    let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).expect("builds");
-    let result = bhc(&dfg, &CgraSpec::square(4), &BaselineOptions::default());
-    let best = result.best().expect("small GEMM block maps");
-    assert!(best.utilization > 0.0);
-    assert!(best.ii >= 1);
+    let backend = BhcBackend::default().with_block(vec![2, 2, 2]);
+    let req = MapRequest::new(suite::gemm(), CgraSpec::square(4));
+    let mapping = backend.map(&req, &CancelToken::never()).expect("small GEMM block maps");
+    assert!(mapping.utilization() > 0.0);
+    assert!(mapping.stats().iib >= 1);
+    let sink = verify_mapping(&mapping);
+    assert!(!sink.has_errors(), "{}", sink.render_pretty());
 }
 
 #[test]
 fn bhc_hits_the_scalability_cliff() {
     // The paper: "BHC fails to find a solution when the number of DFG nodes
-    // is higher than 400".
+    // is higher than 400". Through the Backend trait that surfaces as an
+    // Infeasible request, not a panic or a hang.
     let options = BaselineOptions::default();
     let dfg = Dfg::build(&suite::gemm(), &[8, 8, 8]).expect("builds");
     assert!(dfg.graph().node_count() > options.max_dfg_nodes);
-    let result = bhc(&dfg, &CgraSpec::square(16), &options);
-    assert!(result.best().is_none());
-    assert!(matches!(result.spr, Err(BaselineFailure::TooManyNodes { .. })));
-    assert!(matches!(result.sa, Err(BaselineFailure::TooManyNodes { .. })));
+    let backend = BhcBackend::new(options).with_block(vec![8, 8, 8]);
+    let req = MapRequest::new(suite::gemm(), CgraSpec::square(16));
+    let result = backend.map(&req, &CancelToken::never());
+    assert!(
+        matches!(result, Err(BackendError::Infeasible(_))),
+        "expected the node-cap cliff, got {result:?}"
+    );
 }
 
 #[test]
 fn himap_dominates_on_large_arrays() {
     // Fig. 7's crossover: on a 16x16 array the baselines' node-capped DFG
     // cannot fill 256 PEs, while HiMap's utilization stays flat.
-    let kernel = suite::gemm();
-    let spec = CgraSpec::square(16);
+    let req = MapRequest::new(suite::gemm(), CgraSpec::square(16));
     let himap_util =
-        HiMap::new(HiMapOptions::default()).map(&kernel, &spec).expect("maps").utilization();
+        HiMapBackend::default().map(&req, &CancelToken::never()).expect("himap maps").utilization();
     let options =
         BaselineOptions { timeout: Duration::from_secs(15), ..BaselineOptions::default() };
-    let block = baseline_block(&kernel, &options);
-    let dfg = Dfg::build(&kernel, &block).expect("builds");
-    let bhc_util = bhc(&dfg, &spec, &options).best_utilization();
-    // The baseline's ops are capped near the node limit; 256 PEs cannot be
-    // filled even at II = 1.
-    let ops_bound = dfg.op_count() as f64 / spec.pe_count() as f64;
-    assert!(bhc_util <= ops_bound + 1e-9);
+    let bhc = BhcBackend::new(options);
+    let bhc_util = match bhc.map(&req, &CancelToken::never()) {
+        Ok(mapping) => {
+            // The baseline's ops are capped near the node limit; 256 PEs
+            // cannot be filled even at II = 1.
+            let block = himap_repro::baseline::baseline_block(&req.kernel, &bhc.options);
+            let dfg = Dfg::build(&req.kernel, &block).expect("builds");
+            let ops_bound = dfg.op_count() as f64 / req.spec.pe_count() as f64;
+            let util = mapping.utilization();
+            assert!(util <= ops_bound + 1e-9);
+            util
+        }
+        // Failing to map at 256 PEs only widens the gap.
+        Err(_) => 0.0,
+    };
     assert!(himap_util > 2.0 * bhc_util, "himap {himap_util} vs bhc {bhc_util}");
 }
 
 #[test]
 fn baseline_mappings_respect_mem_causality() {
-    // Floyd–Warshall's memory-routed pivots: the baseline scheduler must
-    // order every load after its producing store.
-    let dfg = Dfg::build(&suite::floyd_warshall(), &[3, 3, 3]).expect("builds");
-    let result = bhc(&dfg, &CgraSpec::square(4), &BaselineOptions::default());
-    let Some(best) = result.best() else {
-        // Failing to map is acceptable; producing a causality-violating
-        // mapping is not (checked below when it succeeds).
-        return;
-    };
-    for &(producer, input) in dfg.mem_deps() {
-        let (_, pabs) = best.op_slots[&producer];
-        for consumer in dfg.graph().out_neighbors(input) {
-            let (_, cabs) = best.op_slots[&consumer];
-            assert!(cabs >= pabs + 2, "load consumer at {cabs} before store at {pabs} is visible");
-        }
+    // Floyd–Warshall's memory-routed pivots: when the baseline backend
+    // produces a mapping at all, it must be verifier-clean — V003 covers
+    // every load ordered after its producing store.
+    let backend = BhcBackend::default().with_block(vec![3, 3, 3]);
+    let req = MapRequest::new(suite::floyd_warshall(), CgraSpec::square(4));
+    // Failing to map is acceptable; producing a causality-violating
+    // mapping is not.
+    if let Ok(mapping) = backend.map(&req, &CancelToken::never()) {
+        let sink = verify_mapping(&mapping);
+        assert!(!sink.has_errors(), "{}", sink.render_pretty());
     }
 }
 
 #[test]
 fn timeouts_are_honoured() {
-    let dfg = Dfg::build(&suite::ttm(), &[3, 3, 3, 3]).expect("builds");
-    let options =
-        BaselineOptions { timeout: Duration::from_millis(1), ..BaselineOptions::default() };
+    let backend = BhcBackend::default().with_block(vec![3, 3, 3, 3]);
+    let req =
+        MapRequest::new(suite::ttm(), CgraSpec::square(8)).with_deadline(Duration::from_millis(1));
     let start = std::time::Instant::now();
-    let result = bhc(&dfg, &CgraSpec::square(8), &options);
+    let result = backend.map(&req, &CancelToken::never());
     assert!(start.elapsed() < Duration::from_secs(30));
-    // With a 1 ms budget both mappers must report a timeout (or an early
-    // structural failure), never hang.
-    if let Err(e) = &result.spr {
-        assert!(matches!(e, BaselineFailure::Timeout | BaselineFailure::TooManyNodes { .. }));
-    }
+    // With a 1 ms budget the backend must report a deadline (or an early
+    // structural failure), never hang or return a half-mapped success.
+    assert!(
+        matches!(result, Err(BackendError::Deadline(_)) | Err(BackendError::Infeasible(_))),
+        "got {result:?}"
+    );
 }
