@@ -30,6 +30,11 @@ stage() {
 stage "cargo fmt --check" cargo fmt --all --check
 stage "cargo clippy (-D warnings)" cargo clippy --workspace --all-targets -- -D warnings
 
+# Unsafe/panic hygiene: every crate forbids `unsafe`, and the count of
+# targeted unwrap/expect allow-exemptions may not grow past the committed
+# budget (LINT_BUDGET.txt).
+stage "lint budget" ./scripts/lint_budget.sh
+
 if [ "$QUICK" -eq 1 ]; then
   stage "cargo test -q (debug)" cargo test -q
   echo "CI quick gate green."
@@ -46,6 +51,25 @@ stage "cargo bench --no-run" cargo bench --no-run
 stage "himap-verify smoke (gemm)" target/release/himap-verify gemm --size 4
 stage "himap-verify smoke (floyd-warshall/spr)" \
   target/release/himap-verify floyd-warshall --size 4 --baseline spr
+
+# Pre-mapping static analysis smoke: certified bounds + A-code diagnostics
+# on a feasible request (pretty and JSON), and a crafted infeasible request
+# (every memory bank faulted) that must be rejected with exit code 1.
+stage "himap-analyze smoke (gemm)" \
+  cargo run -q -p himap-analyze --release --bin himap-analyze -- gemm --size 4
+stage "himap-analyze smoke (json)" \
+  cargo run -q -p himap-analyze --release --bin himap-analyze -- \
+    atax --size 4 --json
+stage "himap-analyze rejects infeasible" \
+  bash -c '! cargo run -q -p himap-analyze --release --bin himap-analyze -- \
+    gemm --size 4 --fault-all-mems > /dev/null 2>&1'
+
+# Bound-consistency gate: the analyzer's certified static MII must sit at
+# or below the exact oracle's refutation-backed lower bound on every
+# certified kernel (and below every achieved II — also asserted inside the
+# fault-injection sweep above).
+stage "bound consistency vs exact oracle" \
+  cargo test --release -q --test static_analysis -- --ignored
 
 # Wall-time-sensitive tests excluded from the default run: the 4-thread walk
 # must not be slower than sequential (work-queue scheduler promise).

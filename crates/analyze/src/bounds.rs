@@ -1,0 +1,280 @@
+//! Certified static lower bounds on the initiation interval.
+//!
+//! [`StaticBounds`] collects everything the analyzer can prove about a
+//! request before any MRRG exists. The *certified* bounds — the resource
+//! pigeonholes and the connectivity-aware region bound — are sound for the
+//! block-modulo period the mapper and the exact backend both report
+//! (`MappingStats::iib` / `Certificate::ii`): they count work the block
+//! must execute against capacity the surviving fabric can offer per period.
+//!
+//! The recurrence bound ([`StaticBounds::rec_mii`]) is *advisory* and is
+//! deliberately **not** folded into [`StaticBounds::mii`]: HiMap's blocks
+//! are temporally independent mapping units (cross-block dependences
+//! degrade to memory dependences between macro steps), so a steady-state
+//! per-iteration recurrence bound does not constrain the block period.
+//! It is still reported because it bounds the per-iteration initiation
+//! rate any software-pipelined execution of the same nest could sustain.
+
+use himap_kernels::{uniform_distance, Expr, Kernel};
+
+/// Static lower bounds and the fabric/kernel counts they derive from.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StaticBounds {
+    /// Compute pigeonhole: `⌈ops / live PEs⌉`.
+    pub res_mii_fu: usize,
+    /// Memory-port pigeonhole: `⌈loads / (live banks × mem ports)⌉`.
+    pub res_mii_mem: usize,
+    /// Connectivity-aware region bound: the best any single surviving
+    /// region (or the bank-equipped regions) can do. Zero when the
+    /// analysis could not localize the work to one region.
+    pub component_mii: usize,
+    /// Advisory per-iteration recurrence bound (max cycle ratio over the
+    /// statement-level dependence graph). Not folded into [`mii`](Self::mii).
+    pub rec_mii: usize,
+    /// Longest op chain (kernel: deepest expression tree; DFG: longest
+    /// path). A latency floor for any schedule, not a period bound.
+    pub critical_path: usize,
+    /// Compute ops counted (per block for DFG analysis, per iteration for
+    /// kernel analysis).
+    pub ops: usize,
+    /// Memory loads counted (consumed DFG inputs, or per-iteration reads
+    /// that must come from memory).
+    pub mem_inputs: usize,
+    /// Live PEs of the surveyed fabric.
+    pub live_pes: usize,
+    /// Live memory banks of the surveyed fabric.
+    pub live_banks: usize,
+}
+
+impl StaticBounds {
+    /// The certified minimum initiation interval: the max of the sound
+    /// bounds, never below 1. The advisory [`rec_mii`](Self::rec_mii) is
+    /// excluded (see the module docs).
+    pub fn mii(&self) -> usize {
+        self.res_mii_fu.max(self.res_mii_mem).max(self.component_mii).max(1)
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "mii >= {} (fu {}, mem {}, region {}; rec {} advisory; \
+             {} ops, {} loads on {} live PEs / {} banks)",
+            self.mii(),
+            self.res_mii_fu,
+            self.res_mii_mem,
+            self.component_mii,
+            self.rec_mii,
+            self.ops,
+            self.mem_inputs,
+            self.live_pes,
+            self.live_banks,
+        )
+    }
+
+    /// JSON object with every field plus the aggregate `mii`.
+    pub fn render_json(&self) -> String {
+        format!(
+            "{{\"mii\":{},\"res_mii_fu\":{},\"res_mii_mem\":{},\"component_mii\":{},\
+             \"rec_mii\":{},\"critical_path\":{},\"ops\":{},\"mem_inputs\":{},\
+             \"live_pes\":{},\"live_banks\":{}}}",
+            self.mii(),
+            self.res_mii_fu,
+            self.res_mii_mem,
+            self.component_mii,
+            self.rec_mii,
+            self.critical_path,
+            self.ops,
+            self.mem_inputs,
+            self.live_pes,
+            self.live_banks,
+        )
+    }
+}
+
+impl std::fmt::Display for StaticBounds {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Depth of an expression tree in ALU stages (leaves are free).
+pub(crate) fn expr_depth(expr: &Expr) -> usize {
+    match expr {
+        Expr::Read(_) | Expr::Const(_) => 0,
+        Expr::Binary(_, l, r) => 1 + expr_depth(l).max(expr_depth(r)),
+    }
+}
+
+/// One edge of the statement-level dependence graph: `from`'s write feeds
+/// a read of `to`, `dist` iterations later (0 = same iteration), and `to`
+/// needs `lat` ALU stages to produce its own write from the operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct DepEdge {
+    pub from: usize,
+    pub to: usize,
+    pub dist: usize,
+    pub lat: usize,
+}
+
+/// Builds the statement-level dependence graph from the uniform distances
+/// the K002 lint derives.
+///
+/// Orientation: `uniform_distance` gives `write(p)` feeding `read(p + d)`.
+/// Lexicographically negative `d` means the read precedes the write and
+/// observes the old value — no flow dependence. An all-zero `d` is a flow
+/// dependence only when the writer precedes the reader in program order;
+/// otherwise the read observes the previous iteration's write and the
+/// dependence is carried one (innermost) iteration.
+pub(crate) fn statement_dep_graph(kernel: &Kernel) -> Vec<DepEdge> {
+    let dims = kernel.dims();
+    let mut edges = Vec::new();
+    for (sidx, stmt) in kernel.stmts().iter().enumerate() {
+        let lat = expr_depth(&stmt.value).max(1);
+        for read in stmt.value.reads() {
+            for (widx, writer) in kernel.stmts().iter().enumerate() {
+                if writer.target.array != read.array {
+                    continue;
+                }
+                let Some(d) = uniform_distance(&writer.target, read, dims) else {
+                    continue;
+                };
+                let edge = if d.iter().all(|&x| x == 0) {
+                    if widx < sidx {
+                        DepEdge { from: widx, to: sidx, dist: 0, lat }
+                    } else {
+                        DepEdge { from: widx, to: sidx, dist: 1, lat }
+                    }
+                } else {
+                    // Lexicographic sign decides whether the write really
+                    // precedes the read.
+                    match d.iter().find(|&&x| x != 0) {
+                        Some(&lead) if lead > 0 => {
+                            let steps: usize = d.iter().map(|&x| x.unsigned_abs() as usize).sum();
+                            DepEdge { from: widx, to: sidx, dist: steps, lat }
+                        }
+                        _ => continue,
+                    }
+                };
+                if !edges.contains(&edge) {
+                    edges.push(edge);
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// A recurrence found in the statement dependence graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Recurrence {
+    /// Statements on the cycle, in traversal order.
+    pub stmts: Vec<usize>,
+    /// Total carried distance around the cycle, in iterations.
+    pub dist: usize,
+    /// Total ALU latency around the cycle, in cycles.
+    pub lat: usize,
+}
+
+/// Enumerates the simple cycles of the statement dependence graph.
+///
+/// Kernel bodies are a handful of statements, so a DFS rooted at each
+/// minimal node (restricted to nodes ≥ the root to visit each cycle once)
+/// is exact and instant.
+pub(crate) fn recurrences(stmt_count: usize, edges: &[DepEdge]) -> Vec<Recurrence> {
+    let mut out = Vec::new();
+    for root in 0..stmt_count {
+        let mut path = vec![root];
+        dfs_cycles(root, root, edges, &mut path, &mut out);
+    }
+    out
+}
+
+fn dfs_cycles(
+    root: usize,
+    at: usize,
+    edges: &[DepEdge],
+    path: &mut Vec<usize>,
+    out: &mut Vec<Recurrence>,
+) {
+    for e in edges.iter().filter(|e| e.from == at) {
+        if e.to == root {
+            let cycle: Vec<usize> = path.clone();
+            let (mut dist, mut lat) = (0usize, 0usize);
+            for (i, &s) in cycle.iter().enumerate() {
+                let t = cycle[(i + 1) % cycle.len()];
+                // The first matching edge suffices: parallel edges with a
+                // smaller distance would form their own cycle too.
+                if let Some(edge) = edges.iter().find(|e| e.from == s && e.to == t) {
+                    dist += edge.dist;
+                    lat += edge.lat;
+                }
+            }
+            out.push(Recurrence { stmts: cycle, dist, lat });
+        } else if e.to > root && !path.contains(&e.to) {
+            path.push(e.to);
+            dfs_cycles(root, e.to, edges, path, out);
+            path.pop();
+        }
+    }
+}
+
+/// The advisory per-iteration RecMII: `max ⌈Σlat / Σdist⌉` over all
+/// recurrences, 1 with no recurrence. Zero-distance recurrences are the
+/// caller's A007 domain and are skipped here.
+pub(crate) fn rec_mii(recs: &[Recurrence]) -> usize {
+    recs.iter().filter(|r| r.dist > 0).map(|r| r.lat.div_ceil(r.dist)).max().unwrap_or(1).max(1)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use himap_kernels::suite;
+
+    #[test]
+    fn mii_is_max_of_certified_bounds_only() {
+        let b = StaticBounds {
+            res_mii_fu: 2,
+            res_mii_mem: 3,
+            component_mii: 1,
+            rec_mii: 9,
+            ..StaticBounds::default()
+        };
+        assert_eq!(b.mii(), 3, "advisory rec_mii must not certify");
+        assert_eq!(StaticBounds::default().mii(), 1);
+    }
+
+    #[test]
+    fn summary_and_json_carry_the_aggregate() {
+        let b = StaticBounds { res_mii_fu: 2, ..StaticBounds::default() };
+        assert!(b.summary().starts_with("mii >= 2"));
+        assert!(b.render_json().starts_with("{\"mii\":2,"));
+    }
+
+    #[test]
+    fn gemm_accumulation_is_a_unit_recurrence() {
+        // c[i][j] += a[i][k] * b[k][j]: the self-dependence on c is carried
+        // one iteration and costs the full 2-deep expression each trip.
+        let kernel = suite::gemm();
+        let edges = statement_dep_graph(&kernel);
+        assert!(
+            edges.iter().any(|e| e.from == e.to && e.dist == 1),
+            "missing carried self-dependence: {edges:?}"
+        );
+        let recs = recurrences(kernel.stmts().len(), &edges);
+        assert!(!recs.is_empty());
+        assert!(recs.iter().all(|r| r.dist > 0), "{recs:?}");
+        assert_eq!(rec_mii(&recs), 2, "{recs:?}");
+    }
+
+    #[test]
+    fn independent_statements_have_no_recurrence() {
+        // bicg's two statements accumulate different arrays; each has its
+        // own unit-distance self-recurrence but no cross-statement cycle.
+        let kernel = suite::bicg();
+        let edges = statement_dep_graph(&kernel);
+        let recs = recurrences(kernel.stmts().len(), &edges);
+        assert!(recs.iter().all(|r| r.stmts.len() == 1), "{recs:?}");
+        assert!(rec_mii(&recs) >= 1);
+    }
+}

@@ -1,0 +1,196 @@
+//! DFG-level dataflow facts: input consumption, fan-out, ASAP liveness,
+//! connectivity and memory-dependence windows.
+//!
+//! Everything here is computed on the unrolled block DFG alone — no MRRG,
+//! no placement — in one topological pass plus a few linear scans.
+
+use himap_dfg::{Dfg, EdgeKind};
+use himap_graph::{reachable_from, topological_sort, NodeId};
+
+/// Facts the analyzer derives from one unrolled block DFG.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DfgFacts {
+    /// Compute op nodes.
+    pub ops: usize,
+    /// Input nodes with at least one outgoing `Flow` edge — each provably
+    /// occupies a memory-bank port slot (the verifier's V003 forces every
+    /// such route to start at a `Mem` resource).
+    pub mem_inputs: usize,
+    /// Input nodes no edge consumes (A008).
+    pub dead_inputs: Vec<NodeId>,
+    /// Largest out-degree and the node carrying it.
+    pub max_fanout: usize,
+    /// Node with the largest out-degree.
+    pub max_fanout_node: Option<NodeId>,
+    /// Longest op chain, in ALU stages.
+    pub critical_path: usize,
+    /// Peak number of simultaneously-live values under an ASAP schedule.
+    pub max_live: usize,
+    /// `true` when all non-isolated nodes form one weakly-connected
+    /// component.
+    pub connected: bool,
+    /// Ops that sit in a weak component containing at least one consumed
+    /// input (equals `ops` when `connected` and `mem_inputs > 0`).
+    pub ops_near_inputs: usize,
+    /// Empty memory-dependence windows `(input, producer, writer)`: the
+    /// input must load after `producer` writes yet before `writer`
+    /// overwrites, and `writer` is scheduled no later than `producer`
+    /// (A006).
+    pub empty_windows: Vec<(NodeId, NodeId, NodeId)>,
+}
+
+/// Computes all [`DfgFacts`] for one DFG.
+pub(crate) fn dfg_facts(dfg: &Dfg) -> DfgFacts {
+    let graph = dfg.graph();
+    let mut facts = DfgFacts::default();
+
+    for (node, weight) in graph.nodes() {
+        let out_degree = graph.out_degree(node);
+        if weight.kind.is_op() {
+            facts.ops += 1;
+        } else if weight.kind.is_input() {
+            let flows = graph.out_edges(node).any(|e| matches!(e.weight.kind, EdgeKind::Flow));
+            if flows {
+                facts.mem_inputs += 1;
+            }
+            if out_degree == 0 {
+                facts.dead_inputs.push(node);
+            }
+        }
+        if out_degree > facts.max_fanout {
+            facts.max_fanout = out_degree;
+            facts.max_fanout_node = Some(node);
+        }
+    }
+
+    // ASAP levels, op-depth critical path and peak liveness in one
+    // topological pass. The DFG is a DAG by construction; if a malformed
+    // graph ever cycles, the schedule-based facts degrade to zero and the
+    // resource facts above still stand.
+    if let Ok(order) = topological_sort(graph) {
+        let n = graph.node_count();
+        let mut asap = vec![0usize; n];
+        let mut depth = vec![0usize; n];
+        for &node in &order {
+            let mut level = 0usize;
+            let mut op_depth = 0usize;
+            for e in graph.in_edges(node) {
+                level = level.max(asap[e.src.index()] + 1);
+                op_depth = op_depth.max(depth[e.src.index()]);
+            }
+            asap[node.index()] = level;
+            let weight = graph.node_weight(node);
+            let is_op = weight.is_some_and(|w| w.kind.is_op());
+            depth[node.index()] = op_depth + usize::from(is_op);
+        }
+        facts.critical_path = depth.iter().copied().max().unwrap_or(0);
+
+        // A value born at `asap[n]` stays live until its last consumer's
+        // level; count values crossing each level boundary.
+        let horizon = asap.iter().copied().max().unwrap_or(0);
+        let mut live_delta = vec![0i64; horizon + 2];
+        for node in graph.node_ids() {
+            let last_use = graph.out_edges(node).map(|e| asap[e.dst.index()]).max().unwrap_or(0);
+            if last_use > asap[node.index()] {
+                live_delta[asap[node.index()]] += 1;
+                live_delta[last_use] -= 1;
+            }
+        }
+        let mut live = 0i64;
+        for delta in live_delta {
+            live += delta;
+            facts.max_live = facts.max_live.max(live as usize);
+        }
+    }
+
+    // Weak connectivity over non-isolated nodes, tracking which components
+    // contain a consumed input.
+    let n = graph.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut next_component = 0usize;
+    for start in graph.node_ids() {
+        if component[start.index()] != usize::MAX
+            || (graph.out_degree(start) == 0 && graph.in_degree(start) == 0)
+        {
+            continue;
+        }
+        let mut stack = vec![start];
+        component[start.index()] = next_component;
+        while let Some(node) = stack.pop() {
+            for next in graph.out_neighbors(node).chain(graph.in_neighbors(node)) {
+                if component[next.index()] == usize::MAX {
+                    component[next.index()] = next_component;
+                    stack.push(next);
+                }
+            }
+        }
+        next_component += 1;
+    }
+    facts.connected = next_component <= 1;
+    let mut has_input = vec![false; next_component];
+    for (node, weight) in graph.nodes() {
+        let c = component[node.index()];
+        if c != usize::MAX && weight.kind.is_input() && graph.out_degree(node) > 0 {
+            has_input[c] = true;
+        }
+    }
+    for (node, weight) in graph.nodes() {
+        let c = component[node.index()];
+        if c != usize::MAX && weight.kind.is_op() && has_input[c] {
+            facts.ops_near_inputs += 1;
+        }
+    }
+
+    // Empty memory-dependence windows: the verifier requires
+    // `load ≥ producer + 2` and `load ≤ writer + 1`; any dataflow path
+    // from the writer to the producer (or identity) forces
+    // `writer ≤ producer` in every schedule, emptying the window.
+    for &(reader, writer) in dfg.anti_deps() {
+        for &(producer, input) in dfg.mem_deps() {
+            if input != reader {
+                continue;
+            }
+            let conflict = writer == producer || reachable_from(graph, writer)[producer.index()];
+            if conflict {
+                facts.empty_windows.push((input, producer, writer));
+            }
+        }
+    }
+
+    facts
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+    use himap_dfg::Dfg;
+    use himap_kernels::suite;
+
+    #[test]
+    fn gemm_block_facts_are_consistent() {
+        let kernel = suite::gemm();
+        let dfg = Dfg::build(&kernel, &[2, 2, 2]).unwrap();
+        let facts = dfg_facts(&dfg);
+        assert_eq!(facts.ops, dfg.op_count());
+        assert!(facts.mem_inputs > 0, "boundary reads must load");
+        assert!(facts.dead_inputs.is_empty(), "{:?}", facts.dead_inputs);
+        assert!(facts.max_fanout >= 1);
+        assert!(facts.critical_path >= 2, "two ALU stages per iteration");
+        assert!(facts.max_live >= 1);
+        assert!(facts.connected);
+        assert_eq!(facts.ops_near_inputs, facts.ops);
+        assert!(facts.empty_windows.is_empty(), "{:?}", facts.empty_windows);
+    }
+
+    #[test]
+    fn suite_blocks_have_no_empty_windows() {
+        for kernel in suite::all() {
+            let block = vec![2; kernel.dims()];
+            let dfg = Dfg::build(&kernel, &block).unwrap();
+            let facts = dfg_facts(&dfg);
+            assert!(facts.empty_windows.is_empty(), "{}", kernel.name());
+            assert!(facts.dead_inputs.is_empty(), "{}", kernel.name());
+        }
+    }
+}

@@ -1,5 +1,11 @@
 //! Rustc-style diagnostics: stable codes, severities, span-like loci,
 //! terminal and JSON rendering.
+//!
+//! This module is the single home of the diagnostic vocabulary for the
+//! whole workspace: the static analyzer's `A` codes live next to the
+//! mapping verifier's `V`/`W` codes and the kernel-IR `K` codes, so every
+//! tool reports through one [`DiagnosticSink`] with one exit-code
+//! convention (non-zero iff any Error-severity finding).
 
 use std::fmt;
 
@@ -31,11 +37,12 @@ impl fmt::Display for Severity {
     }
 }
 
-/// Stable diagnostic codes of the static verifier.
+/// Stable diagnostic codes.
 ///
 /// `V` codes judge mappings, `W` codes are mapping-quality lints, `K` codes
-/// come from the kernel-IR lint pass in `himap-kernels`. Codes never change
-/// meaning; new checks get new codes.
+/// come from the kernel-IR lint pass in `himap-kernels`, and `A` codes are
+/// emitted by the pre-mapping static analyzer in this crate. Codes never
+/// change meaning; new checks get new codes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Code {
     /// Modulo resource exclusivity: a resource carries more distinct
@@ -69,6 +76,32 @@ pub enum Code {
     K002,
     /// Kernel lint: operation unsupported by the PE ALU.
     K003,
+    /// Static analysis: the kernel uses an operation class outside the
+    /// fabric's supported repertoire — no PE can ever execute it.
+    A001,
+    /// Static analysis: a value's fan-out exceeds the fabric's per-period
+    /// route-capacity heuristic; routing pressure is likely to dominate.
+    A002,
+    /// Static analysis: memory loads exist but no live memory bank can
+    /// serve them (all banks faulted or their PEs dead).
+    A003,
+    /// Static analysis: faults annihilate or disconnect the fabric — no
+    /// live region can host the kernel at any II.
+    A004,
+    /// Static analysis: the certified lower bound on distinct instruction
+    /// words per PE exceeds the configuration-memory depth.
+    A005,
+    /// Static analysis: a memory-dependence window is empty — the producer
+    /// and anti-dependence deadlines contradict at every II.
+    A006,
+    /// Static analysis: a dependence recurrence with zero total distance —
+    /// the kernel requires a value before it is produced.
+    A007,
+    /// Static analysis: a loaded value has no consumer (dead input).
+    A008,
+    /// Static analysis: estimated max-live value count exceeds the live
+    /// register-file capacity; spilling pressure is likely.
+    A009,
 }
 
 impl Code {
@@ -87,6 +120,15 @@ impl Code {
             Code::K001 => "K001",
             Code::K002 => "K002",
             Code::K003 => "K003",
+            Code::A001 => "A001",
+            Code::A002 => "A002",
+            Code::A003 => "A003",
+            Code::A004 => "A004",
+            Code::A005 => "A005",
+            Code::A006 => "A006",
+            Code::A007 => "A007",
+            Code::A008 => "A008",
+            Code::A009 => "A009",
         }
     }
 }
@@ -153,7 +195,7 @@ impl fmt::Display for Locus {
     }
 }
 
-/// One finding of the verifier.
+/// One finding of the verifier or the static analyzer.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
     /// Stable code.
@@ -277,7 +319,7 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Minimal JSON string escaping (the build environment has no serde).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -295,7 +337,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-/// Collects diagnostics during a verification pass.
+/// Collects diagnostics during a verification or analysis pass.
 #[derive(Clone, Debug, Default)]
 pub struct DiagnosticSink {
     diags: Vec<Diagnostic>,
@@ -345,6 +387,17 @@ impl DiagnosticSink {
     /// `true` if some finding carries the given code.
     pub fn has_code(&self, code: Code) -> bool {
         self.diags.iter().any(|d| d.code == code)
+    }
+
+    /// The distinct codes present, in first-emission order.
+    pub fn codes(&self) -> Vec<Code> {
+        let mut out: Vec<Code> = Vec::new();
+        for d in &self.diags {
+            if !out.contains(&d.code) {
+                out.push(d.code);
+            }
+        }
+        out
     }
 
     /// Merges another sink's findings into this one.
@@ -432,5 +485,17 @@ mod tests {
         assert!(sink.has_code(Code::V003));
         assert!(!sink.has_code(Code::V001));
         assert!(sink.render_pretty().contains("verification failed: 1 error(s), 1 warning(s)"));
+    }
+
+    #[test]
+    fn analyzer_codes_are_stable() {
+        for (code, text) in [(Code::A001, "A001"), (Code::A005, "A005"), (Code::A009, "A009")] {
+            assert_eq!(code.as_str(), text);
+        }
+        let mut sink = DiagnosticSink::new();
+        sink.push(Diagnostic::error(Code::A003, "no live memory bank"));
+        sink.push(Diagnostic::error(Code::A003, "still no bank"));
+        sink.push(Diagnostic::warning(Code::A008, "dead input"));
+        assert_eq!(sink.codes(), vec![Code::A003, Code::A008]);
     }
 }

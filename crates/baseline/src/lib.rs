@@ -34,6 +34,8 @@
 //! # Ok::<(), himap_dfg::DfgError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bhc;
 mod sa;
 mod spr;

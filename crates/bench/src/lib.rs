@@ -13,6 +13,8 @@
 //! deterministic (fixed seeds). `EXPERIMENTS.md` records the outputs next to
 //! the paper's numbers.
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 
 use std::time::{Duration, Instant};

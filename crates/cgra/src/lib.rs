@@ -29,6 +29,8 @@
 //! assert_eq!(spec.pe_count(), 16);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod arch;
 mod fault;
 mod mrrg;

@@ -308,6 +308,18 @@ pub fn race(
     mode: RaceMode,
 ) -> Result<RaceOutcome, HiMapError> {
     let started = Instant::now();
+    // Admission control: a statically infeasible request fails every
+    // backend, so reject it once — before spawning any of them — with the
+    // analyzer's A-code diagnostics instead of N redundant backend failures.
+    let analysis = himap_analyze::analyze_kernel(
+        &req.kernel,
+        &req.spec,
+        &himap_analyze::AnalyzeOptions::default(),
+    );
+    if !analysis.is_feasible() {
+        return Err(HiMapError::Infeasible(analysis.diagnostics.render_pretty()));
+    }
+    let static_bounds = Some(Box::new(analysis.bounds));
     let deadline = req.deadline.map(|budget| started + budget);
     // Lowest priority index that has succeeded so far; backend `i`'s token
     // cancels once `best < i` — exactly the candidate-walk invariant.
@@ -404,7 +416,7 @@ pub fn race(
                     elapsed: o.elapsed,
                 })
                 .collect();
-            let report = MapReport { attempts, elapsed };
+            let report = MapReport { attempts, elapsed, static_bounds };
             let deadline_hit = deadline.is_some_and(|d| Instant::now() >= d)
                 || outcomes.iter().any(|o| matches!(o.error, Some(BackendError::Deadline(_))));
             if deadline_hit {

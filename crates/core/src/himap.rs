@@ -84,7 +84,11 @@ impl Recovered {
 /// into the stats collector so [`PipelineStats`] surfaces it too.
 fn report(stats: &StatsCollector, attempts: Vec<Attempt>, started: Instant) -> MapReport {
     record_attempts(stats, &attempts);
-    MapReport { attempts, elapsed: started.elapsed() }
+    MapReport {
+        attempts,
+        elapsed: started.elapsed(),
+        static_bounds: lock(&stats.static_bounds).map(Box::new),
+    }
 }
 
 /// Replaces the collector's recorded attempt trail with `attempts`.
@@ -258,6 +262,23 @@ impl HiMap {
         started: Instant,
         external: Option<&CancelToken>,
     ) -> Result<Mapping, HiMapError> {
+        // Admission control: the static analyzer's certified bounds are
+        // computed once, up front. A statically infeasible request is
+        // rejected here — before a single DFG or MRRG exists — and every
+        // rung would fail identically, so the ladder never climbs past it.
+        // A feasible request records its certified II floor for the stats
+        // snapshot and the attempt-trail reports.
+        if self.options.admission {
+            let analysis = himap_analyze::analyze_kernel(
+                kernel,
+                cgra,
+                &himap_analyze::AnalyzeOptions::default(),
+            );
+            *lock(&stats.static_bounds) = Some(analysis.bounds);
+            if !analysis.is_feasible() {
+                return Err(HiMapError::Infeasible(analysis.diagnostics.render_pretty()));
+            }
+        }
         let deadline = self.options.deadline.map(|budget| started + budget);
         let mut attempts: Vec<Attempt> = Vec::new();
         let mut last: Option<HiMapError> = None;

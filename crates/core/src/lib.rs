@@ -35,6 +35,8 @@
 //! # Ok::<(), himap_core::HiMapError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod backend;
 pub mod config;
 mod himap;

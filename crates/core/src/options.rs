@@ -5,6 +5,8 @@ use std::error::Error;
 use std::fmt;
 use std::time::Duration;
 
+use himap_analyze::StaticBounds;
+
 /// Tuning options for [`HiMap`](crate::HiMap).
 #[derive(Clone, Debug)]
 pub struct HiMapOptions {
@@ -55,6 +57,15 @@ pub struct HiMapOptions {
     /// experiments set this to exercise the parallel scheduler regardless of
     /// the host's core count.
     pub oversubscribe: bool,
+    /// Run the `himap-analyze` admission check before any mapping work: a
+    /// statically infeasible request (dead fabric, no live memory bank for a
+    /// loading kernel, config-memory overflow, …) is rejected with
+    /// [`HiMapError::Infeasible`] carrying the rendered A-code diagnostics,
+    /// before a single MRRG or DFG is built. On by default; turning it off
+    /// restores the probe-everything behaviour (the walk then discovers
+    /// infeasibility the slow way). The certified static bound is recorded
+    /// in [`PipelineStats`](crate::PipelineStats) either way.
+    pub admission: bool,
     /// Run the installed static verifier (see `himap-verify`) over the
     /// final mapping before returning it. Always on in debug builds; this
     /// flag forces it in release builds too. A diagnostic of Error severity
@@ -156,6 +167,10 @@ pub struct MapReport {
     pub attempts: Vec<Attempt>,
     /// Total wall time across all rungs.
     pub elapsed: Duration,
+    /// The pre-mapping static bounds (`himap-analyze`), when the admission
+    /// pass ran: the certified II floor every attempt was up against.
+    /// Boxed to keep `HiMapError` (which carries a `MapReport`) small.
+    pub static_bounds: Option<Box<StaticBounds>>,
 }
 
 impl MapReport {
@@ -173,6 +188,9 @@ impl fmt::Display for MapReport {
             self.attempts.len(),
             self.elapsed.as_secs_f64() * 1e3
         )?;
+        if let Some(bounds) = &self.static_bounds {
+            write!(f, "\n  static {bounds}")?;
+        }
         for attempt in &self.attempts {
             write!(f, "\n  {attempt}")?;
         }
@@ -226,6 +244,7 @@ impl Default for HiMapOptions {
             threads: 1,
             parallel_threshold: 8,
             oversubscribe: false,
+            admission: true,
             verify: false,
             deadline: None,
             recovery: RecoveryPolicy::default(),
@@ -247,6 +266,10 @@ pub enum HiMapError {
     RoutingFailed,
     /// DFG construction failed.
     Dfg(String),
+    /// The `himap-analyze` admission check proved the request statically
+    /// infeasible before any mapping work (see [`HiMapOptions::admission`]).
+    /// Carries the rendered A-code diagnostics; no MRRG or DFG was built.
+    Infeasible(String),
     /// The independent static verifier rejected the produced mapping
     /// (only reachable with a verify hook installed — see
     /// [`set_verify_hook`](crate::set_verify_hook)). Carries the rendered
@@ -269,8 +292,8 @@ pub enum HiMapError {
 impl HiMapError {
     /// Whether the recovery ladder may climb past this error: shape/search/
     /// routing dead ends are recoverable by escalation, while kernel,
-    /// DFG-construction, verification and internal errors would fail every
-    /// rung identically.
+    /// DFG-construction, static-infeasibility, verification and internal
+    /// errors would fail every rung identically.
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,
@@ -299,6 +322,9 @@ impl fmt::Display for HiMapError {
                 write!(f, "detailed routing failed for every candidate combination")
             }
             HiMapError::Dfg(why) => write!(f, "dfg construction failed: {why}"),
+            HiMapError::Infeasible(why) => {
+                write!(f, "statically infeasible: {why}")
+            }
             HiMapError::Verification(why) => {
                 write!(f, "static verification rejected the mapping: {why}")
             }

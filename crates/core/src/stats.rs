@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use himap_analyze::StaticBounds;
 use himap_mapper::RouterStats;
 
 use crate::options::Attempt;
@@ -140,6 +141,10 @@ pub struct PipelineStats {
     /// the first attempt succeeded (the common case) or the ladder is
     /// disabled.
     pub attempts: Vec<Attempt>,
+    /// Certified pre-mapping lower bounds from the `himap-analyze` admission
+    /// pass; `None` when admission was disabled
+    /// ([`HiMapOptions::admission`](crate::HiMapOptions)).
+    pub static_bounds: Option<StaticBounds>,
 }
 
 impl PipelineStats {
@@ -204,6 +209,9 @@ impl PipelineStats {
             self.probe_cache_misses,
             self.probe_cache_hit_rate() * 100.0,
         );
+        if let Some(bounds) = &self.static_bounds {
+            out.push_str(&format!("\n  static   {bounds}"));
+        }
         for w in &self.workers {
             out.push_str(&format!(
                 "\n  worker {}  {} evaluated, {} cancelled, {:.1} ms busy",
@@ -265,6 +273,8 @@ pub(crate) struct StatsCollector {
     /// Best `(s1, s2, t)` sub-candidate of the most recent walk — the shape
     /// provenance of each ladder attempt's closest miss.
     pub(crate) best_sub_shape: Mutex<Option<(usize, usize, usize)>>,
+    /// Static lower bounds from the admission pass (written once, up front).
+    pub(crate) static_bounds: Mutex<Option<StaticBounds>>,
 }
 
 /// The instrumented stages (each maps to one nanosecond accumulator).
@@ -364,6 +374,7 @@ impl StatsCollector {
             router_searches_cancelled: self.router_searches_cancelled.load(Ordering::Relaxed),
             workers,
             attempts: crate::himap::lock(&self.attempts).clone(),
+            static_bounds: *crate::himap::lock(&self.static_bounds),
         }
     }
 }

@@ -209,6 +209,7 @@ fn error_display_is_informative() {
             elapsed: Duration::from_millis(7),
         }],
         elapsed: Duration::from_millis(9),
+        static_bounds: None,
     };
     let errors = [
         HiMapError::NoSubMapping,

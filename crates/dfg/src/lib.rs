@@ -33,6 +33,8 @@
 //! # Ok::<(), himap_dfg::DfgError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod build;
 mod dfg;
 mod idfg;

@@ -17,8 +17,10 @@
 
 use std::time::{Duration, Instant};
 
+use himap_analyze::{analyze_dfg, AnalyzeOptions};
 use himap_cgra::CgraSpec;
 use himap_core::{HiMap, HiMapOptions};
+use himap_dfg::Dfg;
 use himap_exact::{certify, ExactError, ExactOptions};
 use himap_kernels::suite;
 use himap_mapper::CancelToken;
@@ -76,9 +78,10 @@ fn main() {
 
     println!("# Optimality gap — exact oracle vs HiMap on {size}x{size}\n");
     println!(
-        "| kernel | block | exact II | lower bound | certified | HiMap II | gap | oracle time |"
+        "| kernel | block | static MII | exact II | lower bound | certified | HiMap II | gap | \
+         oracle time |"
     );
-    println!("|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|");
 
     let mut certified_count = 0usize;
     let mut attempted = 0usize;
@@ -90,6 +93,16 @@ fn main() {
         }
         attempted += 1;
         let block = tuned_block(kernel.name()).unwrap_or_else(|| vec![2usize; kernel.dims()]);
+        // The analyzer's certified bound must never exceed what the oracle
+        // proves: `lower_bound` starts at the static MII and only grows, so
+        // a violation here means an unsound pigeonhole, not a solver bug.
+        let static_mii = analyze_dfg(
+            &Dfg::build(&kernel, &block).expect("suite blocks unroll"),
+            &spec,
+            &AnalyzeOptions::default(),
+        )
+        .bounds
+        .mii();
         let token = CancelToken::until(Instant::now() + budget);
         let started = Instant::now();
         let exact = certify(&kernel, &spec, &block, &options, Some(&token));
@@ -99,6 +112,13 @@ fn main() {
         match exact {
             Ok(result) => {
                 let cert = result.certificate;
+                assert!(
+                    cert.lower_bound >= static_mii,
+                    "{}: oracle lower bound {} below certified static MII {}",
+                    kernel.name(),
+                    cert.lower_bound,
+                    static_mii
+                );
                 if cert.certified {
                     certified_count += 1;
                 }
@@ -107,9 +127,10 @@ fn main() {
                     Err(_) => ("—".to_string(), "—".to_string()),
                 };
                 println!(
-                    "| {} | {} | {} | {} | {} | {} | {} | {:.1?} |",
+                    "| {} | {} | {} | {} | {} | {} | {} | {} | {:.1?} |",
                     kernel.name(),
                     block_str,
+                    static_mii,
                     cert.ii,
                     cert.lower_bound,
                     if cert.certified { "yes" } else { "no" },
@@ -124,7 +145,7 @@ fn main() {
                     other => other.to_string(),
                 };
                 println!(
-                    "| {} | {} | — | — | no ({cause}) | {} | — | {:.1?} |",
+                    "| {} | {} | {static_mii} | — | — | no ({cause}) | {} | — | {:.1?} |",
                     kernel.name(),
                     block_str,
                     himap_ii.map(|ii| ii.to_string()).unwrap_or_else(|_| "—".to_string()),

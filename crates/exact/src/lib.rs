@@ -16,9 +16,9 @@
 //! is therefore explicit about three things:
 //!
 //! * `lower_bound` — the smallest II not yet ruled out. It starts at the
-//!   resource bound `⌈ops / PEs⌉` (a pigeonhole argument, always sound)
-//!   and advances one step per *clean* `Unsat` (no CEGAR blocking clauses
-//!   involved).
+//!   `himap-analyze` certified static bound (fault- and capability-aware
+//!   pigeonhole arguments, always sound) and advances one step per *clean*
+//!   `Unsat` (no CEGAR blocking clauses involved).
 //! * `certified` — `true` iff the achieved II equals `lower_bound`, i.e.
 //!   every smaller II was cleanly refuted. A SAT placement that fails
 //!   routing adds a blocking clause and re-solves; exhausting the model
@@ -31,6 +31,8 @@
 //!
 //! [`ExactBackend`] wraps the oracle behind the [`Backend`] portfolio
 //! trait so it can race HiMap and BHC under shared cancellation.
+
+#![forbid(unsafe_code)]
 
 pub mod encode;
 pub mod sat;
@@ -196,8 +198,19 @@ pub fn minimal_ii(
             options.max_ops
         )));
     }
-    let mii = dfg.op_count().div_ceil(spec.pe_count()).max(1);
-    // Smallest II not yet soundly refuted; the resource bound itself is a
+    // The certified static bound is sound for the block period (fault- and
+    // capability-aware pigeonholes, no recurrence terms), so the walk can
+    // start there instead of the bare `⌈ops / PEs⌉` — and a statically
+    // infeasible request is rejected before any CNF is built.
+    let analysis = himap_analyze::analyze_dfg(dfg, spec, &himap_analyze::AnalyzeOptions::default());
+    if !analysis.is_feasible() {
+        return Err(ExactError::Infeasible(format!(
+            "statically infeasible ({})",
+            analysis.diagnostics.codes().iter().map(|c| c.as_str()).collect::<Vec<_>>().join(", ")
+        )));
+    }
+    let mii = analysis.bounds.mii();
+    // Smallest II not yet soundly refuted; the static bound is a certified
     // pigeonhole argument, so starting here is already justified.
     let mut lower_bound = mii;
     let mut all_lower_refuted = true;

@@ -18,6 +18,8 @@
 //! assert_eq!(g.out_neighbors(a).collect::<Vec<_>>(), vec![b]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod algo;
 mod digraph;
 mod dot;

@@ -21,6 +21,8 @@
 //! assert_eq!(bicg.compute_ops_per_iteration(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod deps;
 mod interp;
 mod ir;
@@ -34,5 +36,7 @@ pub use ir::{
     AffineExpr, ArrayDecl, ArrayId, ArrayRef, Expr, IterVec, Kernel, KernelBuilder, KernelError,
     OpKind, Statement, StmtId,
 };
-pub use lint::{lint_kernel, lints_clean, Lint, LintCode, LintOptions, LintSeverity};
+pub use lint::{
+    lint_kernel, lints_clean, uniform_distance, Lint, LintCode, LintOptions, LintSeverity,
+};
 pub use parse::{parse_kernel, ParseError};

@@ -196,7 +196,10 @@ fn lint_distances(kernel: &Kernel, options: &LintOptions, out: &mut Vec<Lint>) {
 /// when both accesses share coefficients and every loop level is pinned by
 /// a single-variable index row; `None` when no such constant distance
 /// exists (non-uniform access — K001's domain).
-fn uniform_distance(
+///
+/// Public because the `himap-analyze` RecMII pass builds its statement-level
+/// dependence graph from the same distances the K002 lint derives.
+pub fn uniform_distance(
     writer: &crate::ir::ArrayRef,
     read: &crate::ir::ArrayRef,
     dims: usize,

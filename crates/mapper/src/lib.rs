@@ -31,6 +31,8 @@
 //! router.commit(&path);
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod reference;
 mod router;
 

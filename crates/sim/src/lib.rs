@@ -34,6 +34,8 @@
 //! # Ok::<(), himap_core::HiMapError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod engine;
 
 pub use engine::{simulate, SimError, SimReport};

@@ -46,6 +46,8 @@
 //! # Ok::<(), himap_dfg::DfgError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod forwarding;
 mod map;
 mod search;

@@ -14,7 +14,7 @@ use himap_baseline::BaselineMapping;
 use himap_cgra::{CgraSpec, PeId, RKind, RNode};
 use himap_dfg::{Dfg, NodeKind};
 
-use crate::diag::{Code, Diagnostic, DiagnosticSink};
+use himap_analyze::{Code, Diagnostic, DiagnosticSink};
 
 /// Cycles between an op producing a value and that value being readable
 /// from local data memory (result registered, then written) — the same

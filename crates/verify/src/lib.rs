@@ -19,6 +19,7 @@
 //! | W102 | warning  | no route dwells longer than one modulo window |
 //! | W103 | warning  | mapper statistics match recomputed values |
 //! | K001–K003 | mixed | kernel-IR lints (adapted from `himap_kernels::lint`) |
+//! | A001–A009 | mixed | pre-mapping static analysis (emitted by `himap-analyze`) |
 //!
 //! # Example
 //!
@@ -40,40 +41,27 @@
 //! with `himap-core`'s hook, which runs it in debug builds and whenever
 //! `HiMapOptions::verify` is set.
 
+#![forbid(unsafe_code)]
+
 mod baseline;
-mod diag;
 mod verify;
 
 pub use baseline::verify_baseline;
-pub use diag::{Code, Diagnostic, DiagnosticSink, Locus, Severity};
+// The diagnostic vocabulary (codes, sink, rendering) lives in
+// `himap-analyze`, the bottom-most diagnostics producer; re-exported here
+// so every existing `himap_verify::{Code, DiagnosticSink, …}` path keeps
+// working.
+pub use himap_analyze::{Code, Diagnostic, DiagnosticSink, Locus, Severity};
 pub use verify::verify_mapping;
 
 use himap_core::Mapping;
-use himap_kernels::{Kernel, Lint, LintOptions, LintSeverity};
-
-/// Adapts one kernel lint into the verifier's diagnostic representation.
-impl From<&Lint> for Diagnostic {
-    fn from(lint: &Lint) -> Self {
-        let code = match lint.code {
-            himap_kernels::LintCode::K001 => Code::K001,
-            himap_kernels::LintCode::K002 => Code::K002,
-            himap_kernels::LintCode::K003 => Code::K003,
-        };
-        match lint.severity {
-            LintSeverity::Error => Diagnostic::error(code, lint.message.clone()),
-            LintSeverity::Warning => Diagnostic::warning(code, lint.message.clone()),
-        }
-    }
-}
+use himap_kernels::{Kernel, LintOptions};
 
 /// Runs the kernel-IR lint pass (K001–K003) and returns the findings as
-/// diagnostics.
+/// diagnostics. Delegates to [`himap_analyze::lint_diagnostics`], so the
+/// K codes share the analyzer's sink and exit-code convention.
 pub fn verify_kernel(kernel: &Kernel, options: &LintOptions) -> DiagnosticSink {
-    let mut sink = DiagnosticSink::new();
-    for lint in himap_kernels::lint_kernel(kernel, options) {
-        sink.push(Diagnostic::from(&lint));
-    }
-    sink
+    himap_analyze::lint_diagnostics(kernel, options)
 }
 
 /// Installs this verifier as `himap-core`'s process-wide verify hook, so

@@ -16,7 +16,7 @@ use himap_core::{ConfigImage, Mapping};
 use himap_dfg::{EdgeKind, NodeKind};
 use himap_graph::{EdgeId, NodeId};
 
-use crate::diag::{Code, Diagnostic, DiagnosticSink};
+use himap_analyze::{Code, Diagnostic, DiagnosticSink};
 
 /// Statically verifies a mapping, returning every finding.
 ///

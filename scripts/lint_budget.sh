@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Panic/unsafe hygiene gate.
+#
+# Every library crate carries `#![forbid(unsafe_code)]` and the workspace
+# lints warn on `unwrap()`/`expect()` in library code; tests, benches and
+# bins opt out with targeted `allow` attributes. This script counts both
+# escape hatches and compares them against the committed budget
+# (LINT_BUDGET.txt): new `unsafe` blocks are banned outright, and the
+# exemption count may only shrink — raising it requires editing the budget
+# file in the same commit, which makes the escalation reviewable.
+#
+# Usage: scripts/lint_budget.sh [--write]
+#   --write  regenerate LINT_BUDGET.txt from the current tree
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# `grep -w unsafe` matches `unsafe` blocks/fns but not `unsafe_code` (the
+# forbid attribute) or identifiers containing the word.
+unsafe_count=$(grep -rw --include='*.rs' 'unsafe' crates shims src tests examples 2>/dev/null \
+  | grep -cv 'forbid(unsafe_code)' || true)
+exemption_count=$(grep -rhoE --include='*.rs' \
+  'allow\(clippy::(unwrap_used|expect_used)' crates shims src tests examples 2>/dev/null \
+  | wc -l | tr -d ' ')
+
+budget_file=LINT_BUDGET.txt
+current="unsafe_blocks=${unsafe_count}
+unwrap_expect_exemptions=${exemption_count}"
+
+if [ "${1:-}" = "--write" ]; then
+  printf '%s\n' "$current" > "$budget_file"
+  echo "lint budget written: $budget_file"
+  printf '%s\n' "$current"
+  exit 0
+fi
+
+if [ ! -f "$budget_file" ]; then
+  echo "lint budget: $budget_file missing; run scripts/lint_budget.sh --write" >&2
+  exit 1
+fi
+
+budget_unsafe=$(grep '^unsafe_blocks=' "$budget_file" | cut -d= -f2)
+budget_exemptions=$(grep '^unwrap_expect_exemptions=' "$budget_file" | cut -d= -f2)
+
+fail=0
+if [ "$unsafe_count" -gt "$budget_unsafe" ]; then
+  echo "lint budget: $unsafe_count unsafe occurrences > budget $budget_unsafe" >&2
+  fail=1
+fi
+if [ "$exemption_count" -gt "$budget_exemptions" ]; then
+  echo "lint budget: $exemption_count unwrap/expect exemptions > budget $budget_exemptions" >&2
+  echo "  (if the new allow() is justified, regenerate with scripts/lint_budget.sh --write)" >&2
+  fail=1
+fi
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "lint budget ok: unsafe=$unsafe_count/$budget_unsafe exemptions=$exemption_count/$budget_exemptions"

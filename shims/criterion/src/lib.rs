@@ -11,6 +11,8 @@
 //! per-iteration times. No statistics beyond that — this harness exists to
 //! compare configurations of one binary run, not to archive baselines.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

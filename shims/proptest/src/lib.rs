@@ -13,6 +13,8 @@
 //! * **Deterministic.** Case `i` of test `t` derives its RNG stream from
 //!   `(t, i)` only, so failures always reproduce.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::{Range, RangeInclusive};
 

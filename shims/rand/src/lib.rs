@@ -7,6 +7,8 @@
 //! quality is more than sufficient for simulated annealing and tests, and
 //! every stream is fully deterministic for a given seed.
 
+#![forbid(unsafe_code)]
+
 /// Low-level entropy source: a stream of `u64`s.
 pub trait RngCore {
     /// The next 64 random bits.

@@ -12,6 +12,9 @@
 //! assert_eq!(gemm.dims(), 3);
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub use himap_analyze as analyze;
 pub use himap_baseline as baseline;
 pub use himap_cgra as cgra;
 pub use himap_core as core;

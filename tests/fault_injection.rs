@@ -98,11 +98,37 @@ fn assert_trichotomy(
                 spec.faults,
                 sim.err().map_or_else(String::new, |e| e.to_string())
             );
+            // The static analyzer's certified bound must hold on every
+            // fabric the sweep generates: an achieved block period below
+            // the kernel-level MII would mean an unsound pigeonhole.
+            let static_mii = himap_repro::analyze::analyze_kernel(
+                kernel,
+                spec,
+                &himap_repro::analyze::AnalyzeOptions::default(),
+            )
+            .bounds
+            .mii();
+            prop_assert!(
+                static_mii <= mapping.stats().iib,
+                "{} on faulted fabric ({}): static MII {} exceeds achieved II {}",
+                kernel.name(),
+                spec.faults,
+                static_mii,
+                mapping.stats().iib
+            );
         }
         // (c) deadline: allowed, and the Display must render (possibly with
         // a partial attempt trail).
         Err(err @ HiMapError::DeadlineExceeded(_)) => {
             prop_assert!(!err.to_string().is_empty());
+        }
+        // (b') admission rejection: the analyzer proved the faulted fabric
+        // cannot host the kernel; the error must carry A-code diagnostics.
+        Err(err @ HiMapError::Infeasible(_)) => {
+            prop_assert!(
+                err.to_string().contains("error[A"),
+                "Infeasible must carry A-code diagnostics: {err}"
+            );
         }
         // (b) typed failure: allowed. A ladder-exhaustion error must carry
         // its full attempt trail as evidence.
@@ -195,4 +221,11 @@ fn fully_dead_fabric_fails_with_typed_error() {
         .map(&suite::gemm(), &spec)
         .expect_err("nothing can map onto a dead fabric");
     assert!(!err.to_string().is_empty());
+    // Admission control catches this before any mapping work: the typed
+    // rejection carries the analyzer's dead-fabric diagnostic.
+    assert!(
+        matches!(err, HiMapError::Infeasible(_)),
+        "dead fabric should be rejected statically, got: {err}"
+    );
+    assert!(err.to_string().contains("A004"), "{err}");
 }
