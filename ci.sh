@@ -83,19 +83,26 @@ stage "cargo test --ignored (wall-time)" \
 stage "fault-injection sweep" \
   cargo test --release -q --test fault_injection -- --ignored
 
-# Fault-model overhead gate: mapping with an explicitly-installed empty
-# FaultMap must match the committed fault-free gemm 8x8 baseline row within
-# 2 % + 2 ms.
-stage "fault overhead check" \
-  cargo run -q -p himap-bench --release --bin bench_summary -- \
-    --fault-overhead BENCH_pr4.json
+# Capability-model gates: a kernel needing an op-class no live PE provides
+# must be rejected with A010 (exit 1), and a heterogeneous fabric request
+# with capable PEs must stay clean (exit 0). `--only-mul-pes 0,0` leaves
+# exactly one mul-capable PE; `--kill-pe 0,0` then removes it.
+stage "himap-analyze capability A010" \
+  bash -c '! cargo run -q -p himap-analyze --release --bin himap-analyze -- \
+    gemm --size 4 --only-mul-pes 0,0 --kill-pe 0,0 > /dev/null 2>&1'
+stage "himap-analyze heterogeneous clean" \
+  bash -c 'cargo run -q -p himap-analyze --release --bin himap-analyze -- \
+    gemm --size 4 --only-mul-pes "0,0;0,3;3,0;3,3" --mem-edge-only > /dev/null'
 
-# Benchmark regression gate: re-measure the fast scaling rows against the
-# committed baseline; median-of-5 with warmup, 25 % + 2 ms noise tolerance
-# (documented in crates/bench/src/check.rs). Fails on any regressed row.
-stage "bench regression check" \
+# Consolidated benchmark gate: one manifest (BENCH.json, assembled by
+# `bench_summary --gate-baseline`), one verdict table. Covers the scaling
+# rows (25 % + 2 ms), the portfolio races (double tolerance — cancellation
+# latency is noisier), the fault-model overhead row (+2 % + 2 ms on an
+# empty CapabilityMap) and the heterogeneity rows (stencil2d must map and
+# verify on the corner-multiplier + edge-memory 4x4 at the pinned II).
+stage "consolidated bench gate" \
   cargo run -q -p himap-bench --release --bin bench_summary -- \
-    --check BENCH_pr4.json --tolerance 0.25
+    --gate BENCH.json --tolerance 0.25
 
 # Exact-oracle gate: certify minimal IIs on the tuned 4x4 blocks and print
 # the optimality-gap table (EXPERIMENTS.md). The binary exits non-zero when
@@ -105,13 +112,12 @@ stage "exact oracle sweep (4x4)" \
   cargo run -q -p himap-exact --release --bin exact_oracle -- \
     --size 4 --budget-secs 20
 
-# Portfolio-race gate: re-race himap/bhc/exact on the committed BENCH_pr6
-# rows; fails on a wall-time regression beyond 50 % + 2 ms, a different
-# deterministic winner, or a worse II. Race wall-time includes the losing
-# backends' cancellation latency, which is noisier than the solo-mapper
-# rows in BENCH_pr4, hence the wider tolerance.
-stage "portfolio race check" \
-  cargo run -q -p himap-bench --release --bin bench_summary -- \
-    --portfolio-check BENCH_pr6.json --tolerance 0.5
+# Heterogeneous oracle gate: re-certify on the capability-restricted 4x4
+# and fail if the restricted CNF ever certifies a *lower* II than the
+# homogeneous fabric (removing capabilities cannot enlarge the feasible
+# set).
+stage "exact oracle heterogeneous (4x4)" \
+  cargo run -q -p himap-exact --release --bin exact_oracle -- \
+    --size 4 --budget-secs 20 --heterogeneous
 
 echo "CI green."

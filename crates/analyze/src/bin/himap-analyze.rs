@@ -5,6 +5,7 @@
 //!               [--json] [--lint-only] [--file <path>]
 //!               [--kill-pe X,Y] [--sever-link X,Y,N|E|S|W]
 //!               [--disable-mem X,Y] [--fault-all-mems]
+//!               [--only-mul-pes X,Y[;X,Y..]] [--mem-edge-only]
 //! ```
 //!
 //! Lints the kernel IR (K001–K003), then runs the kernel-level and the
@@ -16,7 +17,7 @@
 use std::process::ExitCode;
 
 use himap_analyze::{analyze_dfg, analyze_kernel, lint_diagnostics, AnalyzeOptions};
-use himap_cgra::{CgraSpec, Dir, FaultMap, PeId};
+use himap_cgra::{CapabilityMap, CgraSpec, Dir, OpClass, PeId};
 use himap_dfg::Dfg;
 use himap_kernels::{parse_kernel, suite, Kernel, LintOptions};
 
@@ -32,6 +33,8 @@ struct Args {
     severed: Vec<(PeId, Dir)>,
     disabled_mems: Vec<PeId>,
     fault_all_mems: bool,
+    only_mul_pes: Option<Vec<PeId>>,
+    mem_edge_only: bool,
 }
 
 fn usage() -> ExitCode {
@@ -39,7 +42,7 @@ fn usage() -> ExitCode {
         "usage: himap-analyze <kernel> [--size N | --rows R --cols C] \
          [--block b1,b2,..] [--json] [--lint-only] [--file <path>] \
          [--kill-pe X,Y] [--sever-link X,Y,N|E|S|W] [--disable-mem X,Y] \
-         [--fault-all-mems]"
+         [--fault-all-mems] [--only-mul-pes X,Y[;X,Y..]] [--mem-edge-only]"
     );
     ExitCode::FAILURE
 }
@@ -130,7 +133,7 @@ fn main() -> ExitCode {
 
 fn build_spec(args: &Args) -> Result<CgraSpec, String> {
     let spec = CgraSpec::mesh(args.rows, args.cols).map_err(|e| e.to_string())?;
-    let mut faults = FaultMap::new();
+    let mut faults = CapabilityMap::new();
     for &pe in &args.kill_pes {
         check_pe(&spec, pe)?;
         faults.kill_pe(pe);
@@ -146,6 +149,23 @@ fn build_spec(args: &Args) -> Result<CgraSpec, String> {
     if args.fault_all_mems {
         for pe in spec.pes() {
             faults.disable_mem(pe);
+        }
+    }
+    if let Some(mul_pes) = &args.only_mul_pes {
+        for &pe in mul_pes {
+            check_pe(&spec, pe)?;
+        }
+        for pe in spec.pes() {
+            if !mul_pes.contains(&pe) {
+                faults.restrict(pe, &[OpClass::Alu, OpClass::Mem]);
+            }
+        }
+    }
+    if args.mem_edge_only {
+        // Same interior set as `CapabilityMap::mem_edge_only`, intersected
+        // into whatever the other flags already imposed.
+        for pe in CapabilityMap::mem_edge_only(args.rows, args.cols).restricted_pes() {
+            faults.restrict(pe, &[OpClass::Alu, OpClass::Mul]);
         }
     }
     Ok(spec.with_faults(faults))
@@ -172,6 +192,8 @@ fn parse_args(argv: &[String]) -> Option<Args> {
         severed: Vec::new(),
         disabled_mems: Vec::new(),
         fault_all_mems: false,
+        only_mul_pes: None,
+        mem_edge_only: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -195,6 +217,11 @@ fn parse_args(argv: &[String]) -> Option<Args> {
             "--sever-link" => args.severed.push(parse_link(it.next()?)?),
             "--disable-mem" => args.disabled_mems.push(parse_pe(it.next()?)?),
             "--fault-all-mems" => args.fault_all_mems = true,
+            "--only-mul-pes" => {
+                let list: Option<Vec<PeId>> = it.next()?.split(';').map(parse_pe).collect();
+                args.only_mul_pes = Some(list?);
+            }
+            "--mem-edge-only" => args.mem_edge_only = true,
             "--file" => args.file = Some(it.next()?.clone()),
             other if !other.starts_with('-') && args.kernel.is_none() => {
                 args.kernel = Some(other.to_string());

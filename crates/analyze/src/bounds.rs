@@ -44,6 +44,20 @@ pub struct StaticBounds {
     pub live_pes: usize,
     /// Live memory banks of the surveyed fabric.
     pub live_banks: usize,
+    /// Per-class compute pigeonhole for plain ALU work:
+    /// `⌈alu ops / live ALU-capable PEs⌉`.
+    pub res_mii_alu: usize,
+    /// Per-class compute pigeonhole for multiplies:
+    /// `⌈mul ops / live mul-capable PEs⌉`.
+    pub res_mii_mul: usize,
+    /// ALU-class ops counted (adds, subs, min/max).
+    pub alu_ops: usize,
+    /// Mul-class ops counted.
+    pub mul_ops: usize,
+    /// Live ALU-capable PEs of the surveyed fabric.
+    pub live_alu_pes: usize,
+    /// Live mul-capable PEs of the surveyed fabric.
+    pub live_mul_pes: usize,
 }
 
 impl StaticBounds {
@@ -51,14 +65,21 @@ impl StaticBounds {
     /// bounds, never below 1. The advisory [`rec_mii`](Self::rec_mii) is
     /// excluded (see the module docs).
     pub fn mii(&self) -> usize {
-        self.res_mii_fu.max(self.res_mii_mem).max(self.component_mii).max(1)
+        self.res_mii_fu
+            .max(self.res_mii_mem)
+            .max(self.component_mii)
+            .max(self.res_mii_alu)
+            .max(self.res_mii_mul)
+            .max(1)
     }
 
-    /// One-line human-readable summary.
+    /// One-line human-readable summary. New per-op-class fields append
+    /// after the original fields — the `mii >= N` prefix is pinned.
     pub fn summary(&self) -> String {
         format!(
             "mii >= {} (fu {}, mem {}, region {}; rec {} advisory; \
-             {} ops, {} loads on {} live PEs / {} banks)",
+             {} ops, {} loads on {} live PEs / {} banks; \
+             alu {} ({} ops / {} PEs), mul {} ({} ops / {} PEs))",
             self.mii(),
             self.res_mii_fu,
             self.res_mii_mem,
@@ -68,15 +89,24 @@ impl StaticBounds {
             self.mem_inputs,
             self.live_pes,
             self.live_banks,
+            self.res_mii_alu,
+            self.alu_ops,
+            self.live_alu_pes,
+            self.res_mii_mul,
+            self.mul_ops,
+            self.live_mul_pes,
         )
     }
 
-    /// JSON object with every field plus the aggregate `mii`.
+    /// JSON object with every field plus the aggregate `mii`. New
+    /// per-op-class fields append after the original fields — the
+    /// `{"mii":N,` prefix is pinned.
     pub fn render_json(&self) -> String {
         format!(
             "{{\"mii\":{},\"res_mii_fu\":{},\"res_mii_mem\":{},\"component_mii\":{},\
              \"rec_mii\":{},\"critical_path\":{},\"ops\":{},\"mem_inputs\":{},\
-             \"live_pes\":{},\"live_banks\":{}}}",
+             \"live_pes\":{},\"live_banks\":{},\"res_mii_alu\":{},\"res_mii_mul\":{},\
+             \"alu_ops\":{},\"mul_ops\":{},\"live_alu_pes\":{},\"live_mul_pes\":{}}}",
             self.mii(),
             self.res_mii_fu,
             self.res_mii_mem,
@@ -87,6 +117,12 @@ impl StaticBounds {
             self.mem_inputs,
             self.live_pes,
             self.live_banks,
+            self.res_mii_alu,
+            self.res_mii_mul,
+            self.alu_ops,
+            self.mul_ops,
+            self.live_alu_pes,
+            self.live_mul_pes,
         )
     }
 }

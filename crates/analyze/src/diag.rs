@@ -62,6 +62,11 @@ pub enum Code {
     /// Fault avoidance: a placement or route uses a resource the
     /// architecture's fault map marks dead, severed or disabled.
     V006,
+    /// Capability legality: an operation is placed on a PE whose capability
+    /// classes do not include the operation's class (e.g. a `mul` on an
+    /// ALU-only PE). The FU itself exists in the MRRG — the PE computes —
+    /// but not this class of operation.
+    V007,
     /// Avoidable detour: a route spends more wire hops than the Manhattan
     /// distance between its endpoints.
     W101,
@@ -102,6 +107,10 @@ pub enum Code {
     /// Static analysis: estimated max-live value count exceeds the live
     /// register-file capacity; spilling pressure is likely.
     A009,
+    /// Static analysis: an operation's class has work to place but zero
+    /// live capable PEs — no placement can ever be legal on this fabric
+    /// (the per-op-class refinement of A001's repertoire check).
+    A010,
 }
 
 impl Code {
@@ -114,6 +123,7 @@ impl Code {
             Code::V004 => "V004",
             Code::V005 => "V005",
             Code::V006 => "V006",
+            Code::V007 => "V007",
             Code::W101 => "W101",
             Code::W102 => "W102",
             Code::W103 => "W103",
@@ -129,6 +139,7 @@ impl Code {
             Code::A007 => "A007",
             Code::A008 => "A008",
             Code::A009 => "A009",
+            Code::A010 => "A010",
         }
     }
 }

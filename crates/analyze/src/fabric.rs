@@ -11,7 +11,7 @@
 //! adjacency, so a partition of the optimistic graph is a true partition of
 //! the routable fabric — bounds derived from it stay sound.
 
-use himap_cgra::{CgraSpec, PeId, ALL_DIRS};
+use himap_cgra::{CgraSpec, OpClass, PeId, ALL_DIRS};
 
 /// One weakly-connected region of the surviving mesh.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,7 +22,7 @@ pub struct FabricComponent {
     pub banks: usize,
 }
 
-/// Summary of the surviving fabric under a [`CgraSpec`]'s fault map.
+/// Summary of the surviving fabric under a [`CgraSpec`]'s capability map.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FabricSurvey {
     /// PEs not marked dead.
@@ -32,6 +32,13 @@ pub struct FabricSurvey {
     /// Register slots usable across all live PEs
     /// (`live_pes × rf_size − disabled slots on live PEs`).
     pub live_rf_slots: usize,
+    /// Live PEs whose capability classes include plain ALU arithmetic.
+    pub live_alu_pes: usize,
+    /// Live PEs whose capability classes include multiplication.
+    pub live_mul_pes: usize,
+    /// Live PEs with any FU-backed class at all (ALU or multiplier); the
+    /// remainder are route-only.
+    pub live_fu_pes: usize,
     /// Weakly-connected regions of live PEs, largest first.
     pub components: Vec<FabricComponent>,
 }
@@ -55,6 +62,9 @@ pub fn survey_fabric(spec: &CgraSpec) -> FabricSurvey {
     let mut live_pes = 0usize;
     let mut live_banks = 0usize;
     let mut live_rf_slots = 0usize;
+    let mut live_alu_pes = 0usize;
+    let mut live_mul_pes = 0usize;
+    let mut live_fu_pes = 0usize;
     for pe in spec.pes() {
         if faults.pe_dead(pe) {
             continue;
@@ -64,6 +74,15 @@ pub fn survey_fabric(spec: &CgraSpec) -> FabricSurvey {
             live_banks += 1;
         }
         live_rf_slots += (0..spec.rf_size).filter(|&reg| !faults.reg_disabled(pe, reg)).count();
+        if faults.supports(pe, OpClass::Alu) {
+            live_alu_pes += 1;
+        }
+        if faults.supports(pe, OpClass::Mul) {
+            live_mul_pes += 1;
+        }
+        if faults.fu_capable(pe) {
+            live_fu_pes += 1;
+        }
     }
 
     // BFS over the optimistic adjacency: both endpoints alive and at least
@@ -98,7 +117,15 @@ pub fn survey_fabric(spec: &CgraSpec) -> FabricSurvey {
         components.push(component);
     }
     components.sort_by(|a, b| b.pes.cmp(&a.pes).then(b.banks.cmp(&a.banks)));
-    FabricSurvey { live_pes, live_banks, live_rf_slots, components }
+    FabricSurvey {
+        live_pes,
+        live_banks,
+        live_rf_slots,
+        live_alu_pes,
+        live_mul_pes,
+        live_fu_pes,
+        components,
+    }
 }
 
 #[cfg(test)]
@@ -158,6 +185,27 @@ mod tests {
         }
         let spec = CgraSpec::square(2).with_faults(faults);
         assert!(survey_fabric(&spec).is_connected());
+    }
+
+    #[test]
+    fn capability_restrictions_shape_the_per_class_counts() {
+        use himap_cgra::CapabilityMap;
+        let spec = CgraSpec::square(4).with_faults(CapabilityMap::heterogeneous(4, 4));
+        let survey = survey_fabric(&spec);
+        assert_eq!(survey.live_pes, 16, "restrictions are not deaths");
+        assert_eq!(survey.live_mul_pes, 4, "corner multipliers only");
+        assert_eq!(survey.live_alu_pes, 16);
+        assert_eq!(survey.live_fu_pes, 16);
+        assert_eq!(survey.live_banks, 12, "interior banks are gone");
+        assert!(survey.is_connected());
+    }
+
+    #[test]
+    fn homogeneous_fabric_has_equal_class_counts() {
+        let survey = survey_fabric(&CgraSpec::square(3));
+        assert_eq!(survey.live_alu_pes, 9);
+        assert_eq!(survey.live_mul_pes, 9);
+        assert_eq!(survey.live_fu_pes, 9);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | A007 | error    | zero-distance dependence recurrence |
 //! | A008 | warning  | loaded value with no consumer |
 //! | A009 | warning  | estimated max-live exceeds live RF capacity |
+//! | A010 | error    | an op-class has work but zero live capable PEs |
 //!
 //! Soundness contract: every *error* is a proof that no legal mapping
 //! exists on this fabric, and [`StaticBounds::mii`] never exceeds the II
@@ -56,7 +57,7 @@ pub use bounds::StaticBounds;
 pub use diag::{Code, Diagnostic, DiagnosticSink, Locus, Severity};
 pub use fabric::{survey_fabric, FabricComponent, FabricSurvey};
 
-use himap_cgra::CgraSpec;
+use himap_cgra::{CgraSpec, OpClass};
 use himap_dfg::Dfg;
 use himap_kernels::{Expr, Kernel, Lint, LintOptions, LintSeverity, OpKind};
 
@@ -146,8 +147,10 @@ pub fn analyze_kernel(kernel: &Kernel, spec: &CgraSpec, options: &AnalyzeOptions
     let ops = kernel.compute_ops_per_iteration();
     let reads: usize = kernel.stmts().iter().map(|s| s.value.reads().len()).sum();
     let mem_routed = kernel.mem_routed_reads().count();
+    let (alu_ops, mul_ops) = kernel_class_ops(kernel);
 
     check_fabric(&survey, reads, &mut sink);
+    check_op_classes(alu_ops, mul_ops, &survey, &mut sink);
     check_config_capacity(kernel, spec, &survey, &mut sink);
 
     let recs = {
@@ -165,7 +168,7 @@ pub fn analyze_kernel(kernel: &Kernel, spec: &CgraSpec, options: &AnalyzeOptions
         if ops_reading > 0 && eligible_pes > 0 { ops_reading.div_ceil(eligible_pes) } else { 0 };
 
     let bounds = StaticBounds {
-        res_mii_fu: pigeonhole(ops, survey.live_pes),
+        res_mii_fu: pigeonhole(ops, survey.live_fu_pes),
         res_mii_mem: pigeonhole(mem_routed, survey.live_banks * spec.mem_ports),
         component_mii,
         rec_mii: rec_mii(&recs),
@@ -174,6 +177,12 @@ pub fn analyze_kernel(kernel: &Kernel, spec: &CgraSpec, options: &AnalyzeOptions
         mem_inputs: mem_routed,
         live_pes: survey.live_pes,
         live_banks: survey.live_banks,
+        res_mii_alu: pigeonhole(alu_ops, survey.live_alu_pes),
+        res_mii_mul: pigeonhole(mul_ops, survey.live_mul_pes),
+        alu_ops,
+        mul_ops,
+        live_alu_pes: survey.live_alu_pes,
+        live_mul_pes: survey.live_mul_pes,
     };
     Analysis { bounds, diagnostics: sink }
 }
@@ -191,7 +200,9 @@ pub fn analyze_dfg(dfg: &Dfg, spec: &CgraSpec, options: &AnalyzeOptions) -> Anal
     check_op_repertoire(dfg.kernel(), options, &mut sink);
 
     let facts = dfg_facts(dfg);
+    let (alu_ops, mul_ops) = dfg_class_ops(dfg);
     check_fabric(&survey, facts.mem_inputs, &mut sink);
+    check_op_classes(alu_ops, mul_ops, &survey, &mut sink);
     check_config_capacity(dfg.kernel(), spec, &survey, &mut sink);
 
     let recs = {
@@ -225,7 +236,7 @@ pub fn analyze_dfg(dfg: &Dfg, spec: &CgraSpec, options: &AnalyzeOptions) -> Anal
     let component_mii = region_bound(&survey, &facts, spec.mem_ports, &mut sink);
 
     let bounds = StaticBounds {
-        res_mii_fu: pigeonhole(facts.ops, survey.live_pes),
+        res_mii_fu: pigeonhole(facts.ops, survey.live_fu_pes),
         res_mii_mem: pigeonhole(facts.mem_inputs, survey.live_banks * spec.mem_ports),
         component_mii,
         rec_mii: rec_mii(&recs),
@@ -234,6 +245,12 @@ pub fn analyze_dfg(dfg: &Dfg, spec: &CgraSpec, options: &AnalyzeOptions) -> Anal
         mem_inputs: facts.mem_inputs,
         live_pes: survey.live_pes,
         live_banks: survey.live_banks,
+        res_mii_alu: pigeonhole(alu_ops, survey.live_alu_pes),
+        res_mii_mul: pigeonhole(mul_ops, survey.live_mul_pes),
+        alu_ops,
+        mul_ops,
+        live_alu_pes: survey.live_alu_pes,
+        live_mul_pes: survey.live_mul_pes,
     };
 
     // Advisory pressure heuristics, emitted against the certified bound.
@@ -263,6 +280,59 @@ pub fn analyze_dfg(dfg: &Dfg, spec: &CgraSpec, options: &AnalyzeOptions) -> Anal
     }
 
     Analysis { bounds, diagnostics: sink }
+}
+
+/// Per-iteration `(alu, mul)` op counts of a kernel body.
+fn kernel_class_ops(kernel: &Kernel) -> (usize, usize) {
+    let (mut alu, mut mul) = (0usize, 0usize);
+    for stmt in kernel.stmts() {
+        collect_ops(&stmt.value, &mut |op| match OpClass::of(op) {
+            OpClass::Mul => mul += 1,
+            _ => alu += 1,
+        });
+    }
+    (alu, mul)
+}
+
+/// Per-block `(alu, mul)` op counts of an unrolled DFG.
+fn dfg_class_ops(dfg: &Dfg) -> (usize, usize) {
+    let (mut alu, mut mul) = (0usize, 0usize);
+    for (_, w) in dfg.graph().nodes() {
+        if let himap_dfg::NodeKind::Op { kind, .. } = w.kind {
+            match OpClass::of(kind) {
+                OpClass::Mul => mul += 1,
+                _ => alu += 1,
+            }
+        }
+    }
+    (alu, mul)
+}
+
+/// A010: every op-class with work needs at least one live capable PE.
+///
+/// This is the per-op-class refinement of A001 — the fabric's *repertoire*
+/// may include the class, yet capability restrictions can leave no live PE
+/// providing it. Memory capacity is A003's domain and is not re-checked.
+fn check_op_classes(alu_ops: usize, mul_ops: usize, survey: &Survey, sink: &mut DiagnosticSink) {
+    if survey.live_pes == 0 {
+        return; // A004 already proves infeasibility.
+    }
+    for (ops, live, class) in
+        [(alu_ops, survey.live_alu_pes, OpClass::Alu), (mul_ops, survey.live_mul_pes, OpClass::Mul)]
+    {
+        if ops > 0 && live == 0 {
+            sink.push(
+                Diagnostic::error(
+                    Code::A010,
+                    format!(
+                        "{ops} `{class}` op(s) have no capable PE: every live PE's \
+                         capability classes exclude `{class}`"
+                    ),
+                )
+                .note(format!("{} live PEs, 0 of them {class}-capable", survey.live_pes)),
+            );
+        }
+    }
 }
 
 /// `⌈work / capacity⌉`, 0 when either side is empty (the corresponding
@@ -583,6 +653,70 @@ mod tests {
         let best_region = 48usize;
         assert!(analysis.bounds.component_mii >= dfg.op_count().div_ceil(best_region));
         assert!(analysis.bounds.mii() >= analysis.bounds.component_mii);
+    }
+
+    #[test]
+    fn no_mul_capable_pe_is_a010() {
+        use himap_cgra::CapabilityMap;
+        // Strip the Mul class from every PE: gemm's multiplies have nowhere
+        // to go, but the fabric's repertoire still contains `mul` (A001
+        // stays quiet — this is A010's per-class refinement).
+        let mut caps = CapabilityMap::new();
+        for x in 0..4 {
+            for y in 0..4 {
+                caps.restrict(PeId::new(x, y), &[OpClass::Alu, OpClass::Mem]);
+            }
+        }
+        let spec = CgraSpec::square(4).with_faults(caps);
+        let analysis = analyze_kernel(&suite::gemm(), &spec, &AnalyzeOptions::default());
+        assert!(!analysis.is_feasible());
+        assert!(analysis.diagnostics.has_code(Code::A010));
+        assert!(!analysis.diagnostics.has_code(Code::A001));
+
+        // The DFG path agrees.
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        let analysis = analyze_dfg(&dfg, &spec, &AnalyzeOptions::default());
+        assert!(analysis.diagnostics.has_code(Code::A010));
+
+        // A mul-free kernel stays feasible on the same fabric.
+        let analysis = analyze_kernel(&suite::stencil2d(), &spec, &AnalyzeOptions::default());
+        assert!(analysis.is_feasible(), "{}", analysis.diagnostics.render_pretty());
+    }
+
+    #[test]
+    fn corner_multipliers_tighten_the_mul_pigeonhole() {
+        use himap_cgra::CapabilityMap;
+        let kernel = suite::gemm();
+        let pristine = analyze_kernel(&kernel, &CgraSpec::square(4), &AnalyzeOptions::default());
+        let het = CgraSpec::square(4).with_faults(CapabilityMap::corner_multipliers(4, 4));
+        let squeezed = analyze_kernel(&kernel, &het, &AnalyzeOptions::default());
+        assert!(squeezed.is_feasible(), "{}", squeezed.diagnostics.render_pretty());
+        assert_eq!(squeezed.bounds.live_mul_pes, 4);
+        assert_eq!(squeezed.bounds.mul_ops, pristine.bounds.mul_ops);
+        assert!(squeezed.bounds.res_mii_mul >= pristine.bounds.res_mii_mul);
+        assert_eq!(
+            squeezed.bounds.res_mii_mul,
+            squeezed.bounds.mul_ops.div_ceil(4),
+            "{}",
+            squeezed.bounds.summary()
+        );
+        // Per-class fields surface in both renderings, after the pinned
+        // prefixes.
+        assert!(squeezed.bounds.summary().starts_with("mii >= "));
+        let json = squeezed.bounds.render_json();
+        assert!(json.starts_with("{\"mii\":"), "{json}");
+        assert!(json.contains("\"res_mii_mul\":"), "{json}");
+    }
+
+    #[test]
+    fn homogeneous_per_class_bounds_never_exceed_the_fu_bound() {
+        let spec = CgraSpec::square(4);
+        for kernel in suite::all() {
+            let b = analyze_kernel(&kernel, &spec, &AnalyzeOptions::default()).bounds;
+            assert_eq!(b.alu_ops + b.mul_ops, b.ops, "{}", kernel.name());
+            assert!(b.res_mii_alu <= b.res_mii_fu, "{}", kernel.name());
+            assert!(b.res_mii_mul <= b.res_mii_fu, "{}", kernel.name());
+        }
     }
 
     #[test]

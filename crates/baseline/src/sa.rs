@@ -3,9 +3,10 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use himap_cgra::{CgraSpec, Mrrg, PeId, RKind, RNode};
+use himap_cgra::{CgraSpec, Mrrg, OpClass, PeId, RKind, RNode};
 use himap_dfg::{Dfg, EdgeKind, NodeKind};
 use himap_graph::{topological_sort, NodeId};
+use himap_kernels::OpKind;
 use himap_mapper::{CancelToken, Router, RouterConfig, SignalId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -79,10 +80,26 @@ fn anneal(
         Err(_) => return None,
     };
     // Initial placement: ASAP levels round-robin over healthy PEs.
+    // Capability-aware candidate pools, one per op-class: neither the
+    // initial round-robin nor any annealing move may propose a PE that
+    // cannot execute the op (heterogeneous fabrics).
     let mut slots: OpSlots = HashMap::new();
     let mut level: HashMap<NodeId, i64> = HashMap::new();
-    let pes: Vec<PeId> = spec.pes().filter(|&pe| spec.healthy(pe)).collect();
-    if pes.is_empty() {
+    let alu_pes: Vec<PeId> = spec
+        .pes()
+        .filter(|&pe| spec.healthy(pe) && spec.faults.supports(pe, OpClass::Alu))
+        .collect();
+    let mul_pes: Vec<PeId> = spec
+        .pes()
+        .filter(|&pe| spec.healthy(pe) && spec.faults.supports(pe, OpClass::Mul))
+        .collect();
+    let pool = |v: NodeId| -> &[PeId] {
+        match dfg.graph()[v].kind {
+            NodeKind::Op { kind: OpKind::Mul, .. } => &mul_pes,
+            _ => &alu_pes,
+        }
+    };
+    if order.iter().any(|&v| pool(v).is_empty()) {
         return None;
     }
     for (i, &v) in order.iter().enumerate() {
@@ -93,6 +110,7 @@ fn anneal(
             .max()
             .map_or(0, |l| l + 1);
         level.insert(v, lvl);
+        let pes = pool(v);
         slots.insert(v, (pes[i % pes.len()], lvl));
     }
     let mut cost = total_cost(dfg, spec, ii, &slots);
@@ -107,6 +125,7 @@ fn anneal(
             }
             let v = order[rng.gen_range(0..order.len())];
             let old = slots[&v];
+            let pes = pool(v);
             let new_pe = pes[rng.gen_range(0..pes.len())];
             let new_abs = (old.1 + rng.gen_range(-2i64..=2)).max(0);
             slots.insert(v, (new_pe, new_abs));
@@ -363,6 +382,22 @@ mod tests {
         if let Ok(m) = SaMapper::run(&dfg, &spec, &BaselineOptions::default()) {
             for &(pe, _) in m.op_slots.values() {
                 assert!(spec.healthy(pe), "op annealed onto dead PE {pe}");
+            }
+        }
+    }
+
+    #[test]
+    fn anneals_within_capability_classes() {
+        // Every annealing move draws from the op's capability pool, so any
+        // produced mapping keeps multiplies on the corner PEs.
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        let spec =
+            CgraSpec::square(4).with_faults(himap_cgra::CapabilityMap::corner_multipliers(4, 4));
+        if let Ok(m) = SaMapper::run(&dfg, &spec, &BaselineOptions::default()) {
+            for (&v, &(pe, _)) in &m.op_slots {
+                if let NodeKind::Op { kind, .. } = dfg.graph()[v].kind {
+                    assert!(spec.faults.supports_op(pe, kind), "{kind:?} on incapable {pe}");
+                }
             }
         }
     }

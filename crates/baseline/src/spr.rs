@@ -170,6 +170,9 @@ fn place_round(
         if started.elapsed() > options.timeout {
             return None;
         }
+        let NodeKind::Op { kind: op_kind, .. } = dfg.graph()[v].kind else {
+            continue;
+        };
         let signal_of = |n: NodeId| SignalId(n.index() as u32);
         // Gather parent sources.
         struct Parent {
@@ -244,7 +247,9 @@ fn place_round(
             }
             let tmod = (abs % ii as i64) as u32;
             for pe in spec.pes() {
-                if !spec.healthy(pe) {
+                // Capability-aware candidates: the PE must be live AND
+                // provide this op's class (heterogeneous fabrics).
+                if !spec.healthy(pe) || !spec.faults.supports_op(pe, op_kind) {
                     continue;
                 }
                 let fu = RNode::new(pe, tmod, RKind::Fu);
@@ -399,6 +404,23 @@ mod tests {
         let elapsed = started.elapsed();
         assert_eq!(result.unwrap_err(), BaselineFailure::Timeout);
         assert!(elapsed < std::time::Duration::from_millis(100), "overshot budget: {elapsed:?}");
+    }
+
+    #[test]
+    fn respects_capability_classes() {
+        // Corner-multiplier 4×4: any mapping SPR produces must keep every
+        // multiply on a corner PE (mapper failures are allowed — the
+        // candidate pool for muls is only 4 slots per cycle).
+        let dfg = Dfg::build(&suite::gemm(), &[2, 2, 2]).unwrap();
+        let spec =
+            CgraSpec::square(4).with_faults(himap_cgra::CapabilityMap::corner_multipliers(4, 4));
+        if let Ok(m) = SprMapper::run(&dfg, &spec, &BaselineOptions::default()) {
+            for (&v, &(pe, _)) in &m.op_slots {
+                if let NodeKind::Op { kind, .. } = dfg.graph()[v].kind {
+                    assert!(spec.faults.supports_op(pe, kind), "{kind:?} on incapable {pe}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,6 +6,16 @@
 //!
 //! Run with `cargo run -p himap-bench --release --bin bench_summary`.
 //!
+//! # Consolidated gate
+//!
+//! `bench_summary --gate BENCH.json [--tolerance 0.25]` runs every gated
+//! surface from one manifest — scaling rows, portfolio races, the
+//! fault-model overhead row and the heterogeneity rows — and prints one
+//! verdict table. This is the CI entrypoint; the per-surface flags below
+//! remain for generating/debugging individual baselines.
+//! `bench_summary --gate-baseline` assembles `BENCH.json` by splicing the
+//! committed per-PR artifacts and measuring the heterogeneity rows fresh.
+//!
 //! # Regression mode
 //!
 //! `bench_summary --check BENCH_pr4.json [--tolerance 0.25]` re-measures
@@ -28,9 +38,11 @@
 
 use std::time::{Duration, Instant};
 
-use himap_bench::check::{limit_ms, parse, race_rows, scaling_rows, RowVerdict, ScalingRow};
+use himap_bench::check::{
+    het_rows, limit_ms, parse, race_rows, render, scaling_rows, Json, RowVerdict, ScalingRow,
+};
 use himap_bench::run_himap;
-use himap_cgra::{CgraSpec, FaultMap, Mrrg, MrrgIndex, PeId, RKind, RNode};
+use himap_cgra::{CapabilityMap, CgraSpec, FaultMap, Mrrg, MrrgIndex, PeId, RKind, RNode};
 use himap_core::backend::{race, Backend, BhcBackend, HiMapBackend, MapRequest, RaceMode};
 use himap_core::{HiMap, HiMapOptions};
 use himap_exact::ExactBackend;
@@ -296,6 +308,46 @@ fn run_check(baseline_path: &str, tolerance: f64) -> i32 {
     }
 }
 
+/// The heterogeneity workload: a multiply-free kernel mapped on the
+/// capability-restricted 4x4 (corner multipliers + edge-only memory).
+const HET_CASES: [(&str, usize); 1] = [("stencil2d", 4)];
+
+/// Maps `kernel` on the homogeneous and on the heterogeneous `c`x`c`
+/// fabric, returning `(hom_ii, het_ii, het_median)`. Both mappings must
+/// succeed *and verify* — this row doubles as the continuously-enforced
+/// acceptance check that a capability-restricted fabric stays mappable.
+fn measure_heterogeneity(kernel_name: &str, c: usize) -> Option<(usize, usize, Duration)> {
+    let kernel = suite::by_name(kernel_name)?;
+    let options = HiMapOptions::default();
+    let hom_spec = CgraSpec::square(c);
+    let het_spec = CgraSpec::square(c).with_faults(CapabilityMap::heterogeneous(c, c));
+    let map_verified = |spec: &CgraSpec| {
+        let mapping = HiMap::new(options.clone())
+            .map(&kernel, spec)
+            .unwrap_or_else(|e| panic!("{kernel_name} fails to map on {c}x{c}: {e}"));
+        let report = himap_verify::verify_mapping(&mapping);
+        assert!(
+            !report.has_errors(),
+            "{kernel_name} on heterogeneous {c}x{c} fails verification:\n{}",
+            report.render_pretty()
+        );
+        mapping.stats().iib
+    };
+    let hom_ii = map_verified(&hom_spec);
+    let mut het_ii = 0;
+    let mut run = || het_ii = map_verified(&het_spec);
+    for _ in 0..WARMUP {
+        run();
+    }
+    let t = sample(SCALING_SAMPLES, run);
+    assert!(
+        het_ii >= hom_ii,
+        "{kernel_name}: heterogeneous II {het_ii} beats homogeneous II {hom_ii} — \
+         removing capabilities cannot enlarge the feasible set"
+    );
+    Some((hom_ii, het_ii, t))
+}
+
 /// Warmup-then-median wall time of mapping gemm on 8x8, single-threaded,
 /// with an *explicitly installed empty* `FaultMap` — forcing every mask
 /// check through `FaultMap::is_empty` instead of the default construction.
@@ -353,6 +405,212 @@ fn run_fault_overhead(baseline_path: &str) -> i32 {
         eprintln!("fault overhead check FAILED: the empty fault map is not free");
         1
     }
+}
+
+/// `--gate <BENCH.json>` mode: the consolidated regression gate. One
+/// manifest carries every gated surface — scaling rows, portfolio races,
+/// the fault-model overhead row, and the heterogeneity rows — and one
+/// verdict table decides the run. Subsumes `--check`,
+/// `--portfolio-check` and `--fault-overhead`.
+fn run_gate(baseline_path: &str, tolerance: f64) -> i32 {
+    const FAULT_TOLERANCE: f64 = 0.02;
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot parse baseline {baseline_path}: {e}");
+            return 1;
+        }
+    };
+    let (scaling, races, hets) = match (scaling_rows(&doc), race_rows(&doc), het_rows(&doc)) {
+        (Ok(s), Ok(r), Ok(h)) => (s, r, h),
+        (s, r, h) => {
+            for e in [s.err(), r.err(), h.err()].into_iter().flatten() {
+                eprintln!("baseline {baseline_path}: {e}");
+            }
+            return 1;
+        }
+    };
+    println!(
+        "consolidated gate: {} scaling + {} race + {} heterogeneity rows, \
+         tolerance {:.0}% + 2 ms (fault overhead +2%)",
+        scaling.iter().filter(|r| r.check).count(),
+        races.iter().filter(|r| r.check).count(),
+        hets.iter().filter(|r| r.check).count(),
+        tolerance * 100.0
+    );
+    let mut failures = 0usize;
+
+    for row in scaling.iter().filter(|r| r.check) {
+        let Some(fresh) = measure_scaling(&row.kernel, row.cgra, row.threads) else {
+            eprintln!("unknown kernel `{}` in baseline", row.kernel);
+            failures += 1;
+            continue;
+        };
+        let verdict = RowVerdict {
+            row: row.clone(),
+            fresh_ms: fresh.as_secs_f64() * 1e3,
+            limit_ms: limit_ms(row.median_ms, tolerance),
+        };
+        println!("{verdict}");
+        if !verdict.passed() {
+            failures += 1;
+        }
+    }
+
+    // Race wall time includes the losing backends' cancellation latency,
+    // which is noisier than the solo-mapper rows — double the tolerance,
+    // preserving the historical 0.25-scaling / 0.5-race split.
+    for row in races.iter().filter(|r| r.check) {
+        let Some((fresh, winner, ii)) = measure_race(&row.kernel, row.cgra) else {
+            eprintln!("unknown kernel `{}` in baseline", row.kernel);
+            failures += 1;
+            continue;
+        };
+        let fresh_ms = fresh.as_secs_f64() * 1e3;
+        let limit = limit_ms(row.median_ms, tolerance * 2.0);
+        let ok = fresh_ms <= limit && winner == row.winner && ii <= row.ii;
+        println!(
+            "{} race {:>10} {c}x{c} {fresh_ms:>9.3} ms vs baseline {:>9.3} ms \
+             (limit {limit:>9.3} ms), winner {winner} II {ii} vs {} II {}",
+            if ok { "PASS" } else { "FAIL" },
+            row.kernel,
+            row.median_ms,
+            row.winner,
+            row.ii,
+            c = row.cgra,
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    // Fault-model overhead: the gemm 8x8 t=1 scaling row doubles as the
+    // fault-free baseline the empty-CapabilityMap run is held to.
+    match scaling.iter().find(|r| r.kernel == "gemm" && r.cgra == 8 && r.threads == 1) {
+        Some(row) => {
+            let fresh = measure_empty_faultmap_gemm8().as_secs_f64() * 1e3;
+            let limit = limit_ms(row.median_ms, FAULT_TOLERANCE);
+            let ok = fresh <= limit;
+            println!(
+                "{} fault-overhead gemm 8x8 t=1 {fresh:>9.3} ms vs baseline {:>9.3} ms \
+                 (limit {limit:>9.3} ms = +2% + 2 ms)",
+                if ok { "PASS" } else { "FAIL" },
+                row.median_ms,
+            );
+            if !ok {
+                failures += 1;
+            }
+        }
+        None => {
+            eprintln!("baseline {baseline_path} has no gemm 8x8 t=1 row for the fault gate");
+            failures += 1;
+        }
+    }
+
+    for row in hets.iter().filter(|r| r.check) {
+        let Some((hom_ii, het_ii, fresh)) = measure_heterogeneity(&row.kernel, row.cgra) else {
+            eprintln!("unknown kernel `{}` in baseline", row.kernel);
+            failures += 1;
+            continue;
+        };
+        let fresh_ms = fresh.as_secs_f64() * 1e3;
+        let limit = limit_ms(row.median_ms, tolerance);
+        let ok = fresh_ms <= limit && hom_ii <= row.hom_ii && het_ii <= row.het_ii;
+        println!(
+            "{} het {:>10} {c}x{c} {fresh_ms:>9.3} ms vs baseline {:>9.3} ms \
+             (limit {limit:>9.3} ms), II hom {hom_ii}/het {het_ii} vs hom {}/het {}",
+            if ok { "PASS" } else { "FAIL" },
+            row.kernel,
+            row.median_ms,
+            row.hom_ii,
+            row.het_ii,
+            c = row.cgra,
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("consolidated gate FAILED: {failures} row(s)");
+        1
+    } else {
+        println!("consolidated gate passed");
+        0
+    }
+}
+
+/// `--gate-baseline` mode: assembles the consolidated `BENCH.json`
+/// manifest the gate reads — splices the committed `parallel_scaling`
+/// (BENCH_pr4.json) and `portfolio_race` (BENCH_pr6.json) sections and
+/// measures the heterogeneity rows fresh.
+fn run_gate_generate() -> i32 {
+    let read_doc = |path: &str| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        parse(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+    };
+    let (pr4, pr6) = match (read_doc("BENCH_pr4.json"), read_doc("BENCH_pr6.json")) {
+        (Ok(a), Ok(b)) => (a, b),
+        (a, b) => {
+            for e in [a.err(), b.err()].into_iter().flatten() {
+                eprintln!("{e}");
+            }
+            return 1;
+        }
+    };
+    let (Some(scaling), Some(races)) = (pr4.get("parallel_scaling"), pr6.get("portfolio_race"))
+    else {
+        eprintln!("per-PR artifacts are missing their row arrays");
+        return 1;
+    };
+
+    let mut het = Vec::new();
+    for (kernel, c) in HET_CASES {
+        let Some((hom_ii, het_ii, t)) = measure_heterogeneity(kernel, c) else {
+            eprintln!("unknown heterogeneity kernel `{kernel}`");
+            return 1;
+        };
+        let ms = t.as_secs_f64() * 1e3;
+        eprintln!("  het {kernel} {c}x{c}: {ms:.3} ms, II hom {hom_ii} / het {het_ii}");
+        het.push(format!(
+            "    {{\"kernel\": \"{kernel}\", \"cgra\": \"{c}x{c}\", \"hom_ii\": {hom_ii}, \
+             \"het_ii\": {het_ii}, \"median_ms\": {ms:.3}, \"check\": {}}}",
+            ms <= CHECK_BUDGET_MS
+        ));
+    }
+
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let json = format!(
+        "{{\n\
+         \x20 \"bench\": \"consolidated_gate\",\n\
+         \x20 \"machine\": {{\"available_parallelism\": {cores}}},\n\
+         \x20 \"protocol\": {{\"warmup\": {WARMUP}, \"samples\": {SCALING_SAMPLES}, \
+         \"statistic\": \"median\", \"check_budget_ms\": {CHECK_BUDGET_MS}}},\n\
+         \x20 \"sources\": {{\"parallel_scaling\": \"BENCH_pr4.json\", \
+         \"portfolio_race\": \"BENCH_pr6.json\"}},\n\
+         \x20 \"heterogeneous_fabric\": \"corner multipliers + edge-only memory\",\n\
+         \x20 \"parallel_scaling\": {},\n\
+         \x20 \"portfolio_race\": {},\n\
+         \x20 \"heterogeneity\": [\n{}\n  ]\n\
+         }}\n",
+        render(scaling),
+        render(races),
+        het.join(",\n"),
+    );
+    print!("{json}");
+    if let Err(e) = std::fs::write("BENCH.json", &json) {
+        eprintln!("could not write BENCH.json: {e}");
+        return 1;
+    }
+    eprintln!("wrote BENCH.json");
+    0
 }
 
 /// Default mode: measure everything and write `BENCH_pr4.json`.
@@ -490,10 +748,24 @@ fn main() {
     let mut fault_overhead: Option<String> = None;
     let mut portfolio = false;
     let mut portfolio_check: Option<String> = None;
+    let mut gate: Option<String> = None;
+    let mut gate_baseline = false;
     let mut tolerance = 0.25f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--gate" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--gate requires a baseline path");
+                    std::process::exit(2);
+                }
+                gate = Some(args[i + 1].clone());
+                i += 2;
+            }
+            "--gate-baseline" => {
+                gate_baseline = true;
+                i += 1;
+            }
             "--check" => {
                 if i + 1 >= args.len() {
                     eprintln!("--check requires a baseline path");
@@ -533,19 +805,26 @@ fn main() {
             other => {
                 eprintln!(
                     "unknown argument `{other}`; usage: \
-                     bench_summary [--check FILE] [--fault-overhead FILE] \
+                     bench_summary [--gate FILE] [--gate-baseline] \
+                     [--check FILE] [--fault-overhead FILE] \
                      [--portfolio] [--portfolio-check FILE] [--tolerance X]"
                 );
                 std::process::exit(2);
             }
         }
     }
-    let code = match (baseline, fault_overhead, portfolio_check, portfolio) {
-        (Some(path), _, _, _) => run_check(&path, tolerance),
-        (None, Some(path), _, _) => run_fault_overhead(&path),
-        (None, None, Some(path), _) => run_portfolio_check(&path, tolerance),
-        (None, None, None, true) => run_portfolio_generate(),
-        (None, None, None, false) => run_generate(),
+    let code = if let Some(path) = gate {
+        run_gate(&path, tolerance)
+    } else if gate_baseline {
+        run_gate_generate()
+    } else {
+        match (baseline, fault_overhead, portfolio_check, portfolio) {
+            (Some(path), _, _, _) => run_check(&path, tolerance),
+            (None, Some(path), _, _) => run_fault_overhead(&path),
+            (None, None, Some(path), _) => run_portfolio_check(&path, tolerance),
+            (None, None, None, true) => run_portfolio_generate(),
+            (None, None, None, false) => run_generate(),
+        }
     };
     std::process::exit(code);
 }

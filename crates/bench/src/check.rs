@@ -364,10 +364,98 @@ pub fn race_rows(doc: &Json) -> Result<Vec<RaceRow>, String> {
         .collect()
 }
 
+/// One `heterogeneity` row of the consolidated `BENCH.json` manifest: the
+/// same kernel mapped on the homogeneous and on the capability-restricted
+/// (corner multipliers + edge-only memory) fabric of one array size.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HetRow {
+    /// Kernel name (`suite::by_name` key).
+    pub kernel: String,
+    /// CGRA side length.
+    pub cgra: usize,
+    /// II achieved on the homogeneous fabric.
+    pub hom_ii: usize,
+    /// II achieved on the heterogeneous fabric (≥ `hom_ii` by construction).
+    pub het_ii: usize,
+    /// Median wall time of the heterogeneous mapping in milliseconds.
+    pub median_ms: f64,
+    /// Whether `--gate` re-measures this row.
+    pub check: bool,
+}
+
+/// Extracts the `heterogeneity` rows from a parsed baseline document.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn het_rows(doc: &Json) -> Result<Vec<HetRow>, String> {
+    let rows = doc
+        .get("heterogeneity")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no `heterogeneity` array")?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let field = |key: &str| row.get(key).ok_or_else(|| format!("row {i} missing `{key}`"));
+            let num = |key: &str| {
+                field(key)?.as_f64().ok_or_else(|| format!("row {i}: `{key}` is not a number"))
+            };
+            let cgra = field("cgra")?
+                .as_str()
+                .and_then(|s| s.split('x').next())
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| format!("row {i}: `cgra` is not like \"4x4\""))?;
+            Ok(HetRow {
+                kernel: field("kernel")?
+                    .as_str()
+                    .ok_or_else(|| format!("row {i}: `kernel` is not a string"))?
+                    .to_string(),
+                cgra,
+                hom_ii: num("hom_ii")? as usize,
+                het_ii: num("het_ii")? as usize,
+                median_ms: num("median_ms")?,
+                check: field("check")?
+                    .as_bool()
+                    .ok_or_else(|| format!("row {i}: `check` is not a boolean"))?,
+            })
+        })
+        .collect()
+}
+
 /// The pass/fail threshold for a fresh measurement against a baseline
 /// median: `baseline * (1 + tolerance) + 2 ms`.
 pub fn limit_ms(baseline_ms: f64, tolerance: f64) -> f64 {
     baseline_ms * (1.0 + tolerance) + ABSOLUTE_SLACK_MS
+}
+
+/// Renders a [`Json`] value back to source text — members in parse order,
+/// numbers in shortest-exact form — so the `--gate` baseline generator can
+/// splice sections of the per-PR artifacts into one manifest.
+pub fn render(json: &Json) -> String {
+    match json {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 1e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => {
+            let escaped = s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n");
+            format!("\"{escaped}\"")
+        }
+        Json::Arr(items) => {
+            let body: Vec<String> = items.iter().map(render).collect();
+            format!("[{}]", body.join(", "))
+        }
+        Json::Obj(members) => {
+            let body: Vec<String> =
+                members.iter().map(|(k, v)| format!("\"{k}\": {}", render(v))).collect();
+            format!("{{{}}}", body.join(", "))
+        }
+    }
 }
 
 /// The verdict of re-measuring one checked row.
@@ -470,6 +558,32 @@ mod tests {
         assert_eq!(rows[0].winner, "himap");
         assert_eq!(rows[0].ii, 2);
         assert!(rows[0].check);
+    }
+
+    #[test]
+    fn round_trips_a_heterogeneity_baseline_shape() {
+        let text = r#"{
+          "heterogeneity": [
+            {"kernel": "stencil2d", "cgra": "4x4", "hom_ii": 4, "het_ii": 16,
+             "median_ms": 45.0, "check": true}
+          ]
+        }"#;
+        let rows = het_rows(&parse(text).expect("parses")).expect("rows");
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].kernel, "stencil2d");
+        assert_eq!(rows[0].cgra, 4);
+        assert_eq!(rows[0].hom_ii, 4);
+        assert_eq!(rows[0].het_ii, 16);
+        assert!(rows[0].check);
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        let text = r#"{"a": [1, -2.5, true, null], "b": {"c": "x\ny"}, "d": 12.375}"#;
+        let doc = parse(text).expect("parses");
+        assert_eq!(parse(&render(&doc)).expect("re-parses"), doc);
+        // Integral numbers render without a fractional tail.
+        assert_eq!(render(&Json::Num(3.0)), "3");
     }
 
     #[test]

@@ -127,7 +127,7 @@ pub struct CgraSpec {
     /// Faulted resources of this fabric instance; empty (the default) for a
     /// pristine array. Part of the spec's identity: two specs with different
     /// fault maps compare unequal, so per-`(spec, II)` caches key correctly.
-    pub faults: crate::fault::FaultMap,
+    pub faults: crate::capability::CapabilityMap,
 }
 
 /// Error constructing a [`CgraSpec`].
@@ -166,13 +166,13 @@ impl CgraSpec {
             rf_ports: 2,
             mem_ports: 2,
             freq_mhz: 510.0,
-            faults: crate::fault::FaultMap::default(),
+            faults: crate::capability::CapabilityMap::default(),
         })
     }
 
     /// This spec with `faults` installed (builder-style convenience).
     #[must_use]
-    pub fn with_faults(mut self, faults: crate::fault::FaultMap) -> Self {
+    pub fn with_faults(mut self, faults: crate::capability::CapabilityMap) -> Self {
         self.faults = faults;
         self
     }
@@ -181,7 +181,7 @@ impl CgraSpec {
     /// probing and relative placement work against, since relative mappings
     /// are position-agnostic and replicated only onto healthy tiles.
     pub fn fault_free(&self) -> Self {
-        CgraSpec { faults: crate::fault::FaultMap::default(), ..self.clone() }
+        CgraSpec { faults: crate::capability::CapabilityMap::default(), ..self.clone() }
     }
 
     /// `true` if `pe` lies inside the array and is not a dead PE.

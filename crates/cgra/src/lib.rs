@@ -32,13 +32,13 @@
 #![forbid(unsafe_code)]
 
 mod arch;
-mod fault;
+mod capability;
 mod mrrg;
 pub mod power;
 mod vsa;
 
 pub use arch::{CgraSpec, Dir, PeId, SpecError, ALL_DIRS};
-pub use fault::FaultMap;
+pub use capability::{CapabilityMap, FaultMap, OpClass, ALL_OP_CLASSES};
 pub use mrrg::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
 pub use power::PowerModel;
 pub use vsa::{SpeId, Vsa, VsaError};

@@ -1059,6 +1059,70 @@ mod tests {
     }
 
     #[test]
+    fn route_only_pe_loses_fu_and_out_but_keeps_routing_fabric() {
+        let mut caps = crate::CapabilityMap::new();
+        caps.set_classes(PeId::new(1, 1), &[crate::OpClass::Route]);
+        let spec = CgraSpec::square(3).with_faults(caps);
+        let m = Mrrg::new(spec.clone(), 2);
+        assert_eq!(m.nodes().len(), m.node_count());
+        for t in 0..2 {
+            assert!(!m.contains(RNode::new(PeId::new(1, 1), t, RKind::Fu)));
+            assert!(!m.contains(RNode::new(PeId::new(1, 1), t, RKind::Out)));
+            assert!(!m.contains(RNode::new(PeId::new(1, 1), t, RKind::Mem)));
+            // Routing resources survive: wires, registers, ports.
+            assert!(m.contains(RNode::new(PeId::new(1, 1), t, RKind::Wire(Dir::East))));
+            assert!(m.contains(RNode::new(PeId::new(1, 1), t, RKind::Reg(0))));
+            assert!(m.contains(RNode::new(PeId::new(1, 1), t, RKind::RegWr)));
+        }
+        // Enumeration never references a masked node, and the index agrees.
+        let idx = MrrgIndex::new(spec.clone(), 2);
+        assert_eq!(idx.len(), m.node_count());
+        for n in m.nodes() {
+            assert!(!spec.faults.masks(&spec, n), "masked node enumerated: {n:?}");
+            for s in m.successors(n) {
+                assert!(m.contains(s), "{n:?} -> masked {s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_only_capability_map_reproduces_fault_model_node_set() {
+        // PR-compat pin: a map built only from fault builders produces the
+        // exact node set the pre-capability fault model produced — the Fu |
+        // Out arm of masks() must stay inert without class restrictions.
+        let mut faults = crate::FaultMap::new();
+        faults.kill_pe(PeId::new(0, 2)).disable_mem(PeId::new(1, 0));
+        let spec = CgraSpec::square(3).with_faults(faults);
+        let pristine = spec.fault_free();
+        let m = Mrrg::new(spec.clone(), 2);
+        let full = Mrrg::new(pristine, 2);
+        for n in full.nodes() {
+            let expect_gone = spec.faults.pe_dead(n.pe)
+                || (n.kind == RKind::Mem && spec.faults.mem_disabled(n.pe))
+                || matches!(n.kind, RKind::Wire(d)
+                    if spec.neighbor(n.pe, d).is_some_and(|nb| spec.faults.pe_dead(nb)));
+            assert_eq!(m.contains(n), !expect_gone, "{n:?}");
+        }
+    }
+
+    #[test]
+    fn shared_cache_distinguishes_capability_maps() {
+        let pristine = CgraSpec::square(2);
+        let restricted =
+            pristine.clone().with_faults(crate::CapabilityMap::corner_multipliers(2, 2));
+        // corner_multipliers on 2×2 restricts nothing (all PEs are corners);
+        // build a real restriction instead.
+        assert!(restricted.faults.is_empty());
+        let mut caps = crate::CapabilityMap::new();
+        caps.set_classes(PeId::new(0, 0), &[crate::OpClass::Route]);
+        let restricted = pristine.clone().with_faults(caps);
+        let a = MrrgIndex::shared(pristine, 2);
+        let b = MrrgIndex::shared(restricted, 2);
+        assert!(!Arc::ptr_eq(&a, &b), "capability maps are part of the cache key");
+        assert!(b.len() < a.len(), "masking Fu/Out/Mem must shrink the graph");
+    }
+
+    #[test]
     fn shared_cache_distinguishes_fault_maps() {
         let pristine = CgraSpec::square(2);
         let mut faults = crate::FaultMap::new();

@@ -76,6 +76,10 @@ pub enum RouteError {
         /// The class whose pattern set is incomplete.
         class: usize,
     },
+    /// A representative op slot lands on an FU masked out of the MRRG —
+    /// a dead or route-only PE. The capability-blind layout proposed it;
+    /// the candidate is rejected before any routing work.
+    MaskedSlot(RNode),
 }
 
 impl fmt::Display for RouteError {
@@ -94,6 +98,9 @@ impl fmt::Display for RouteError {
             RouteError::NonCausal(e) => write!(f, "edge {e:?} does not advance time"),
             RouteError::MissingPattern { class } => {
                 write!(f, "class {class} is missing a routed pattern for one of its edges")
+            }
+            RouteError::MaskedSlot(node) => {
+                write!(f, "op slot {node:?} is masked out of the MRRG (dead or route-only PE)")
             }
         }
     }
@@ -219,10 +226,14 @@ fn negotiate(
         for &node in dfg.cluster(iter) {
             if let NodeKind::Op { stmt, op, .. } = dfg.graph()[node].kind {
                 let slot = layout.op_slot(dfg, iter, stmt, op);
-                router.place(
-                    RNode::new(slot.pe, slot.cycle_mod, RKind::Fu),
-                    SignalId(node.index() as u32),
-                );
+                let rnode = RNode::new(slot.pe, slot.cycle_mod, RKind::Fu);
+                // The layout probes capability-blind; a slot on a dead or
+                // route-only PE has no FU node in the MRRG and the whole
+                // candidate is rejected typed before any routing work.
+                if router.index().index_of(rnode).is_none() {
+                    return Err(RouteError::MaskedSlot(rnode));
+                }
+                router.place(rnode, SignalId(node.index() as u32));
             }
         }
     }
@@ -562,11 +573,24 @@ pub fn replicate_and_verify(
     let index = MrrgIndex::shared(spec.clone(), iib);
     let mut occupancy: Vec<Vec<u32>> = vec![Vec::new(); index.len()];
     let mut routes = Vec::with_capacity(dfg.graph().edge_count());
-    // Stamp every op's FU slot.
+    // Steps (in the representative frame) whose translations land on
+    // faulted or capability-illegal resources; reported together so the
+    // feedback loop steers the next negotiation round around them.
+    let mut faulted_steps: Vec<RNode> = Vec::new();
+    // Stamp every op's FU slot. A member translation may land an op on a PE
+    // that computes but lacks the op's capability class (heterogeneous
+    // fabrics) — that invalidates the pattern exactly like a faulted step.
     for (node, w) in dfg.graph().nodes() {
-        if let NodeKind::Op { stmt, op, .. } = w.kind {
+        if let NodeKind::Op { stmt, op, kind } = w.kind {
             let slot = layout.op_slot(dfg, w.iter, stmt, op);
             let fu = RNode::new(slot.pe, slot.cycle_mod, RKind::Fu);
+            if !spec.faults.supports_op(slot.pe, kind) {
+                let class = classes.of[dfg.linear_index(w.iter)] as usize;
+                let rep_iter = dfg.iteration_at(classes.reps[class]);
+                let rep_slot = layout.op_slot(dfg, rep_iter, stmt, op);
+                faulted_steps.push(RNode::new(rep_slot.pe, rep_slot.cycle_mod, RKind::Fu));
+                continue;
+            }
             if let Some(ri) = index.index_of(fu) {
                 occupancy[ri.index()].push(node.index() as u32);
             } else {
@@ -578,7 +602,6 @@ pub fn replicate_and_verify(
     // lands on a faulted resource invalidates the whole pattern for that
     // member: collect the offending steps in the representative frame so
     // the feedback loop steers the next negotiation round around them.
-    let mut faulted_steps: Vec<RNode> = Vec::new();
     for e in dfg.graph().edge_ids() {
         let (src, dst) = dfg.graph().edge_endpoints(e);
         let dst_iter = dfg.graph()[dst].iter;
@@ -816,6 +839,7 @@ mod tests {
             RouteError::AntiDependence,
             RouteError::NonCausal(EdgeId::from_index(0)),
             RouteError::MissingPattern { class: 2 },
+            RouteError::MaskedSlot(RNode::new(himap_cgra::PeId::new(3, 0), 0, RKind::Fu)),
         ];
         for e in errors {
             let msg = e.to_string();

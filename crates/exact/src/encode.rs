@@ -1,11 +1,14 @@
 //! CNF encoding of modulo scheduling on the dense MRRG.
 //!
-//! One Boolean variable `x(o, p, a)` per (compute op, healthy PE, absolute
-//! cycle `a ∈ [0, horizon)`) states "op `o` executes on PE `p` at cycle `a`".
-//! The clause groups are:
+//! One Boolean variable `x(o, p, a)` per (compute op, healthy FU-capable
+//! PE, absolute cycle `a ∈ [0, horizon)`) states "op `o` executes on PE
+//! `p` at cycle `a`". Route-only PEs never get variables; PEs lacking an
+//! op's capability class get their variables pinned false. The clause
+//! groups are:
 //!
-//! * **Exactly-one** per op over all `(p, a)` — at-least-one plus a ladder
-//!   (sequential) at-most-one, so clause counts stay linear.
+//! * **Exactly-one** per op over its capability-legal `(p, a)` — at-least-
+//!   one plus a ladder (sequential) at-most-one, so clause counts stay
+//!   linear.
 //! * **FU exclusivity**: at most one `(op, a)` pair per modulo slot
 //!   `(p, a mod II)` — rule V001 for FU resources.
 //! * **Dependence support**: for every DFG edge whose producer is a compute
@@ -42,6 +45,7 @@ use himap_baseline::STORE_LATENCY;
 use himap_cgra::{CgraSpec, MrrgIndex, PeId, RIdx, RKind, RNode};
 use himap_dfg::{Dfg, EdgeKind, NodeKind};
 use himap_graph::NodeId;
+use himap_kernels::OpKind;
 
 use crate::sat::{at_most_one, Lit, Solver};
 
@@ -263,9 +267,13 @@ pub fn encode(
 ) -> Result<Encoding, EncodeError> {
     let graph = dfg.graph();
     let mut ops: Vec<NodeId> = Vec::new();
+    let mut op_kinds: Vec<OpKind> = Vec::new();
     for (node, weight) in graph.nodes() {
         match weight.kind {
-            NodeKind::Op { .. } => ops.push(node),
+            NodeKind::Op { kind, .. } => {
+                ops.push(node);
+                op_kinds.push(kind);
+            }
             NodeKind::Route => return Err(EncodeError::RouteNodes),
             NodeKind::Input { .. } => {}
         }
@@ -273,7 +281,8 @@ pub fn encode(
     if ops.is_empty() {
         return Err(EncodeError::NoOps);
     }
-    let pes: Vec<PeId> = spec.pes().filter(|&pe| spec.healthy(pe)).collect();
+    let pes: Vec<PeId> =
+        spec.pes().filter(|&pe| spec.healthy(pe) && spec.faults.fu_capable(pe)).collect();
     if pes.is_empty() {
         return Err(EncodeError::NoHealthyPe);
     }
@@ -294,12 +303,22 @@ pub fn encode(
         clauses: Vec::new(),
     };
 
-    // Exactly-one slot per op.
-    for oi in 0..enc.ops.len() {
-        let all: Vec<Lit> = (0..enc.pes.len())
-            .flat_map(|pi| (0..enc.horizon).map(move |a| (pi, a)))
-            .map(|(pi, a)| Lit::pos(enc.var(oi, pi, a)))
-            .collect();
+    // Exactly-one slot per op, over capability-legal PEs only. Variables
+    // on PEs whose op-class set excludes the op are pinned false by unit
+    // clauses so no other clause group can resurrect them. An op with no
+    // capable PE leaves an empty at-least-one clause: immediately — and
+    // soundly — Unsat (the analyzer reports it as A010 before encoding).
+    for (oi, &op_kind) in op_kinds.iter().enumerate() {
+        let mut all: Vec<Lit> = Vec::new();
+        for pi in 0..enc.pes.len() {
+            if spec.faults.supports_op(enc.pes[pi], op_kind) {
+                all.extend((0..enc.horizon).map(|a| Lit::pos(enc.var(oi, pi, a))));
+            } else {
+                for a in 0..enc.horizon {
+                    enc.clauses.push(vec![Lit::pos(enc.var(oi, pi, a)).negated()]);
+                }
+            }
+        }
         enc.clauses.push(all.clone());
         at_most_one(&mut enc.clauses, &all, &mut enc.next_var);
     }
@@ -557,6 +576,69 @@ mod tests {
             }
             other => panic!("expected sat, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn models_respect_capability_classes() {
+        // Corner-multiplier 4×4: every satisfying placement must put the
+        // multiplies on corner PEs, because incapable (op, pe) variables
+        // are pinned false.
+        use himap_cgra::CapabilityMap;
+        let kernel = suite::gemm();
+        let dfg = Dfg::build(&kernel, &[1, 1, 1]).unwrap();
+        let spec = CgraSpec::square(4).with_faults(CapabilityMap::corner_multipliers(4, 4));
+        let horizon = default_horizon(&dfg, 1);
+        let enc = encode(&dfg, &spec, 1, horizon).unwrap();
+        let SolveResult::Sat(model) = enc.solver(&[]).solve(None) else {
+            panic!("gemm [1,1,1] fits a heterogeneous 4x4 at ii=1");
+        };
+        let placement = enc.decode(&model).unwrap();
+        for (node, weight) in dfg.graph().nodes() {
+            let NodeKind::Op { kind, .. } = weight.kind else { continue };
+            let (pe, _) = placement[&node];
+            assert!(
+                spec.faults.supports_op(pe, kind),
+                "{} landed on {pe:?}, which lacks its class",
+                kind.mnemonic()
+            );
+        }
+    }
+
+    #[test]
+    fn op_with_no_capable_pe_is_unsat() {
+        // Stripping Mul everywhere leaves gemm's multiply an empty
+        // at-least-one clause: Unsat at any horizon, not a panic.
+        use himap_cgra::{CapabilityMap, OpClass};
+        let kernel = suite::gemm();
+        let dfg = Dfg::build(&kernel, &[1, 1, 1]).unwrap();
+        let mut caps = CapabilityMap::new();
+        for r in 0..2 {
+            for c in 0..2 {
+                caps.restrict(PeId::new(r, c), &[OpClass::Alu, OpClass::Mem]);
+            }
+        }
+        let spec = CgraSpec::square(2).with_faults(caps);
+        let horizon = default_horizon(&dfg, 2);
+        let enc = encode(&dfg, &spec, 2, horizon).unwrap();
+        assert_eq!(enc.solver(&[]).solve(None), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn route_only_pes_shrink_the_variable_space() {
+        // A PE restricted to routing leaves the placement variable space
+        // entirely — strictly fewer base variables than the homogeneous
+        // encoding of the same question.
+        use himap_cgra::CapabilityMap;
+        let kernel = suite::gemm();
+        let dfg = Dfg::build(&kernel, &[1, 1, 1]).unwrap();
+        let horizon = default_horizon(&dfg, 1);
+        let full = encode(&dfg, &CgraSpec::square(4), 1, horizon).unwrap();
+        let mut caps = CapabilityMap::new();
+        caps.restrict(PeId::new(1, 1), &[]);
+        let spec = CgraSpec::square(4).with_faults(caps);
+        let enc = encode(&dfg, &spec, 1, horizon).unwrap();
+        assert_eq!(enc.pes.len(), full.pes.len() - 1);
+        assert!(enc.num_base < full.num_base);
     }
 
     #[test]

@@ -365,6 +365,7 @@ pub fn by_name(name: &str) -> Option<Kernel> {
         "fw" | "floyd-warshall" | "floyd_warshall" => Some(floyd_warshall()),
         "ttm" => Some(ttm()),
         "conv2d" => Some(conv2d()),
+        "stencil2d" => Some(stencil2d()),
         "syr2k" => Some(syr2k()),
         _ => None,
     }
@@ -553,6 +554,40 @@ pub fn conv2d() -> Kernel {
     b.build().expect("conv2d kernel is well-formed")
 }
 
+/// 5-point 2-D Jacobi stencil (PolyBench `stencil2d` family).
+///
+/// ```text
+/// for i, j:
+///   y[i][j] = x[i][j] + x[i-1][j] + x[i+1][j] + x[i][j-1] + x[i][j+1]
+/// ```
+///
+/// 4 compute ops per iteration — all adds, no multiplies — which makes it
+/// the stress kernel for multiplier-poor heterogeneous fabrics: it must map
+/// on a corner-multiplier array without touching any `mul`-capable corner.
+pub fn stencil2d() -> Kernel {
+    let d = 2;
+    let mut b = KernelBuilder::new("stencil2d", d);
+    let y = b.array("y", 2);
+    let x = b.array("x", 2);
+    let (i, j) = (var(0, d), var(1, d));
+    let taps = [
+        read(x, vec![i.clone(), j.clone()]),
+        read(x, vec![AffineExpr::new(vec![1, 0], -1), j.clone()]),
+        read(x, vec![AffineExpr::new(vec![1, 0], 1), j.clone()]),
+        read(x, vec![i.clone(), AffineExpr::new(vec![0, 1], -1)]),
+        read(x, vec![i.clone(), AffineExpr::new(vec![0, 1], 1)]),
+    ];
+    let mut acc: Option<Expr> = None;
+    for tap in taps {
+        acc = Some(match acc {
+            None => tap,
+            Some(prev) => Expr::binary(OpKind::Add, prev, tap),
+        });
+    }
+    b.stmt(ArrayRef::new(y, vec![i, j]), acc.expect("stencil has taps"));
+    b.build().expect("stencil2d kernel is well-formed")
+}
+
 /// Symmetric rank-2k update `C += A·B2ᵀ + B·A2ᵀ` (PolyBench `syr2k`).
 ///
 /// ```text
@@ -601,6 +636,18 @@ mod extension_tests {
         assert_eq!(k.dims(), 2);
         assert_eq!(k.compute_ops_per_iteration(), 17);
         assert_eq!(classify(&k), KernelCategory::DepsDim2);
+    }
+
+    #[test]
+    fn stencil2d_shape_is_mul_free() {
+        let k = stencil2d();
+        assert_eq!(k.dims(), 2);
+        assert_eq!(k.compute_ops_per_iteration(), 4);
+        assert!(by_name("stencil2d").is_some());
+        // No multiplies: the kernel must be mappable on a fabric whose only
+        // mul-capable PEs are unreachable corners.
+        let text = format!("{k:?}");
+        assert!(!text.contains("Mul"), "stencil2d must not multiply");
     }
 
     #[test]

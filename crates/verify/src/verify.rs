@@ -26,7 +26,8 @@ use himap_analyze::{Code, Diagnostic, DiagnosticSink};
 /// causality (**V003**), modulo resource exclusivity recomputed from the
 /// routes (**V001**, RF port pressure as **V004**), the configuration
 /// memory bound (**V005**), fault avoidance for placements and routes on a
-/// faulted fabric (**V006**), and the quality lints (**W101**–**W103**).
+/// faulted fabric (**V006**), capability legality of each op's PE
+/// (**V007**), and the quality lints (**W101**–**W103**).
 pub fn verify_mapping(mapping: &Mapping) -> DiagnosticSink {
     let mut sink = DiagnosticSink::new();
     let iib = mapping.stats().iib.max(1);
@@ -57,9 +58,9 @@ fn check_placement(mapping: &Mapping, mrrg: &Mrrg, sink: &mut DiagnosticSink) ->
     let iib = mrrg.ii() as i64;
     let mut complete = true;
     for (node, w) in mapping.dfg().graph().nodes() {
-        if !matches!(w.kind, NodeKind::Op { .. }) {
+        let NodeKind::Op { kind: op_kind, .. } = w.kind else {
             continue;
-        }
+        };
         let Some(slot) = mapping.op_slot(node) else {
             complete = false;
             sink.push(
@@ -85,6 +86,23 @@ fn check_placement(mapping: &Mapping, mrrg: &Mrrg, sink: &mut DiagnosticSink) ->
                 Diagnostic::error(code, format!("op n{} is placed {what}", node.index()))
                     .at_resource(fu)
                     .at_node(node),
+            );
+        } else if !mapping.spec().faults.supports_op(slot.pe, op_kind) {
+            // The FU exists (the PE computes *something*) but not this
+            // op-class: a capability-legality violation, distinct from the
+            // masked-resource case above.
+            sink.push(
+                Diagnostic::error(
+                    Code::V007,
+                    format!(
+                        "op n{} (`{}`) is placed on a PE whose capability classes \
+                         exclude it",
+                        node.index(),
+                        op_kind.mnemonic()
+                    ),
+                )
+                .at_resource(fu)
+                .at_node(node),
             );
         }
         if slot.abs.rem_euclid(iib) != slot.cycle_mod as i64 {

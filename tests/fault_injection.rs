@@ -1,6 +1,8 @@
-//! Fault-injection harness: random fault maps over the suite kernels.
+//! Fault-injection harness: random capability maps over the suite kernels.
 //!
-//! The contract under test is a trichotomy — for *any* fault map, mapping
+//! The contract under test is a trichotomy — for *any* capability map
+//! (dead PEs, severed links, disabled registers and banks, plus per-PE
+//! op-class restrictions down to route-only tiles), mapping
 //! either (a) succeeds and the result verifies clean (including rule V006:
 //! no faulted resource in any placement or route) and simulates correctly,
 //! (b) fails with a typed [`HiMapError`], or (c) reports
@@ -17,7 +19,7 @@
 
 use std::time::Duration;
 
-use himap_repro::cgra::{CgraSpec, FaultMap, PeId, ALL_DIRS};
+use himap_repro::cgra::{CapabilityMap, CgraSpec, FaultMap, OpClass, PeId, ALL_DIRS};
 use himap_repro::core::{HiMap, HiMapError, HiMapOptions, RecoveryPolicy};
 use himap_repro::kernels::suite;
 use himap_repro::sim::simulate;
@@ -31,15 +33,35 @@ enum Fault {
     SeveredLink(usize, usize, usize),
     DisabledReg(usize, usize, usize),
     DisabledMem(usize, usize),
+    /// Intersect the PE's op-class set with the combination encoded by the
+    /// 3-bit mask (bit 0 = ALU, 1 = MUL, 2 = MEM) — mask 0 leaves a
+    /// route-only tile.
+    Restricted(usize, usize, usize),
 }
 
-/// A single random fault on an `n x n` fabric, drawn from all four classes.
+/// The op-class subset a 3-bit strategy mask denotes.
+fn classes_of_mask(mask: usize) -> Vec<OpClass> {
+    let mut classes = Vec::new();
+    if mask & 1 != 0 {
+        classes.push(OpClass::Alu);
+    }
+    if mask & 2 != 0 {
+        classes.push(OpClass::Mul);
+    }
+    if mask & 4 != 0 {
+        classes.push(OpClass::Mem);
+    }
+    classes
+}
+
+/// A single random fault on an `n x n` fabric, drawn from all five classes.
 fn arb_fault(n: usize) -> impl Strategy<Value = Fault> {
-    (0usize..4, 0usize..n, 0usize..n, 0usize..8).prop_map(|(class, r, c, x)| match class {
+    (0usize..5, 0usize..n, 0usize..n, 0usize..8).prop_map(|(class, r, c, x)| match class {
         0 => Fault::DeadPe(r, c),
         1 => Fault::SeveredLink(r, c, x % ALL_DIRS.len()),
         2 => Fault::DisabledReg(r, c, x),
-        _ => Fault::DisabledMem(r, c),
+        3 => Fault::DisabledMem(r, c),
+        _ => Fault::Restricted(r, c, x % 8),
     })
 }
 
@@ -53,6 +75,9 @@ fn arb_fault_map(n: usize, max: usize) -> impl Strategy<Value = FaultMap> {
                 Fault::SeveredLink(r, c, d) => map.sever_link(PeId::new(r, c), ALL_DIRS[d]),
                 Fault::DisabledReg(r, c, x) => map.disable_reg(PeId::new(r, c), x),
                 Fault::DisabledMem(r, c) => map.disable_mem(PeId::new(r, c)),
+                Fault::Restricted(r, c, mask) => {
+                    map.restrict(PeId::new(r, c), &classes_of_mask(mask))
+                }
             };
         }
         map
@@ -101,21 +126,33 @@ fn assert_trichotomy(
             // The static analyzer's certified bound must hold on every
             // fabric the sweep generates: an achieved block period below
             // the kernel-level MII would mean an unsound pigeonhole.
-            let static_mii = himap_repro::analyze::analyze_kernel(
+            let bounds = himap_repro::analyze::analyze_kernel(
                 kernel,
                 spec,
                 &himap_repro::analyze::AnalyzeOptions::default(),
             )
-            .bounds
-            .mii();
+            .bounds;
             prop_assert!(
-                static_mii <= mapping.stats().iib,
+                bounds.mii() <= mapping.stats().iib,
                 "{} on faulted fabric ({}): static MII {} exceeds achieved II {}",
                 kernel.name(),
                 spec.faults,
-                static_mii,
+                bounds.mii(),
                 mapping.stats().iib
             );
+            // The per-op-class pigeonholes are certified bounds in their
+            // own right — each must hold against the achieved II on any
+            // capability-restricted fabric the sweep generates.
+            for (class, bound) in [("alu", bounds.res_mii_alu), ("mul", bounds.res_mii_mul)] {
+                prop_assert!(
+                    bound <= mapping.stats().iib,
+                    "{} on faulted fabric ({}): {class} pigeonhole {} exceeds achieved II {}",
+                    kernel.name(),
+                    spec.faults,
+                    bound,
+                    mapping.stats().iib
+                );
+            }
         }
         // (c) deadline: allowed, and the Display must render (possibly with
         // a partial attempt trail).
@@ -180,6 +217,27 @@ proptest! {
         let spec = CgraSpec::square(4).with_faults(faults);
         assert_trichotomy(&suite::gemm(), &spec, seed, Duration::from_secs(5));
     }
+}
+
+/// The heterogeneous acceptance scenario: a multiply-free stencil maps and
+/// verifies on the capability-restricted 4x4 (multipliers only in the
+/// corners, memory banks only on the edge ring) — heterogeneity flows
+/// through admission, placement, routing and verification end to end.
+#[test]
+fn stencil2d_maps_and_verifies_on_the_heterogeneous_4x4() {
+    let spec = CgraSpec::square(4).with_faults(CapabilityMap::heterogeneous(4, 4));
+    let kernel = suite::by_name("stencil2d").expect("stencil2d is in the named suite");
+    let mapping = HiMap::new(HiMapOptions::default())
+        .map(&kernel, &spec)
+        .expect("a mul-free stencil fits the heterogeneous fabric");
+    let report = verify_mapping(&mapping);
+    assert!(
+        !report.has_errors(),
+        "heterogeneous stencil2d mapping fails verification:\n{}",
+        report.render_pretty()
+    );
+    let sim = simulate(&mapping, 11).expect("heterogeneous mapping simulates");
+    assert!(sim.elements_checked > 0);
 }
 
 /// The acceptance scenario: one dead PE on an 8x8 fabric must not stop

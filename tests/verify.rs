@@ -107,6 +107,36 @@ fn double_booked_fu_slot_is_v001() {
 }
 
 #[test]
+fn mul_on_alu_only_pe_is_v007() {
+    use himap_repro::cgra::OpClass;
+    use himap_repro::dfg::NodeKind;
+    use himap_repro::kernels::OpKind;
+    let mut parts = gemm_parts();
+    // Strip the Mul class from the PE hosting one of gemm's multiplies:
+    // the FU itself stays in the MRRG (the PE still adds), so this must
+    // surface as a capability-legality error, not a masked resource.
+    let mul_node = parts
+        .dfg
+        .graph()
+        .nodes()
+        .find_map(|(n, w)| match w.kind {
+            NodeKind::Op { kind: OpKind::Mul, .. } => Some(n),
+            _ => None,
+        })
+        .expect("gemm has multiplies");
+    let pe = parts.op_slots[&mul_node].pe;
+    parts.spec.faults.restrict(pe, &[OpClass::Alu, OpClass::Mem]);
+    let mapping = Mapping::from_parts(parts);
+    assert_error(&mapping, Code::V007);
+    let report = verify_mapping(&mapping);
+    assert!(
+        !report.diags().iter().any(|d| d.code == Code::V006),
+        "capability violation must not masquerade as a fault:\n{}",
+        report.render_pretty()
+    );
+}
+
+#[test]
 fn shifted_route_cycle_is_v002() {
     let mut parts = gemm_parts();
     // Shift every absolute time of one route by a cycle without touching
