@@ -2,29 +2,63 @@
 # Local CI gate: formatting, lints, release build, tests, bench regression.
 #
 # Usage:
-#   ./ci.sh          full gate (mirrored stage-by-stage by .github/workflows/ci.yml)
-#   ./ci.sh --quick  inner-loop subset: fmt + clippy + debug tests
+#   ./ci.sh                full gate (mirrored stage-by-stage by .github/workflows/ci.yml)
+#   ./ci.sh --quick        inner-loop subset: fmt + clippy + debug tests
+#   ./ci.sh --stage NAME   run only stages whose name contains NAME
 #
-# Every stage must pass; per-stage wall time is printed so slow stages are
-# visible in CI logs.
+# Every stage must pass; per-stage wall time is printed as it runs, and a
+# recap table sorted slowest-first closes the log so the expensive stages
+# are visible without scrolling.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 QUICK=0
-case "${1:-}" in
-  --quick) QUICK=1 ;;
-  "") ;;
-  *) echo "usage: ./ci.sh [--quick]" >&2; exit 2 ;;
-esac
+STAGE_FILTER=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1; shift ;;
+    --stage)
+      if [ $# -lt 2 ]; then
+        echo "--stage requires a stage-name substring" >&2
+        exit 2
+      fi
+      STAGE_FILTER="$2"; shift 2 ;;
+    *) echo "unknown argument '$1'; usage: ./ci.sh [--quick] [--stage NAME]" >&2; exit 2 ;;
+  esac
+done
 
 # Runs one named stage, timing it: stage <name> <cmd...>
+# With --stage, stages whose name does not contain the filter are skipped.
+STAGE_TIMINGS=()
+STAGES_RUN=0
 stage() {
   local name="$1"; shift
+  if [ -n "$STAGE_FILTER" ] && [[ "$name" != *"$STAGE_FILTER"* ]]; then
+    return 0
+  fi
+  STAGES_RUN=$((STAGES_RUN + 1))
   echo "==> ${name}"
-  local start_s
+  local start_s elapsed
   start_s=$(date +%s)
   "$@"
-  echo "    (${name}: $(( $(date +%s) - start_s ))s)"
+  elapsed=$(( $(date +%s) - start_s ))
+  echo "    (${name}: ${elapsed}s)"
+  STAGE_TIMINGS+=("$(printf '%6d  %s' "$elapsed" "$name")")
+}
+
+# Prints the sorted per-stage recap; fails if a --stage filter matched nothing.
+recap() {
+  if [ "$STAGES_RUN" -eq 0 ]; then
+    if [ -n "$STAGE_FILTER" ]; then
+      echo "no stage name contains '${STAGE_FILTER}'" >&2
+    else
+      echo "no stages ran" >&2
+    fi
+    exit 2
+  fi
+  echo ""
+  echo "Stage timing recap (slowest first, seconds):"
+  printf '%s\n' "${STAGE_TIMINGS[@]}" | sort -rn | sed 's/^/  /'
 }
 
 stage "cargo fmt --check" cargo fmt --all --check
@@ -37,6 +71,7 @@ stage "lint budget" ./scripts/lint_budget.sh
 
 if [ "$QUICK" -eq 1 ]; then
   stage "cargo test -q (debug)" cargo test -q
+  recap
   echo "CI quick gate green."
   exit 0
 fi
@@ -98,8 +133,11 @@ stage "himap-analyze heterogeneous clean" \
 # `bench_summary --gate-baseline`), one verdict table. Covers the scaling
 # rows (25 % + 2 ms), the portfolio races (double tolerance — cancellation
 # latency is noisier), the fault-model overhead row (+2 % + 2 ms on an
-# empty CapabilityMap) and the heterogeneity rows (stencil2d must map and
-# verify on the corner-multiplier + edge-memory 4x4 at the pinned II).
+# empty CapabilityMap), the heterogeneity rows (stencil2d must map and
+# verify on the corner-multiplier + edge-memory 4x4 at the pinned II) and
+# the mega-scale rows (gemm + floyd-warshall tile-mapped *and verified* on
+# 32x32/64x64, 64x64 wall < 1 s unconditionally, index high-water held to
+# one tile). Writes BENCH_verdict.json, uploaded as a CI artifact.
 stage "consolidated bench gate" \
   cargo run -q -p himap-bench --release --bin bench_summary -- \
     --gate BENCH.json --tolerance 0.25
@@ -120,4 +158,5 @@ stage "exact oracle heterogeneous (4x4)" \
   cargo run -q -p himap-exact --release --bin exact_oracle -- \
     --size 4 --budget-secs 20 --heterogeneous
 
+recap
 echo "CI green."

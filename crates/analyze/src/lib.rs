@@ -55,7 +55,7 @@ mod fabric;
 
 pub use bounds::StaticBounds;
 pub use diag::{Code, Diagnostic, DiagnosticSink, Locus, Severity};
-pub use fabric::{survey_fabric, FabricComponent, FabricSurvey};
+pub use fabric::{survey_fabric, survey_region, FabricComponent, FabricSurvey};
 
 use himap_cgra::{CgraSpec, OpClass};
 use himap_dfg::Dfg;

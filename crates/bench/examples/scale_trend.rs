@@ -1,0 +1,58 @@
+//! Prints the mega-fabric scale trend table of EXPERIMENTS.md: tiled
+//! map + verify wall time, index high-water mark and cumulative peak RSS
+//! for gemm and floyd-warshall from 4x4 up to 64x64.
+//!
+//! Run with `cargo run -p himap-bench --release --example scale_trend`.
+
+#![forbid(unsafe_code)]
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::time::Instant;
+
+use himap_bench::run_himap_tiled;
+use himap_core::HiMapOptions;
+use himap_kernels::suite;
+
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+fn main() {
+    let options = HiMapOptions::default();
+    println!("| kernel | fabric | wall (ms) | index nodes | index edges | peak RSS (kB) |");
+    println!("|---|---|---|---|---|---|");
+    for kernel_name in ["gemm", "floyd-warshall"] {
+        let kernel = suite::by_name(kernel_name).expect("suite kernel");
+        for c in [4usize, 8, 16, 32, 64] {
+            // Median of 3 after one warmup: the same protocol shape as the
+            // bench gate, scaled down — this is a table generator, not a
+            // regression gate.
+            let mut walls = Vec::new();
+            let mut last = None;
+            for i in 0..4 {
+                let start = Instant::now();
+                let (tiled, _) = run_himap_tiled(&kernel, c, &options);
+                let tiled =
+                    tiled.unwrap_or_else(|| panic!("{kernel_name} fails to tile on {c}x{c}"));
+                let report = himap_verify::verify_tiled(&tiled);
+                assert!(!report.has_errors(), "{kernel_name} {c}x{c} fails verification");
+                if i > 0 {
+                    walls.push(start.elapsed());
+                }
+                last = Some(tiled);
+            }
+            walls.sort_unstable();
+            let tiled = last.expect("at least one run");
+            let mem = tiled.memory();
+            println!(
+                "| {kernel_name} | {c}x{c} | {:.1} | {} | {} | {} |",
+                walls[walls.len() / 2].as_secs_f64() * 1e3,
+                mem.nodes,
+                mem.edges,
+                peak_rss_kb().map_or_else(|| "?".into(), |kb| kb.to_string()),
+            );
+        }
+    }
+}

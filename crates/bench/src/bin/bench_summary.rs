@@ -39,9 +39,10 @@
 use std::time::{Duration, Instant};
 
 use himap_bench::check::{
-    het_rows, limit_ms, parse, race_rows, render, scaling_rows, Json, RowVerdict, ScalingRow,
+    het_rows, limit_ms, parse, race_rows, render, scale_rows, scaling_rows, Json, RowVerdict,
+    ScalingRow,
 };
-use himap_bench::run_himap;
+use himap_bench::{run_himap, run_himap_tiled};
 use himap_cgra::{CapabilityMap, CgraSpec, FaultMap, Mrrg, MrrgIndex, PeId, RKind, RNode};
 use himap_core::backend::{race, Backend, BhcBackend, HiMapBackend, MapRequest, RaceMode};
 use himap_core::{HiMap, HiMapOptions};
@@ -407,6 +408,71 @@ fn run_fault_overhead(baseline_path: &str) -> i32 {
     }
 }
 
+/// The mega-fabric scale workload: the tiled path must map *and verify*
+/// these kernels on 32x32 and 64x64 without ever materialising the
+/// full-fabric MRRG — the index high-water mark is asserted against a
+/// tile-scale cap on every sample.
+const SCALE_KERNELS: [&str; 2] = ["gemm", "floyd-warshall"];
+const SCALE_SIZES: [usize; 2] = [32, 64];
+
+/// Unconditional wall ceiling on every 64x64 row, independent of the
+/// committed baseline: a 64x64 map+verify that takes a second has lost
+/// the scalability argument even if the baseline drifted with it.
+const MEGA_WALL_LIMIT_MS: f64 = 1000.0;
+
+/// One measured mega-scale point.
+struct ScaleSample {
+    median: Duration,
+    index_ms: f64,
+    nodes: usize,
+    edges: usize,
+}
+
+/// Warmup-then-median wall time of tiled map + tiled verify on a `c`x`c`
+/// array. Every sample asserts the verifier is clean and that the largest
+/// index ever built fits one tile at the achieved II — a full-fabric MRRG
+/// leaking into the path fails the bench, not just slows it down.
+fn measure_scale(kernel_name: &str, c: usize) -> Option<ScaleSample> {
+    let kernel = suite::by_name(kernel_name)?;
+    let options = HiMapOptions::default();
+    let mut sampled: Option<(f64, usize, usize)> = None;
+    let mut run = || {
+        let (tiled, _) = run_himap_tiled(&kernel, c, &options);
+        let tiled = tiled.unwrap_or_else(|| panic!("{kernel_name} fails to tile-map on {c}x{c}"));
+        let report = himap_verify::verify_tiled(&tiled);
+        assert!(
+            !report.has_errors(),
+            "{kernel_name} {c}x{c} tiled mapping fails verification:\n{}",
+            report.render_pretty()
+        );
+        let (tr, tc) = tiled.tile_shape();
+        let iib = tiled
+            .overrides()
+            .values()
+            .chain(std::iter::once(tiled.base()))
+            .map(|m| m.stats().iib)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let cap = tr * tc * (9 + tiled.spec().rf_size) * iib;
+        let mem = tiled.memory();
+        assert!(
+            mem.nodes <= cap,
+            "{kernel_name} {c}x{c}: index high-water of {} nodes exceeds the \
+             tile-scale cap {cap} — the full-fabric MRRG leaked into the tiled path",
+            mem.nodes
+        );
+        let index_ms = tiled.stats().times.index.as_secs_f64() * 1e3;
+        sampled = Some((index_ms, mem.nodes, mem.edges));
+    };
+    for _ in 0..WARMUP {
+        run();
+    }
+    let median = sample(SCALING_SAMPLES, run);
+    let (index_ms, nodes, edges) = sampled?;
+    Some(ScaleSample { median, index_ms, nodes, edges })
+}
+
 /// `--gate <BENCH.json>` mode: the consolidated regression gate. One
 /// manifest carries every gated surface — scaling rows, portfolio races,
 /// the fault-model overhead row, and the heterogeneity rows — and one
@@ -428,24 +494,35 @@ fn run_gate(baseline_path: &str, tolerance: f64) -> i32 {
             return 1;
         }
     };
-    let (scaling, races, hets) = match (scaling_rows(&doc), race_rows(&doc), het_rows(&doc)) {
-        (Ok(s), Ok(r), Ok(h)) => (s, r, h),
-        (s, r, h) => {
-            for e in [s.err(), r.err(), h.err()].into_iter().flatten() {
+    let parsed = (scaling_rows(&doc), race_rows(&doc), het_rows(&doc), scale_rows(&doc));
+    let (scaling, races, hets, scales) = match parsed {
+        (Ok(s), Ok(r), Ok(h), Ok(m)) => (s, r, h, m),
+        (s, r, h, m) => {
+            for e in [s.err(), r.err(), h.err(), m.err()].into_iter().flatten() {
                 eprintln!("baseline {baseline_path}: {e}");
             }
             return 1;
         }
     };
     println!(
-        "consolidated gate: {} scaling + {} race + {} heterogeneity rows, \
-         tolerance {:.0}% + 2 ms (fault overhead +2%)",
+        "consolidated gate: {} scaling + {} race + {} heterogeneity + {} mega-scale rows, \
+         tolerance {:.0}% + 2 ms (fault overhead +2%, 64x64 wall < {MEGA_WALL_LIMIT_MS:.0} ms)",
         scaling.iter().filter(|r| r.check).count(),
         races.iter().filter(|r| r.check).count(),
         hets.iter().filter(|r| r.check).count(),
+        scales.iter().filter(|r| r.check).count(),
         tolerance * 100.0
     );
     let mut failures = 0usize;
+    // Machine-readable verdict rows, written to BENCH_verdict.json at the
+    // end of the run (CI uploads the file as an artifact).
+    let mut verdicts: Vec<String> = Vec::new();
+    let mut record = |surface: &str, name: String, fresh_ms: f64, limit: f64, pass: bool| {
+        verdicts.push(format!(
+            "    {{\"surface\": \"{surface}\", \"name\": \"{name}\", \
+             \"fresh_ms\": {fresh_ms:.3}, \"limit_ms\": {limit:.3}, \"pass\": {pass}}}"
+        ));
+    };
 
     for row in scaling.iter().filter(|r| r.check) {
         let Some(fresh) = measure_scaling(&row.kernel, row.cgra, row.threads) else {
@@ -459,6 +536,13 @@ fn run_gate(baseline_path: &str, tolerance: f64) -> i32 {
             limit_ms: limit_ms(row.median_ms, tolerance),
         };
         println!("{verdict}");
+        record(
+            "scaling",
+            format!("{} {c}x{c} t={}", row.kernel, row.threads, c = row.cgra),
+            verdict.fresh_ms,
+            verdict.limit_ms,
+            verdict.passed(),
+        );
         if !verdict.passed() {
             failures += 1;
         }
@@ -486,6 +570,7 @@ fn run_gate(baseline_path: &str, tolerance: f64) -> i32 {
             row.ii,
             c = row.cgra,
         );
+        record("race", format!("{} {c}x{c}", row.kernel, c = row.cgra), fresh_ms, limit, ok);
         if !ok {
             failures += 1;
         }
@@ -504,6 +589,7 @@ fn run_gate(baseline_path: &str, tolerance: f64) -> i32 {
                 if ok { "PASS" } else { "FAIL" },
                 row.median_ms,
             );
+            record("fault-overhead", "gemm 8x8 t=1".to_string(), fresh, limit, ok);
             if !ok {
                 failures += 1;
             }
@@ -533,10 +619,67 @@ fn run_gate(baseline_path: &str, tolerance: f64) -> i32 {
             row.het_ii,
             c = row.cgra,
         );
+        record(
+            "heterogeneity",
+            format!("{} {c}x{c}", row.kernel, c = row.cgra),
+            fresh_ms,
+            limit,
+            ok,
+        );
         if !ok {
             failures += 1;
         }
     }
+
+    // Mega-fabric scale rows: tolerance vs baseline like every other
+    // surface, plus two unconditional promises — the 64x64 wall ceiling,
+    // and a non-growing index high-water mark (the "never materialise the
+    // full MRRG" claim, held to the committed node count).
+    for row in scales.iter().filter(|r| r.check) {
+        let Some(s) = measure_scale(&row.kernel, row.cgra) else {
+            eprintln!("unknown kernel `{}` in baseline", row.kernel);
+            failures += 1;
+            continue;
+        };
+        let fresh_ms = s.median.as_secs_f64() * 1e3;
+        let tol_limit = limit_ms(row.median_ms, tolerance);
+        let limit = if row.cgra == 64 { tol_limit.min(MEGA_WALL_LIMIT_MS) } else { tol_limit };
+        let index_ok = s.nodes <= row.index_nodes;
+        let ok = fresh_ms <= limit && index_ok;
+        println!(
+            "{} scale {:>14} {c}x{c} {fresh_ms:>9.3} ms vs baseline {:>9.3} ms \
+             (limit {limit:>9.3} ms), index {} nodes vs baseline {}",
+            if ok { "PASS" } else { "FAIL" },
+            row.kernel,
+            row.median_ms,
+            s.nodes,
+            row.index_nodes,
+            c = row.cgra,
+        );
+        record("mega-scale", format!("{} {c}x{c}", row.kernel, c = row.cgra), fresh_ms, limit, ok);
+        if !ok {
+            failures += 1;
+        }
+    }
+
+    let verdict_json = format!(
+        "{{\n\
+         \x20 \"gate\": \"consolidated\",\n\
+         \x20 \"tolerance\": {tolerance},\n\
+         \x20 \"rows_checked\": {},\n\
+         \x20 \"failures\": {failures},\n\
+         \x20 \"passed\": {},\n\
+         \x20 \"rows\": [\n{}\n  ]\n\
+         }}\n",
+        verdicts.len(),
+        failures == 0,
+        verdicts.join(",\n"),
+    );
+    if let Err(e) = std::fs::write("BENCH_verdict.json", &verdict_json) {
+        eprintln!("could not write BENCH_verdict.json: {e}");
+        return 1;
+    }
+    eprintln!("wrote BENCH_verdict.json ({} rows)", verdicts.len());
 
     if failures > 0 {
         eprintln!("consolidated gate FAILED: {failures} row(s)");
@@ -586,23 +729,62 @@ fn run_gate_generate() -> i32 {
         ));
     }
 
+    // Mega-fabric scale rows, measured fresh. Generation refuses to commit
+    // a baseline that already breaks the unconditional 64x64 wall ceiling.
+    let mut scale = Vec::new();
+    for kernel in SCALE_KERNELS {
+        for c in SCALE_SIZES {
+            let Some(s) = measure_scale(kernel, c) else {
+                eprintln!("unknown mega-scale kernel `{kernel}`");
+                return 1;
+            };
+            let ms = s.median.as_secs_f64() * 1e3;
+            if c == 64 && ms >= MEGA_WALL_LIMIT_MS {
+                eprintln!(
+                    "MEGA-SCALE PROMISE BROKEN: {kernel} 64x64 {ms:.1} ms >= \
+                     {MEGA_WALL_LIMIT_MS:.0} ms — refusing to write a baseline that \
+                     fails its own gate"
+                );
+                return 1;
+            }
+            let rss = peak_rss_kb().map_or("null".to_string(), |kb| kb.to_string());
+            eprintln!(
+                "  scale {kernel} {c}x{c}: {ms:.3} ms, index {:.3} ms \
+                 ({} nodes / {} edges), peak RSS {rss} kB",
+                s.index_ms, s.nodes, s.edges
+            );
+            scale.push(format!(
+                "    {{\"kernel\": \"{kernel}\", \"cgra\": \"{c}x{c}\", \
+                 \"median_ms\": {ms:.3}, \"index_ms\": {:.3}, \"index_nodes\": {}, \
+                 \"index_edges\": {}, \"peak_rss_kb\": {rss}, \"check\": {}}}",
+                s.index_ms,
+                s.nodes,
+                s.edges,
+                ms <= CHECK_BUDGET_MS
+            ));
+        }
+    }
+
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let json = format!(
         "{{\n\
          \x20 \"bench\": \"consolidated_gate\",\n\
          \x20 \"machine\": {{\"available_parallelism\": {cores}}},\n\
          \x20 \"protocol\": {{\"warmup\": {WARMUP}, \"samples\": {SCALING_SAMPLES}, \
-         \"statistic\": \"median\", \"check_budget_ms\": {CHECK_BUDGET_MS}}},\n\
+         \"statistic\": \"median\", \"check_budget_ms\": {CHECK_BUDGET_MS}, \
+         \"mega_wall_limit_ms\": {MEGA_WALL_LIMIT_MS}}},\n\
          \x20 \"sources\": {{\"parallel_scaling\": \"BENCH_pr4.json\", \
          \"portfolio_race\": \"BENCH_pr6.json\"}},\n\
          \x20 \"heterogeneous_fabric\": \"corner multipliers + edge-only memory\",\n\
          \x20 \"parallel_scaling\": {},\n\
          \x20 \"portfolio_race\": {},\n\
-         \x20 \"heterogeneity\": [\n{}\n  ]\n\
+         \x20 \"heterogeneity\": [\n{}\n  ],\n\
+         \x20 \"mega_scale\": [\n{}\n  ]\n\
          }}\n",
         render(scaling),
         render(races),
         het.join(",\n"),
+        scale.join(",\n"),
     );
     print!("{json}");
     if let Err(e) = std::fs::write("BENCH.json", &json) {

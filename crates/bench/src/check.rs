@@ -422,6 +422,71 @@ pub fn het_rows(doc: &Json) -> Result<Vec<HetRow>, String> {
         .collect()
 }
 
+/// One `mega_scale` row of the consolidated `BENCH.json` manifest: a
+/// kernel mapped *and verified* through the tiled path on a mega fabric
+/// (32×32, 64×64), with the largest materialised index recorded so the
+/// gate can prove the full-fabric MRRG was never built.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleRow {
+    /// Kernel name (`suite::by_name` key).
+    pub kernel: String,
+    /// CGRA side length (`64` for a 64x64 array).
+    pub cgra: usize,
+    /// Median wall time of map-plus-verify in milliseconds.
+    pub median_ms: f64,
+    /// Dense index build time charged to the run, in milliseconds.
+    pub index_ms: f64,
+    /// Node count of the largest MRRG index the run materialised.
+    pub index_nodes: usize,
+    /// Edge count of the largest MRRG index the run materialised.
+    pub index_edges: usize,
+    /// Process peak RSS after the row, in kilobytes (0 when unavailable).
+    pub peak_rss_kb: f64,
+    /// Whether `--gate` re-measures this row.
+    pub check: bool,
+}
+
+/// Extracts the `mega_scale` rows from a parsed baseline document.
+///
+/// # Errors
+///
+/// Returns a message naming the missing or mistyped field.
+pub fn scale_rows(doc: &Json) -> Result<Vec<ScaleRow>, String> {
+    let rows = doc
+        .get("mega_scale")
+        .and_then(Json::as_array)
+        .ok_or("baseline has no `mega_scale` array")?;
+    rows.iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let field = |key: &str| row.get(key).ok_or_else(|| format!("row {i} missing `{key}`"));
+            let num = |key: &str| {
+                field(key)?.as_f64().ok_or_else(|| format!("row {i}: `{key}` is not a number"))
+            };
+            let cgra = field("cgra")?
+                .as_str()
+                .and_then(|s| s.split('x').next())
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| format!("row {i}: `cgra` is not like \"64x64\""))?;
+            Ok(ScaleRow {
+                kernel: field("kernel")?
+                    .as_str()
+                    .ok_or_else(|| format!("row {i}: `kernel` is not a string"))?
+                    .to_string(),
+                cgra,
+                median_ms: num("median_ms")?,
+                index_ms: num("index_ms")?,
+                index_nodes: num("index_nodes")? as usize,
+                index_edges: num("index_edges")? as usize,
+                peak_rss_kb: row.get("peak_rss_kb").and_then(Json::as_f64).unwrap_or(0.0),
+                check: field("check")?
+                    .as_bool()
+                    .ok_or_else(|| format!("row {i}: `check` is not a boolean"))?,
+            })
+        })
+        .collect()
+}
+
 /// The pass/fail threshold for a fresh measurement against a baseline
 /// median: `baseline * (1 + tolerance) + 2 ms`.
 pub fn limit_ms(baseline_ms: f64, tolerance: f64) -> f64 {
@@ -575,6 +640,26 @@ mod tests {
         assert_eq!(rows[0].hom_ii, 4);
         assert_eq!(rows[0].het_ii, 16);
         assert!(rows[0].check);
+    }
+
+    #[test]
+    fn round_trips_a_mega_scale_baseline_shape() {
+        let text = r#"{
+          "mega_scale": [
+            {"kernel": "gemm", "cgra": "64x64", "median_ms": 12.0, "index_ms": 1.5,
+             "index_nodes": 6400, "index_edges": 27456, "peak_rss_kb": 120000, "check": true},
+            {"kernel": "floyd-warshall", "cgra": "32x32", "median_ms": 30.0, "index_ms": 2.0,
+             "index_nodes": 9600, "index_edges": 41184, "peak_rss_kb": null, "check": false}
+          ]
+        }"#;
+        let rows = scale_rows(&parse(text).expect("parses")).expect("rows");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].kernel, "gemm");
+        assert_eq!(rows[0].cgra, 64);
+        assert_eq!(rows[0].index_nodes, 6400);
+        assert!(rows[0].check);
+        assert_eq!(rows[1].peak_rss_kb, 0.0, "null RSS degrades to zero");
+        assert!(!rows[1].check);
     }
 
     #[test]

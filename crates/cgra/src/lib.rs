@@ -39,6 +39,6 @@ mod vsa;
 
 pub use arch::{CgraSpec, Dir, PeId, SpecError, ALL_DIRS};
 pub use capability::{CapabilityMap, FaultMap, OpClass, ALL_OP_CLASSES};
-pub use mrrg::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
+pub use mrrg::{MemoryStats, Mrrg, MrrgIndex, RIdx, RKind, RNode};
 pub use power::PowerModel;
 pub use vsa::{SpeId, Vsa, VsaError};

@@ -511,6 +511,37 @@ impl RIdx {
 const INVALID: u32 = u32::MAX;
 /// Bit of a packed CSR edge word holding the edge's latency (0 or 1).
 const LAT_BIT: u32 = 1 << 31;
+/// Node count above which [`MrrgIndex::new`] shards the CSR build across
+/// threads. Small fabrics build faster serially than they spawn threads.
+const SHARD_THRESHOLD: usize = 1 << 15;
+
+/// Memory footprint of one compiled [`MrrgIndex`].
+///
+/// Surfaced through `PipelineStats` so callers can assert that a mapping
+/// run never materialised a full-fabric graph (the mega-fabric tiled path
+/// must stay at sub-CGRA scale).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Indexed MRRG nodes.
+    pub nodes: usize,
+    /// Directed MRRG edges (forward CSR length; the backward CSR mirrors
+    /// the same edges).
+    pub edges: usize,
+    /// Bytes held by the index's dense tables (padded id table,
+    /// capacities, both CSR halves and the node list).
+    pub bytes: usize,
+}
+
+impl MemoryStats {
+    /// Field-wise maximum — the high-water mark across several builds.
+    pub fn max(self, other: MemoryStats) -> MemoryStats {
+        MemoryStats {
+            nodes: self.nodes.max(other.nodes),
+            edges: self.edges.max(other.edges),
+            bytes: self.bytes.max(other.bytes),
+        }
+    }
+}
 
 /// The [`Mrrg`] compiled to dense ids and CSR adjacency.
 ///
@@ -598,15 +629,67 @@ impl MrrgIndex {
     /// Rows of packed edges in legacy enumeration order, forward or
     /// backward. Latency is derived from the kind pair (`same_cycle`), the
     /// same rule [`Mrrg::edge_latency`] applies.
+    ///
+    /// Rows are independent and offsets are running sums, so the build
+    /// shards into contiguous node ranges across threads and stitches the
+    /// segments back with a prefix sum — byte-identical to a serial build
+    /// (locked in by `sharded_csr_matches_serial_build`).
     fn build_csr(&self, forward: bool) -> (Vec<u32>, Vec<u32>) {
-        let mut off = Vec::with_capacity(self.node_of.len() + 1);
-        let mut edges = Vec::with_capacity(self.node_of.len() * 6);
+        let n = self.node_of.len();
+        let threads = if n >= SHARD_THRESHOLD {
+            std::thread::available_parallelism().map_or(1, usize::from).min(8)
+        } else {
+            1
+        };
+        self.build_csr_with(forward, threads)
+    }
+
+    /// [`build_csr`](Self::build_csr) with an explicit shard count.
+    fn build_csr_with(&self, forward: bool, threads: usize) -> (Vec<u32>, Vec<u32>) {
+        let n = self.node_of.len();
+        let chunk = n.div_ceil(threads.max(1)).max(1);
+        let shards: Vec<(Vec<u32>, Vec<u32>)> = if threads <= 1 || chunk >= n {
+            vec![self.build_csr_range(forward, 0, n)]
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .step_by(chunk)
+                    .map(|lo| {
+                        let hi = (lo + chunk).min(n);
+                        scope.spawn(move || self.build_csr_range(forward, lo, hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+                    .collect()
+            })
+        };
+        let total: usize = shards.iter().map(|(_, e)| e.len()).sum();
+        assert!((total as u64) < u32::MAX as u64, "CSR edge count exceeds the u32 offset space");
+        let mut off = Vec::with_capacity(n + 1);
+        let mut edges = Vec::with_capacity(total);
         off.push(0u32);
-        for &node in &self.node_of {
+        for (lens, shard_edges) in shards {
+            let base = edges.len() as u32;
+            off.extend(lens.iter().map(|&l| base + l));
+            edges.extend_from_slice(&shard_edges);
+        }
+        (off, edges)
+    }
+
+    /// One shard of the CSR build: rows `lo..hi` of the dense node order,
+    /// with offsets relative to the shard start (the stitcher rebases them
+    /// onto the global edge array).
+    fn build_csr_range(&self, forward: bool, lo: usize, hi: usize) -> (Vec<u32>, Vec<u32>) {
+        let mut off = Vec::with_capacity(hi - lo);
+        let mut edges = Vec::with_capacity((hi - lo) * 6);
+        for &node in &self.node_of[lo..hi] {
             let mut push = |other: RNode| {
                 let padded = self.padded_index(other);
                 let id = self.idx_of[padded];
                 debug_assert_ne!(id, INVALID, "{node:?} edge to unindexed {other:?}");
+                debug_assert!(id < LAT_BIT, "dense id {id} collides with the latency bit");
                 let (from, to) = if forward { (node, other) } else { (other, node) };
                 let lat = if same_cycle(from.kind, to.kind) { 0 } else { LAT_BIT };
                 edges.push(id | lat);
@@ -667,6 +750,22 @@ impl MrrgIndex {
     /// Number of indexed nodes (equals [`Mrrg::node_count`]).
     pub fn len(&self) -> usize {
         self.node_of.len()
+    }
+
+    /// Memory footprint of the compiled tables.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let u32s = self.idx_of.len()
+            + self.cap_of.len()
+            + self.fwd_off.len()
+            + self.fwd.len()
+            + self.bwd_off.len()
+            + self.bwd.len();
+        MemoryStats {
+            nodes: self.node_of.len(),
+            edges: self.fwd.len(),
+            bytes: u32s * std::mem::size_of::<u32>()
+                + self.node_of.len() * std::mem::size_of::<RNode>(),
+        }
     }
 
     /// `true` when the graph has no nodes (never for a valid CGRA).
@@ -908,6 +1007,52 @@ mod tests {
         let mem = RNode::new(PeId::new(0, 0), 0, RKind::Mem);
         assert!(m.predecessors(mem).is_empty());
         assert!(m.successors(mem).contains(&RNode::new(PeId::new(0, 0), 0, RKind::Fu)));
+    }
+
+    #[test]
+    fn sharded_csr_matches_serial_build() {
+        // Force the sharded path on a small graph and compare against the
+        // serial reference — stitching must be byte-identical, including
+        // the degenerate split where shards outnumber rows.
+        let idx = MrrgIndex::new(CgraSpec::square(4), 3);
+        for forward in [true, false] {
+            let (serial_off, serial_edges) = idx.build_csr_with(forward, 1);
+            for threads in [2, 3, 8, 64] {
+                let (off, edges) = idx.build_csr_with(forward, threads);
+                assert_eq!(off, serial_off, "forward={forward} threads={threads}");
+                assert_eq!(edges, serial_edges, "forward={forward} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn mega_fabric_ids_stay_in_u32_range() {
+        // 64x64 at every II the pipeline realistically probes: dense ids
+        // must stay below the packed-edge latency bit, which is what lets
+        // the CSR pack (id | latency) into one u32.
+        let spec = CgraSpec::square(64);
+        for ii in [1usize, 4, 8, 16] {
+            let m = Mrrg::new(spec.clone(), ii);
+            assert!(
+                (m.node_count() as u64) < LAT_BIT as u64,
+                "64x64 II={ii}: {} nodes overflow the packed-edge id space",
+                m.node_count()
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stats_report_the_dense_tables() {
+        let idx = MrrgIndex::new(CgraSpec::square(4), 2);
+        let stats = idx.memory_stats();
+        assert_eq!(stats.nodes, idx.len());
+        assert_eq!(stats.edges, idx.fwd.len());
+        assert!(stats.bytes >= (stats.edges * 2 + stats.nodes) * 4, "{stats:?}");
+        let bigger = MrrgIndex::new(CgraSpec::square(4), 3).memory_stats();
+        assert!(bigger.nodes > stats.nodes && bigger.bytes > stats.bytes);
+        let hw = stats.max(bigger);
+        assert_eq!(hw, bigger.max(stats));
+        assert_eq!(hw.nodes, bigger.nodes);
     }
 
     #[test]

@@ -907,6 +907,7 @@ fn evaluate(
             router.set_cancel_token(None);
             stats.add_router(counters.router);
             stats.add_index_time(counters.index_build);
+            stats.record_memory(router.index().memory_stats());
             if abandon() {
                 // A cancelled negotiation surfaces as a route failure; don't
                 // let it masquerade as one in the walk's error reporting.

@@ -287,6 +287,10 @@ pub enum HiMapError {
     /// The [`HiMapOptions::deadline`] passed before any rung succeeded.
     /// Carries the attempt trail up to the cut.
     DeadlineExceeded(MapReport),
+    /// The tiled mega-fabric path failed structurally: the tile shape does
+    /// not divide the fabric, or not a single tile could be configured.
+    /// Base-tile mapping failures keep their own error instead.
+    Tiling(String),
 }
 
 impl HiMapError {
@@ -336,6 +340,7 @@ impl fmt::Display for HiMapError {
                 Some(_) => write!(f, "deadline exceeded: {report}"),
                 None => write!(f, "deadline exceeded before any mapping attempt completed"),
             },
+            HiMapError::Tiling(why) => write!(f, "tiled mapping failed: {why}"),
         }
     }
 }

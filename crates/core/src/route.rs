@@ -14,11 +14,16 @@ use std::time::{Duration, Instant};
 use himap_cgra::{Mrrg, MrrgIndex, PeId, RKind, RNode};
 use himap_dfg::{Dfg, EdgeKind, Iter4, NodeKind};
 use himap_graph::{EdgeId, NodeId};
-use himap_mapper::{Router, RouterConfig, RouterStats, SignalId};
+use himap_mapper::{Elapsed, Router, RouterConfig, RouterStats, SignalId};
 
 use crate::layout::Layout;
 use crate::options::HiMapOptions;
 use crate::unique::{descriptor, Classes, Descriptor};
+
+/// Mesh distance beyond which a memory-port route switches from the plain
+/// negotiated search to the A*-bounded one: close routes are cheaper
+/// without the backward sweep, distant ones amortize it many times over.
+const LONG_HAUL_HOPS: usize = 8;
 
 /// A route pattern in class-relative coordinates: physical PE and resource
 /// kind per step, plus the step's cycle offset from the owning iteration's
@@ -325,9 +330,20 @@ fn route_round(
                 }
                 EdgeSource::MemPorts(sources) => {
                     let nodes: Vec<RNode> = sources.iter().map(|&(n, _)| n).collect();
-                    router
-                        .route_filtered(signal, &nodes, target, None, |n| bbox.contains(n.pe))
-                        .ok_or(RouteError::Unroutable(e))?
+                    let spec = router.mrrg().spec();
+                    let haul =
+                        nodes.iter().map(|n| spec.distance(n.pe, target.pe)).min().unwrap_or(0);
+                    // Long-haul loads get the A*-bounded search: the hop
+                    // table steers the expansion toward the consumer instead
+                    // of flooding the fabric. Short hauls keep the plain
+                    // flat-array hot path.
+                    let path = if haul > LONG_HAUL_HOPS {
+                        let cap = Elapsed::AtMost(router.config().default_elapsed_cap);
+                        router.route_bounded(signal, &nodes, target, cap, |n| bbox.contains(n.pe))
+                    } else {
+                        router.route_filtered(signal, &nodes, target, None, |n| bbox.contains(n.pe))
+                    };
+                    path.ok_or(RouteError::Unroutable(e))?
                 }
             };
             // Record the net and the pattern.

@@ -20,6 +20,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use himap_analyze::StaticBounds;
+use himap_cgra::MemoryStats;
 use himap_mapper::RouterStats;
 
 use crate::options::Attempt;
@@ -145,6 +146,12 @@ pub struct PipelineStats {
     /// pass; `None` when admission was disabled
     /// ([`HiMapOptions::admission`](crate::HiMapOptions)).
     pub static_bounds: Option<StaticBounds>,
+    /// High-water mark of the dense MRRG indexes this run acquired —
+    /// field-wise maximum of [`MrrgIndex::memory_stats`]
+    /// (himap_cgra::MrrgIndex::memory_stats) across every acquisition. The
+    /// mega-fabric tiled path asserts this stays at sub-CGRA scale (the
+    /// full-fabric graph is never materialised).
+    pub memory: MemoryStats,
 }
 
 impl PipelineStats {
@@ -209,6 +216,14 @@ impl PipelineStats {
             self.probe_cache_misses,
             self.probe_cache_hit_rate() * 100.0,
         );
+        if self.memory.nodes > 0 {
+            out.push_str(&format!(
+                "\n  memory   largest index {} nodes, {} edges, {:.1} MiB",
+                self.memory.nodes,
+                self.memory.edges,
+                self.memory.bytes as f64 / (1024.0 * 1024.0),
+            ));
+        }
         if let Some(bounds) = &self.static_bounds {
             out.push_str(&format!("\n  static   {bounds}"));
         }
@@ -275,6 +290,8 @@ pub(crate) struct StatsCollector {
     pub(crate) best_sub_shape: Mutex<Option<(usize, usize, usize)>>,
     /// Static lower bounds from the admission pass (written once, up front).
     pub(crate) static_bounds: Mutex<Option<StaticBounds>>,
+    /// High-water mark of acquired MRRG index footprints.
+    memory: Mutex<MemoryStats>,
 }
 
 /// The instrumented stages (each maps to one nanosecond accumulator).
@@ -332,6 +349,12 @@ impl StatsCollector {
         self.index_nanos.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Folds one acquired index's footprint into the run's high-water mark.
+    pub(crate) fn record_memory(&self, m: MemoryStats) {
+        let mut hw = crate::himap::lock(&self.memory);
+        *hw = hw.max(m);
+    }
+
     /// Freezes the collector into the public snapshot.
     pub(crate) fn snapshot(&self, total: Duration, threads: usize) -> PipelineStats {
         let dur = |cell: &AtomicU64| Duration::from_nanos(cell.load(Ordering::Relaxed));
@@ -375,6 +398,7 @@ impl StatsCollector {
             workers,
             attempts: crate::himap::lock(&self.attempts).clone(),
             static_bounds: *crate::himap::lock(&self.static_bounds),
+            memory: *crate::himap::lock(&self.memory),
         }
     }
 }

@@ -37,4 +37,7 @@ mod reference;
 mod router;
 
 pub use reference::ReferenceRouter;
-pub use router::{CancelToken, Elapsed, RoutedPath, Router, RouterConfig, RouterStats, SignalId};
+pub use router::{
+    CancelToken, CostContext, CostModel, Elapsed, HopBoundCost, NegotiatedCost, RoutedPath, Router,
+    RouterConfig, RouterStats, SignalId,
+};

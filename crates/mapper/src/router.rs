@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use himap_cgra::{Mrrg, MrrgIndex, RIdx, RKind, RNode};
+use himap_cgra::{CgraSpec, Mrrg, MrrgIndex, PeId, RIdx, RKind, RNode, ALL_DIRS};
 
 /// Identifier of a routed signal — typically the DFG node index of the value
 /// producer. Two routes with the same `SignalId` may share resources
@@ -233,6 +233,41 @@ impl Ord for HeapEntry {
     }
 }
 
+/// Heap entry of the A*-bounded search: ordered by the bounded total `f =
+/// g + remaining`, with the true cost-so-far `g` carried alongside for
+/// stale-entry detection and result reporting. Ties break exactly like
+/// [`HeapEntry`], on `(idx, elapsed)`.
+#[derive(Clone, Copy, Debug)]
+struct BoundedEntry {
+    f: f64,
+    g: f64,
+    idx: u32,
+    elapsed: u32,
+}
+
+impl PartialEq for BoundedEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for BoundedEntry {}
+
+impl PartialOrd for BoundedEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BoundedEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .f
+            .total_cmp(&self.f)
+            .then_with(|| (other.idx, other.elapsed).cmp(&(self.idx, self.elapsed)))
+    }
+}
+
 /// Sentinel for "no predecessor" in the packed `prev` array.
 const NO_PREV: u32 = u32::MAX;
 
@@ -342,6 +377,144 @@ fn cost_dense(
     }
     let over = (occupants.len() + 1).saturating_sub(index.capacity(RIdx(idx)));
     config.base_cost + history[idx as usize] + over as f64 * config.present_factor
+}
+
+/// Read-only congestion state handed to a [`CostModel`].
+///
+/// This is the *distance* half of the pathfinding/distance split: the
+/// search loops own pathfinding (heap, stamps, reconstruction) and consult
+/// a model for pricing, so alternative cost schemes plug in without
+/// touching the search machinery.
+pub struct CostContext<'a> {
+    /// Dense resource index being searched.
+    pub index: &'a MrrgIndex,
+    /// Distinct signals currently claiming each resource, by dense id.
+    pub present: &'a [Vec<SignalId>],
+    /// Accumulated history cost per resource, by dense id.
+    pub history: &'a [f64],
+    /// Negotiation constants.
+    pub config: &'a RouterConfig,
+}
+
+/// Pluggable route pricing: entry cost plus an optional admissible bound on
+/// the cost still to pay, which upgrades the search from Dijkstra to A*.
+///
+/// Implementations must keep `remaining` a *lower* bound on the true
+/// residual cost (and `remaining_hops` a lower bound on residual mesh
+/// hops); an overestimate can return suboptimal or spuriously failed
+/// routes.
+pub trait CostModel {
+    /// Cost of `signal` entering the resource with dense id `idx`.
+    fn enter_cost(&self, ctx: &CostContext<'_>, idx: u32, signal: SignalId) -> f64;
+
+    /// Admissible lower bound on the cost still to pay from `node` to the
+    /// search target. `0.0` degrades A* back to plain Dijkstra;
+    /// `f64::INFINITY` marks the node as unable to reach the target at all.
+    fn remaining(&self, node: RNode) -> f64;
+
+    /// Lower bound on the mesh hops still needed from `node`, used to prune
+    /// states whose elapsed budget cannot cover the distance. `None`
+    /// disables the prune.
+    fn remaining_hops(&self, node: RNode) -> Option<u32> {
+        let _ = node;
+        None
+    }
+}
+
+/// The default PathFinder pricing with no remaining-distance information —
+/// the model [`Router::route_constrained`]'s plain Dijkstra corresponds to.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NegotiatedCost;
+
+impl CostModel for NegotiatedCost {
+    fn enter_cost(&self, ctx: &CostContext<'_>, idx: u32, signal: SignalId) -> f64 {
+        cost_dense(ctx.index, ctx.present, ctx.history, ctx.config, idx, signal)
+    }
+
+    fn remaining(&self, _node: RNode) -> f64 {
+        0.0
+    }
+}
+
+/// A*-bound for long-haul routes: exact mesh hop distances to the target
+/// PE, from one backward breadth-first sweep over the *live* mesh (dead
+/// PEs and severed links lengthen or disconnect), scaled by the cheapest
+/// possible per-resource entry cost.
+///
+/// Crossing a mesh link always enters at least one wire resource priced at
+/// `min(base_cost, same_signal_cost)` or more (history and present
+/// penalties are non-negative), so `hops × min_step` never overestimates —
+/// the bound is admissible and the A* result cost-optimal.
+#[derive(Clone, Debug)]
+pub struct HopBoundCost {
+    cols: usize,
+    /// Hops from each PE to the target over the live mesh, row-major;
+    /// `u32::MAX` marks PEs that cannot reach it at all.
+    hops: Vec<u32>,
+    min_step: f64,
+}
+
+impl HopBoundCost {
+    /// Builds the backward hop-distance table toward `target`.
+    pub fn toward(spec: &CgraSpec, target: PeId, config: &RouterConfig) -> Self {
+        let faults = &spec.faults;
+        let mut hops = vec![u32::MAX; spec.rows * spec.cols];
+        let at = |pe: PeId| pe.x as usize * spec.cols + pe.y as usize;
+        let mut queue = std::collections::VecDeque::new();
+        if spec.contains(target) && !faults.pe_dead(target) {
+            hops[at(target)] = 0;
+            queue.push_back(target);
+        }
+        while let Some(cur) = queue.pop_front() {
+            let d = hops[at(cur)];
+            for dir in ALL_DIRS {
+                // Backward sweep: `next` reaches `cur` over its own wire in
+                // the opposite direction, so that wire must be unsevered.
+                let Some(next) = spec.neighbor(cur, dir) else { continue };
+                if faults.pe_dead(next)
+                    || faults.link_severed(next, dir.opposite())
+                    || hops[at(next)] != u32::MAX
+                {
+                    continue;
+                }
+                hops[at(next)] = d + 1;
+                queue.push_back(next);
+            }
+        }
+        let min_step = config.base_cost.min(config.same_signal_cost).max(0.0);
+        HopBoundCost { cols: spec.cols, hops, min_step }
+    }
+
+    #[inline]
+    fn hops_from(&self, pe: PeId) -> u32 {
+        self.hops[pe.x as usize * self.cols + pe.y as usize]
+    }
+}
+
+impl CostModel for HopBoundCost {
+    fn enter_cost(&self, ctx: &CostContext<'_>, idx: u32, signal: SignalId) -> f64 {
+        cost_dense(ctx.index, ctx.present, ctx.history, ctx.config, idx, signal)
+    }
+
+    fn remaining(&self, node: RNode) -> f64 {
+        match self.hops_from(node.pe) {
+            u32::MAX => f64::INFINITY,
+            // A wire node's own crossing is already priced by the time the
+            // search holds it, so only `hops - 1` further entries are
+            // certain; using that uniformly keeps the bound admissible for
+            // every resource kind (the final hop into the target is free).
+            h => h.saturating_sub(1) as f64 * self.min_step,
+        }
+    }
+
+    fn remaining_hops(&self, node: RNode) -> Option<u32> {
+        // Same off-by-one as `remaining`: the crossing performed by a wire
+        // node the search currently holds is already counted in its elapsed.
+        Some(match self.hops_from(node.pe) {
+            u32::MAX => u32::MAX,
+            h => h.saturating_sub(1),
+        })
+    }
 }
 
 /// PathFinder router over a dense-indexed MRRG.
@@ -575,6 +748,151 @@ impl Router {
                     scratch.set(succ_key, next_cost, key as u32);
                     scratch.heap.push(HeapEntry {
                         cost: next_cost,
+                        idx: succ.0,
+                        elapsed: next_elapsed,
+                    });
+                    stats.heap_pushes += 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Long-haul routing: [`Router::route_constrained`] upgraded to an
+    /// A*-bounded search under a [`HopBoundCost`] built for `target`.
+    ///
+    /// One backward breadth-first sweep over the live mesh yields exact hop
+    /// distances to the target PE; the forward search uses them both as an
+    /// admissible cost bound (so expansion concentrates toward the target
+    /// instead of flooding the fabric) and as an elapsed-feasibility prune.
+    /// Same congestion state, same route legality, same optimal cost as the
+    /// plain search — only the visit order and pop count differ, which is
+    /// what makes it worthwhile when source and target are many hops apart.
+    pub fn route_bounded(
+        &mut self,
+        signal: SignalId,
+        sources: &[RNode],
+        target: RNode,
+        constraint: Elapsed,
+        allowed: impl Fn(RNode) -> bool,
+    ) -> Option<RoutedPath> {
+        let model = HopBoundCost::toward(self.index.mrrg().spec(), target.pe, &self.config);
+        self.route_with_model(signal, sources, target, constraint, allowed, &model)
+    }
+
+    /// [`Router::route_constrained`] under a caller-supplied [`CostModel`]:
+    /// the most general search entry point. With [`NegotiatedCost`] this is
+    /// exactly the plain search; models with a non-zero remaining bound turn
+    /// it into A*.
+    ///
+    /// Kept separate from `route_constrained` so the negotiated hot path
+    /// stays untouched (flat arrays, shared scratch heap, bit-identical to
+    /// the reference router); this loop carries `(f, g)` per heap entry and
+    /// allocates its own heap, which only pays off on long-haul searches.
+    pub fn route_with_model<M: CostModel>(
+        &mut self,
+        signal: SignalId,
+        sources: &[RNode],
+        target: RNode,
+        constraint: Elapsed,
+        allowed: impl Fn(RNode) -> bool,
+        model: &M,
+    ) -> Option<RoutedPath> {
+        let (cap, intended_elapsed) = match constraint {
+            Elapsed::Exact(e) => (e, Some(e)),
+            Elapsed::AtMost(m) => (m, None),
+        };
+        let Router { index, present, history, config, scratch, stats, cancel } = self;
+        let ctx = CostContext { index, present, history, config };
+        scratch.begin(index.len(), cap as usize + 1, stats);
+        stats.searches += 1;
+        if cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            stats.cancelled += 1;
+            return None;
+        }
+        let tgt = index.index_of(target).map_or(NO_PREV, |i| i.0);
+        let mut heap: BinaryHeap<BoundedEntry> = BinaryHeap::new();
+        for &src in sources {
+            debug_assert!(index.contains(src), "source {src:?} outside MRRG");
+            let at_target = src == target && intended_elapsed.is_none_or(|e| e == 0);
+            if at_target {
+                return Some(RoutedPath { signal, nodes: vec![src], elapsed: 0, cost: 0.0 });
+            }
+            let Some(si) = index.index_of(src) else { continue };
+            let bound = model.remaining(src);
+            if !bound.is_finite() {
+                continue; // the sweep proved this source cannot reach the target
+            }
+            let key = scratch.key(si.0, 0);
+            scratch.set(key, 0.0, NO_PREV);
+            heap.push(BoundedEntry { f: bound, g: 0.0, idx: si.0, elapsed: 0 });
+            stats.heap_pushes += 1;
+        }
+        let lat_to_dt = |lat: u32| if index.ii() == 1 { 0 } else { lat };
+        // Whether a mesh hop consumes an elapsed cycle: every wire is
+        // clocked, but at II = 1 the reference elapsed arithmetic advances
+        // by 0 — the hop prune is only sound when cycles accrue.
+        let hops_take_cycles = index.ii() > 1;
+        while let Some(BoundedEntry { g, idx, elapsed, .. }) = heap.pop() {
+            stats.nodes_popped += 1;
+            if cancel_poll(cancel, stats) {
+                break;
+            }
+            let key = scratch.key(idx, elapsed);
+            if scratch.get(key).is_some_and(|d| g > d) {
+                continue;
+            }
+            let node = index.node(RIdx(idx));
+            if idx == tgt && (elapsed > 0 || !sources.contains(&node)) {
+                let mut nodes = vec![node];
+                scratch.reconstruct(index, key, &mut nodes);
+                return Some(RoutedPath { signal, nodes, elapsed, cost: g });
+            }
+            if node.kind == RKind::Fu && elapsed > 0 {
+                continue;
+            }
+            for (succ, lat) in index.successors(RIdx(idx)) {
+                let next_elapsed = elapsed + lat_to_dt(lat);
+                if next_elapsed > cap {
+                    continue;
+                }
+                let succ_node = index.node(succ);
+                if succ_node.kind == RKind::Mem {
+                    continue;
+                }
+                let is_target = succ.0 == tgt;
+                if succ_node.kind == RKind::Fu && !is_target {
+                    continue;
+                }
+                if !is_target && !allowed(succ_node) {
+                    continue;
+                }
+                if is_target {
+                    if let Some(exact) = intended_elapsed {
+                        if next_elapsed != exact {
+                            continue;
+                        }
+                    }
+                }
+                let bound = if is_target { 0.0 } else { model.remaining(succ_node) };
+                if !bound.is_finite() {
+                    continue;
+                }
+                if !is_target && hops_take_cycles {
+                    if let Some(hops) = model.remaining_hops(succ_node) {
+                        if hops as u64 + next_elapsed as u64 > cap as u64 {
+                            continue;
+                        }
+                    }
+                }
+                let step = if is_target { 0.0 } else { model.enter_cost(&ctx, succ.0, signal) };
+                let next_cost = g + step;
+                let succ_key = scratch.key(succ.0, next_elapsed);
+                if scratch.get(succ_key).is_none_or(|d| next_cost < d) {
+                    scratch.set(succ_key, next_cost, key as u32);
+                    heap.push(BoundedEntry {
+                        f: next_cost + bound,
+                        g: next_cost,
                         idx: succ.0,
                         elapsed: next_elapsed,
                     });
@@ -1239,6 +1557,154 @@ mod timed_tests {
             |_| true,
         );
         assert_eq!(at_most.expect("routable").elapsed, 1, "shortest within budget");
+    }
+}
+
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+#[cfg(test)]
+mod bounded_tests {
+    use super::*;
+    use himap_cgra::{CgraSpec, Dir, FaultMap, PeId};
+
+    fn fu(x: usize, y: usize, t: u32) -> RNode {
+        RNode::new(PeId::new(x, y), t, RKind::Fu)
+    }
+
+    fn router(c: usize, ii: usize) -> Router {
+        Router::new(Mrrg::new(CgraSpec::square(c), ii), RouterConfig::default())
+    }
+
+    /// Dirties the congestion state so the searches negotiate, not just
+    /// count hops: a committed route plus some history.
+    fn congest(r: &mut Router) {
+        let t = (3 % r.index().ii()) as u32;
+        let p = r.route_one(SignalId(90), fu(0, 0, 0), fu(0, 3, t), Some(3)).unwrap();
+        r.commit(&p);
+        r.add_history(RNode::new(PeId::new(1, 1), 1, RKind::Wire(Dir::East)), 3.5);
+        r.bump_history();
+    }
+
+    #[test]
+    fn bounded_route_matches_the_plain_search_cost() {
+        // Differential sweep: for every endpoint pair and budget, the
+        // A*-bounded search agrees with plain Dijkstra on feasibility and
+        // on the optimal cost (paths may differ among cost ties).
+        let mut r = router(6, 4);
+        congest(&mut r);
+        for (sx, sy) in [(0usize, 0usize), (2, 1)] {
+            for (tx, ty) in [(5usize, 5usize), (0, 5), (3, 3)] {
+                for budget in [Elapsed::Exact(10), Elapsed::AtMost(12), Elapsed::Exact(2)] {
+                    let src = fu(sx, sy, 0);
+                    let tgt = fu(tx, ty, 2);
+                    let plain = r.route_constrained(SignalId(7), &[src], tgt, budget, |_| true);
+                    let bounded = r.route_bounded(SignalId(7), &[src], tgt, budget, |_| true);
+                    match (&plain, &bounded) {
+                        (Some(p), Some(b)) => {
+                            assert!(
+                                (p.cost - b.cost).abs() < 1e-9,
+                                "cost mismatch {sx},{sy}->{tx},{ty} {budget:?}: {} vs {}",
+                                p.cost,
+                                b.cost
+                            );
+                            assert_eq!(p.elapsed, b.elapsed, "elapsed must follow the budget");
+                        }
+                        (None, None) => {}
+                        other => {
+                            panic!(
+                                "feasibility mismatch {sx},{sy}->{tx},{ty} {budget:?}: {other:?}"
+                            )
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn negotiated_model_reproduces_the_plain_search() {
+        let mut r = router(4, 3);
+        congest(&mut r);
+        let src = fu(0, 0, 0);
+        let tgt = fu(3, 3, 0);
+        let plain = r.route_constrained(SignalId(3), &[src], tgt, Elapsed::Exact(6), |_| true);
+        let modelled = r.route_with_model(
+            SignalId(3),
+            &[src],
+            tgt,
+            Elapsed::Exact(6),
+            |_| true,
+            &NegotiatedCost,
+        );
+        let (p, m) = (plain.expect("routable"), modelled.expect("routable"));
+        assert!((p.cost - m.cost).abs() < 1e-9);
+        assert_eq!(p.nodes, m.nodes, "zero bound is plain Dijkstra with identical tie-breaks");
+    }
+
+    #[test]
+    fn bounded_search_pops_fewer_nodes_on_long_hauls() {
+        let mut r = router(8, 4);
+        let src = fu(0, 0, 0);
+        let tgt = fu(7, 7, 2);
+        let _ = r.route_constrained(SignalId(1), &[src], tgt, Elapsed::Exact(14), |_| true);
+        let plain_pops = r.take_search_stats().nodes_popped;
+        let _ = r.route_bounded(SignalId(1), &[src], tgt, Elapsed::Exact(14), |_| true);
+        let bounded_pops = r.take_search_stats().nodes_popped;
+        assert!(
+            bounded_pops < plain_pops,
+            "A* bound must concentrate the search: {bounded_pops} vs {plain_pops} pops"
+        );
+    }
+
+    #[test]
+    fn hop_bound_respects_dead_pes_and_severed_links() {
+        // A dead wall across the middle leaves one gap: hop distances must
+        // detour through it, and walling the gap off disconnects the halves.
+        let mut faults = FaultMap::new();
+        for y in 0..7 {
+            faults.kill_pe(PeId::new(3, y));
+        }
+        let spec = CgraSpec::mesh(8, 8).expect("valid").with_faults(faults.clone());
+        let model = HopBoundCost::toward(&spec, PeId::new(7, 0), &RouterConfig::default());
+        // Manhattan distance from (0,0) is 7; the detour through column 7
+        // costs 7 + 2 * 7 = 21 hops, reported minus the crossing already
+        // paid by the node the search holds.
+        assert_eq!(model.remaining_hops(fu(0, 0, 0)), Some(20));
+        faults.kill_pe(PeId::new(3, 7));
+        let cut = CgraSpec::mesh(8, 8).expect("valid").with_faults(faults);
+        let model = HopBoundCost::toward(&cut, PeId::new(7, 0), &RouterConfig::default());
+        assert_eq!(model.remaining_hops(fu(0, 0, 0)), Some(u32::MAX));
+        assert!(model.remaining(fu(0, 0, 0)).is_infinite());
+        assert_eq!(model.remaining_hops(fu(7, 7, 0)), Some(6), "same half stays reachable");
+    }
+
+    #[test]
+    fn bounded_route_honours_the_cancel_token() {
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let mut r = router(4, 4);
+        let src = fu(0, 0, 0);
+        let tgt = fu(3, 3, 2);
+        assert!(r.route_bounded(SignalId(1), &[src], tgt, Elapsed::Exact(6), |_| true).is_some());
+        r.set_cancel_token(Some(CancelToken::new(Arc::new(AtomicUsize::new(0)), 1)));
+        let before = r.search_stats().cancelled;
+        assert!(r.route_bounded(SignalId(1), &[src], tgt, Elapsed::Exact(6), |_| true).is_none());
+        assert_eq!(r.search_stats().cancelled, before + 1);
+    }
+
+    #[test]
+    fn bounded_route_respects_the_resource_filter() {
+        // On a 1x3 row the middle PE is the only transit; filtering it out
+        // must fail the route exactly like the plain search.
+        let mut r = Router::new(
+            Mrrg::new(CgraSpec::mesh(1, 3).expect("valid"), 4),
+            RouterConfig::default(),
+        );
+        let src = fu(0, 0, 0);
+        let tgt = fu(0, 2, 2);
+        let open = r.route_bounded(SignalId(1), &[src], tgt, Elapsed::Exact(2), |_| true);
+        assert!(open.is_some());
+        let blocked = r.route_bounded(SignalId(1), &[src], tgt, Elapsed::Exact(2), |n| n.pe.y != 1);
+        assert!(blocked.is_none());
     }
 }
 

@@ -44,9 +44,11 @@
 #![forbid(unsafe_code)]
 
 mod baseline;
+mod tiled;
 mod verify;
 
 pub use baseline::verify_baseline;
+pub use tiled::verify_tiled;
 // The diagnostic vocabulary (codes, sink, rendering) lives in
 // `himap-analyze`, the bottom-most diagnostics producer; re-exported here
 // so every existing `himap_verify::{Code, DiagnosticSink, …}` path keeps
